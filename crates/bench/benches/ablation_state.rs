@@ -1,0 +1,58 @@
+//! Ablation bench: device-state enforcement strategies (§4.1) — random
+//! fill vs sequential fill vs fresh out-of-the-box, measuring both the
+//! host-side cost of the fill and (printed once) the virtual random-
+//! write cost each state produces: the §4.1 Samsung anomaly, where a
+//! fresh device looks an order of magnitude faster than its steady
+//! state.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Once;
+use uflip_core::executor::execute_run;
+use uflip_core::methodology::state::{enforce_random_state, enforce_sequential_state};
+use uflip_device::profiles::catalog;
+use uflip_patterns::PatternSpec;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn benches(c: &mut Criterion) {
+    let profile = catalog::samsung();
+    PRINT_ONCE.call_once(|| {
+        let spec = PatternSpec::baseline_rw(32 * 1024, 64 * 1024 * 1024, 256);
+        let ms = |r: &uflip_core::RunResult| {
+            r.rts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / r.rts.len() as f64 * 1e3
+        };
+        let mut fresh = profile.build_sim(1);
+        let fresh_rw = execute_run(fresh.as_mut(), &spec).expect("fresh RW");
+        let mut aged = profile.build_sim(1);
+        enforce_random_state(aged.as_mut(), 128 * 1024, 2.0, 7).expect("fill");
+        let aged_rw = execute_run(aged.as_mut(), &spec).expect("aged RW");
+        eprintln!(
+            "[state ablation virtual time] {} fresh RW {:.2} ms vs aged RW {:.2} ms \
+             (x{:.1} — the 4.1 out-of-the-box anomaly)",
+            profile.id,
+            ms(&fresh_rw),
+            ms(&aged_rw),
+            ms(&aged_rw) / ms(&fresh_rw)
+        );
+    });
+    let mut group = c.benchmark_group("ablation_state");
+    group.sample_size(10);
+    group.bench_function("random_fill", |b| {
+        b.iter_batched(
+            || profile.build_sim(1),
+            |mut dev| enforce_random_state(dev.as_mut(), 128 * 1024, 0.25, 7).expect("fill"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sequential_fill", |b| {
+        b.iter_batched(
+            || profile.build_sim(1),
+            |mut dev| enforce_sequential_state(dev.as_mut(), 128 * 1024).expect("fill"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(state, benches);
+criterion_main!(state);

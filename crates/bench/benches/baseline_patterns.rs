@@ -1,0 +1,40 @@
+//! Criterion bench: simulator throughput on the four baseline patterns
+//! (SR/RR/SW/RW) for one representative device per FTL family. Measures
+//! the *host-side* cost of simulation; the virtual response times are
+//! the harness binaries' concern.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uflip_core::executor::execute_run;
+use uflip_device::profiles::catalog;
+use uflip_device::DeviceProfile;
+use uflip_patterns::PatternSpec;
+
+fn bench_device(c: &mut Criterion, profile: &DeviceProfile) {
+    let mut group = c.benchmark_group(format!("baselines/{}", profile.id));
+    group.sample_size(10);
+    let window = 16 * 1024 * 1024u64;
+    for (name, spec) in [
+        ("SR", PatternSpec::baseline_sr(32 * 1024, window, 128)),
+        ("RR", PatternSpec::baseline_rr(32 * 1024, window, 128)),
+        ("SW", PatternSpec::baseline_sw(32 * 1024, window, 128)),
+        ("RW", PatternSpec::baseline_rw(32 * 1024, window, 128)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || profile.build_sim(7),
+                |mut dev| execute_run(dev.as_mut(), &spec).expect("run"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_device(c, &catalog::memoright()); // hybrid-log (FAST, async)
+    bench_device(c, &catalog::samsung()); // hybrid-log (BAST, cache)
+    bench_device(c, &catalog::kingston_dti()); // block-map
+}
+
+criterion_group!(baselines, benches);
+criterion_main!(baselines);

@@ -1,0 +1,68 @@
+//! Criterion bench: the nine micro-benchmark generators plus execution
+//! of one representative sweep point each, covering Granularity,
+//! Alignment, Locality, Partitioning, Order, Parallelism, Mix, Pause
+//! and Bursts (one Criterion group per micro-benchmark).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uflip_core::micro::{
+    alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
+    MicroConfig,
+};
+use uflip_core::{Experiment, Workload};
+use uflip_device::profiles::catalog;
+
+fn cfg() -> MicroConfig {
+    let mut cfg = MicroConfig::quick();
+    cfg.io_count = 64;
+    cfg.io_count_rw = 64;
+    cfg
+}
+
+fn bench_micro(c: &mut Criterion, name: &str, exps: Vec<Experiment>) {
+    let mut group = c.benchmark_group(format!("micro/{name}"));
+    group.sample_size(10);
+    // Generation cost (pure pattern math).
+    group.bench_function("generate", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for e in &exps {
+                for p in &e.points {
+                    n += match &p.workload {
+                        Workload::Basic(s) => s.iter().count() as u64,
+                        Workload::Mixed(m) => m.iter().count() as u64,
+                        Workload::Parallel(par) => par.iter().count() as u64,
+                    };
+                }
+            }
+            n
+        })
+    });
+    // Execution cost of the first point on a simulated device.
+    let profile = catalog::samsung();
+    if let Some(point) = exps.first().and_then(|e| e.points.first()).cloned() {
+        group.bench_function("execute_first_point", |b| {
+            b.iter_batched(
+                || profile.build_sim(3),
+                |mut dev| point.workload.execute(dev.as_mut()).expect("point"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let cfg = cfg();
+    bench_micro(c, "granularity", granularity::experiments(&cfg));
+    bench_micro(c, "alignment", alignment::experiments(&cfg));
+    bench_micro(c, "locality", locality::experiments(&cfg));
+    bench_micro(c, "partitioning", partitioning::experiments(&cfg));
+    bench_micro(c, "order", order::experiments(&cfg));
+    bench_micro(c, "parallelism", parallelism::experiments(&cfg));
+    bench_micro(c, "mix", mix::experiments(&cfg));
+    bench_micro(c, "pause", pause::experiments(&cfg));
+    bench_micro(c, "bursts", bursts::experiments(&cfg));
+}
+
+criterion_group!(micro, benches);
+criterion_main!(micro);

@@ -1,0 +1,45 @@
+//! Regenerates the **§5.3 design hints**: evaluates Hints 1–7 against
+//! freshly measured summaries of three representative devices plus a
+//! granularity sweep, and prints the verdicts with evidence.
+
+use uflip_bench::{mean_ms, prepared_device, HarnessOptions};
+use uflip_core::executor::execute_run;
+use uflip_device::profiles::catalog;
+use uflip_patterns::PatternSpec;
+use uflip_report::hints::evaluate_hints;
+use uflip_report::summary::{characterize, CharacterizeConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let mut cfg = if opts.quick {
+        CharacterizeConfig::quick()
+    } else {
+        CharacterizeConfig::paper()
+    };
+    cfg.enforce_state = false;
+    let devices = [catalog::memoright(), catalog::samsung(), catalog::kingston_dti()];
+    let mut summaries = Vec::new();
+    for profile in devices {
+        let mut dev = prepared_device(&profile, opts.quick);
+        summaries.push(characterize(dev.as_mut(), &cfg).expect("characterize"));
+    }
+    // Granularity series (SR on the high-end SSD) for Hint 1.
+    let profile = catalog::memoright();
+    let mut dev = prepared_device(&profile, true);
+    let mut series = Vec::new();
+    for kb in [1u64, 4, 32, 128, 512] {
+        let spec = PatternSpec::baseline_sr(kb * 1024, 64 * 1024 * 1024, 128);
+        let run = execute_run(dev.as_mut(), &spec).expect("SR granularity");
+        series.push((kb as f64 * 1024.0, mean_ms(&run.rts)));
+    }
+    println!("Design hints (5.3), evaluated against measured data:");
+    for h in evaluate_hints(&summaries, &series) {
+        println!(
+            "Hint {}: {} — {}\n        evidence: {}",
+            h.id,
+            h.title,
+            if h.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+            h.evidence
+        );
+    }
+}

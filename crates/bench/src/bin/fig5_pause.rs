@@ -1,0 +1,40 @@
+//! Regenerates **Figure 5**: "Pause determination for Mtron" — the
+//! SR–RW–SR interference experiment of §4.3. A batch of random writes
+//! leaves asynchronous reclamation pending; the sequential reads that
+//! follow are slowed until the backlog drains (≈3000 reads ≈ 2.5 s on
+//! the real device), giving the lower bound for the inter-run pause.
+
+use uflip_bench::{prepared_device, trace_ms, HarnessOptions};
+use uflip_core::methodology::pause::calibrate_pause;
+use uflip_device::profiles::catalog;
+use uflip_report::ascii_plot::{plot_trace, PlotConfig};
+use uflip_report::csv::trace_csv;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = opts
+        .device
+        .as_deref()
+        .and_then(catalog::by_id)
+        .unwrap_or_else(catalog::mtron);
+    let mut dev = prepared_device(&profile, opts.quick);
+    let (sr, rw) = if opts.quick { (2000, 1000) } else { (5000, 3000) };
+    let cal = calibrate_pause(dev.as_mut(), 32 * 1024, sr, rw, 96 * 1024 * 1024)
+        .expect("SR-RW-SR calibration");
+    println!("Figure 5: pause determination, {}", profile.id);
+    println!(
+        "affected reads after the write batch: {} (paper Mtron: ~3000); lingering {:?}; \
+         recommended inter-run pause {:?} (paper: 5 s for Mtron, 1 s otherwise)",
+        cal.affected_reads, cal.lingering, cal.recommended_pause
+    );
+    // Concatenated trace, as in the paper's figure.
+    let mut all = trace_ms(&cal.sr_before);
+    all.extend(trace_ms(&cal.rw));
+    all.extend(trace_ms(&cal.sr_after));
+    let cfg = PlotConfig { log_y: true, ..Default::default() };
+    println!("{}", plot_trace("SR | RW | SR response time (ms, log)", &all, &cfg));
+    std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
+    let out = opts.out_dir.join("fig5_pause.csv");
+    std::fs::write(&out, trace_csv(&all)).expect("write CSV");
+    eprintln!("wrote {}", out.display());
+}

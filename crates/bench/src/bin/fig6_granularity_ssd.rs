@@ -1,0 +1,54 @@
+//! Regenerates **Figure 6**: granularity on a high-end SSD — response
+//! time of each baseline pattern as IOSize grows 0.5–512 KB. Paper
+//! shape: reads and sequential writes are linear with a small latency;
+//! random writes sit far above them; small random writes are absorbed
+//! cheaply (caching).
+
+use uflip_bench::{mean_ms, prepared_device, HarnessOptions};
+
+use uflip_core::micro::{granularity, MicroConfig};
+use uflip_device::profiles::catalog;
+use uflip_report::ascii_plot::{plot, PlotConfig};
+use uflip_report::csv::to_csv;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let profile = opts
+        .device
+        .as_deref()
+        .and_then(catalog::by_id)
+        .unwrap_or_else(catalog::memoright);
+    let mut dev = prepared_device(&profile, opts.quick);
+    let mut cfg = if opts.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+    cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
+    if !opts.quick {
+        cfg.io_count = 256;
+        cfg.io_count_rw = 512;
+    }
+    println!("Figure 6: granularity, {} (all four baselines)", profile.id);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut rows = Vec::new();
+    for exp in granularity::experiments(&cfg) {
+        let code = exp.name.split('/').next_back().expect("name has /").to_string();
+        let mut pts = Vec::new();
+        for point in &exp.points {
+            // Each point gets its own region to avoid cross-talk.
+            let w = point.workload.relocated(2 * cfg.target_size);
+            let run = w.execute(dev.as_mut()).expect("granularity point");
+            dev.idle(std::time::Duration::from_secs(1));
+            let m = mean_ms(&run.rts);
+            pts.push((point.param / 1024.0, m));
+            rows.push(vec![code.clone(), format!("{}", point.param), format!("{m}")]);
+        }
+        println!("  {code}: {} points", pts.len());
+        series.push((code, pts));
+    }
+    let named: Vec<(&str, &[(f64, f64)])> =
+        series.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
+    let cfg_plot = PlotConfig { log_x: true, log_y: true, ..Default::default() };
+    println!("{}", plot("response time (ms) vs IO size (KB)", &named, &cfg_plot));
+    std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
+    let out = opts.out_dir.join("fig6_granularity_ssd.csv");
+    std::fs::write(&out, to_csv(&["pattern", "io_size", "mean_ms"], &rows)).expect("write CSV");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Figure 8**: "Locality for Samsung, Memoright and
+//! Mtron" — mean random-write response time *relative to sequential
+//! writes* as the target size grows 1–128 MB (log x). Paper shape:
+//! near 1 for small areas, rising to the device's unconstrained
+//! random-write ratio past the locality knee (4–16 MB).
+
+use uflip_bench::{mean_ms, prepared_device, HarnessOptions};
+use uflip_core::executor::execute_run;
+use uflip_device::profiles::catalog;
+use uflip_patterns::PatternSpec;
+use uflip_report::ascii_plot::{plot, PlotConfig};
+use uflip_report::csv::to_csv;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let devices = [catalog::samsung(), catalog::memoright(), catalog::mtron()];
+    let count = if opts.quick { 768 } else { 1536 };
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut rows = Vec::new();
+    println!("Figure 8: locality (RW relative to SW) for Samsung, Memoright, Mtron");
+    for profile in devices {
+        if let Some(only) = &opts.device {
+            if only != profile.id {
+                continue;
+            }
+        }
+        let mut dev = prepared_device(&profile, opts.quick);
+        let window = (128 * 1024 * 1024u64).min(dev.capacity_bytes() / 4);
+        let sw = execute_run(
+            dev.as_mut(),
+            &PatternSpec::baseline_sw(32 * 1024, window, 512).with_target(0, window),
+        )
+        .expect("SW reference");
+        dev.idle(std::time::Duration::from_secs(5));
+        let sw_ms = mean_ms(&sw.rts);
+        let mut pts = Vec::new();
+        let mut t = 1024 * 1024u64;
+        while t <= window {
+            let spec = PatternSpec::baseline_rw(32 * 1024, t, count).with_target(2 * window, t);
+            let run = execute_run(dev.as_mut(), &spec).expect("locality point");
+            dev.idle(std::time::Duration::from_secs(5));
+            let m = mean_ms(&run.rts[count as usize / 4..]);
+            let rel = m / sw_ms;
+            pts.push((t as f64 / (1024.0 * 1024.0), rel));
+            rows.push(vec![
+                profile.id.to_string(),
+                format!("{}", t / (1024 * 1024)),
+                format!("{rel}"),
+            ]);
+            t *= 2;
+        }
+        println!("  {}: {} points, SW = {:.2} ms", profile.id, pts.len(), sw_ms);
+        series.push((profile.id.to_string(), pts));
+    }
+    let named: Vec<(&str, &[(f64, f64)])> =
+        series.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
+    let cfg_plot = PlotConfig { log_x: true, log_y: false, ..Default::default() };
+    println!("{}", plot("RW/SW cost ratio vs TargetSize (MB)", &named, &cfg_plot));
+    std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
+    let out = opts.out_dir.join("fig8_locality.csv");
+    std::fs::write(&out, to_csv(&["device", "target_mb", "rw_over_sw"], &rows))
+        .expect("write CSV");
+    eprintln!("wrote {}", out.display());
+}

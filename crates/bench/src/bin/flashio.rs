@@ -1,0 +1,278 @@
+//! `flashio` — the uFLIP runner, equivalent to the paper's FlashIO
+//! tool (www.uflip.org/flashio.html): run any micro-benchmark, a single
+//! pattern, or the full nine-benchmark plan against a simulated device
+//! or real storage, and archive machine-readable results.
+//!
+//! ```text
+//! flashio list-devices
+//! flashio baselines   --device samsung
+//! flashio micro       --device mtron --bench locality [--quick]
+//! flashio suite       --device kingston-dti --quick
+//! flashio pattern     --device memoright --pattern RW --io-size 32768 --count 1024
+//! flashio wear        --device samsung
+//! flashio suite       --file /dev/sdX --size-mb 1024        # real hardware!
+//! ```
+
+use std::time::Duration;
+use uflip_bench::mean_ms;
+use uflip_core::executor::execute_run;
+use uflip_core::methodology::state::enforce_random_state;
+use uflip_core::micro::{
+    alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
+    MicroConfig,
+};
+use uflip_core::suite::{run_full_suite, SuiteOptions};
+use uflip_core::Experiment;
+use uflip_device::profiles::catalog;
+use uflip_device::{BlockDevice, DirectIoFile};
+use uflip_patterns::PatternSpec;
+use uflip_report::csv::to_csv;
+use uflip_report::wear::WearReport;
+
+struct Cli {
+    command: String,
+    device: Option<String>,
+    file: Option<String>,
+    size_mb: u64,
+    bench: Option<String>,
+    pattern: String,
+    io_size: u64,
+    count: u64,
+    quick: bool,
+    out_dir: std::path::PathBuf,
+}
+
+fn parse() -> Cli {
+    let mut cli = Cli {
+        command: String::new(),
+        device: None,
+        file: None,
+        size_mb: 256,
+        bench: None,
+        pattern: "RW".into(),
+        io_size: 32 * 1024,
+        count: 512,
+        quick: false,
+        out_dir: "results".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    cli.command = args.next().unwrap_or_else(|| "help".into());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--device" => cli.device = args.next(),
+            "--file" => cli.file = args.next(),
+            "--size-mb" => cli.size_mb = args.next().and_then(|s| s.parse().ok()).unwrap_or(256),
+            "--bench" => cli.bench = args.next(),
+            "--pattern" => cli.pattern = args.next().unwrap_or_else(|| "RW".into()),
+            "--io-size" => cli.io_size = args.next().and_then(|s| s.parse().ok()).unwrap_or(32768),
+            "--count" => cli.count = args.next().and_then(|s| s.parse().ok()).unwrap_or(512),
+            "--quick" => cli.quick = true,
+            "--out" => {
+                if let Some(d) = args.next() {
+                    cli.out_dir = d.into();
+                }
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    cli
+}
+
+fn open_device(cli: &Cli) -> Box<dyn BlockDevice> {
+    if let Some(path) = &cli.file {
+        let dev = DirectIoFile::open(std::path::Path::new(path), cli.size_mb * 1024 * 1024)
+            .unwrap_or_else(|e| {
+                eprintln!("O_DIRECT open failed ({e}); using buffered IO");
+                DirectIoFile::open_buffered(
+                    std::path::Path::new(path),
+                    cli.size_mb * 1024 * 1024,
+                )
+                .expect("buffered open")
+            });
+        Box::new(dev)
+    } else {
+        let id = cli.device.as_deref().unwrap_or("samsung");
+        let profile = catalog::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown device '{id}', using samsung");
+            catalog::samsung()
+        });
+        profile.build_sim(0xF11B)
+    }
+}
+
+fn micro_experiments(name: &str, cfg: &MicroConfig) -> Option<Vec<Experiment>> {
+    Some(match name {
+        "granularity" => granularity::experiments(cfg),
+        "alignment" => alignment::experiments(cfg),
+        "locality" => locality::experiments(cfg),
+        "partitioning" => partitioning::experiments(cfg),
+        "order" => order::experiments(cfg),
+        "parallelism" => parallelism::experiments(cfg),
+        "mix" => mix::experiments(cfg),
+        "pause" => pause::experiments(cfg),
+        "bursts" => bursts::experiments(cfg),
+        _ => return None,
+    })
+}
+
+fn prepare(dev: &mut dyn BlockDevice, quick: bool) {
+    let coverage = if quick { 1.5 } else { 2.0 };
+    enforce_random_state(dev, 128 * 1024, coverage, 0xF11B).expect("state enforcement");
+    dev.idle(Duration::from_secs(5));
+}
+
+fn main() {
+    let cli = parse();
+    match cli.command.as_str() {
+        "list-devices" => {
+            for p in catalog::all() {
+                println!(
+                    "{:<18} {:<10} {:<18} {:<10} {:>6} MB sim  {}",
+                    p.id,
+                    p.brand,
+                    p.model,
+                    p.kind.label(),
+                    p.sim_capacity_bytes() / (1024 * 1024),
+                    p.ftl_family()
+                );
+            }
+        }
+        "baselines" => {
+            let mut dev = open_device(&cli);
+            prepare(dev.as_mut(), cli.quick);
+            let window = dev.capacity_bytes() / 4;
+            let count = if cli.quick { 192 } else { 1024 };
+            for (name, spec) in [
+                ("SR", PatternSpec::baseline_sr(cli.io_size, window, count)),
+                ("RR", PatternSpec::baseline_rr(cli.io_size, window, count)),
+                (
+                    "SW",
+                    PatternSpec::baseline_sw(cli.io_size, window, count).with_target(window, window),
+                ),
+                (
+                    "RW",
+                    PatternSpec::baseline_rw(cli.io_size, window, count)
+                        .with_target(2 * window, window),
+                ),
+            ] {
+                let run = execute_run(dev.as_mut(), &spec).expect("run");
+                dev.idle(Duration::from_secs(5));
+                println!("{name}: mean {:.3} ms over {} IOs", mean_ms(&run.rts), run.len());
+            }
+        }
+        "micro" => {
+            let bench = cli.bench.clone().unwrap_or_else(|| "locality".into());
+            let mut cfg = if cli.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+            let mut dev = open_device(&cli);
+            cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
+            let Some(exps) = micro_experiments(&bench, &cfg) else {
+                eprintln!("unknown micro-benchmark '{bench}'");
+                std::process::exit(2);
+            };
+            prepare(dev.as_mut(), cli.quick);
+            let mut rows = Vec::new();
+            for e in exps {
+                let result = e.run(dev.as_mut(), Duration::from_secs(5)).expect("experiment");
+                for (param, mean) in result.mean_series() {
+                    println!("{:<24} {:>14} {:>10.3} ms", result.name, param, mean);
+                    rows.push(vec![result.name.clone(), format!("{param}"), format!("{mean}")]);
+                }
+            }
+            std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
+            let out = cli.out_dir.join(format!("micro_{bench}.csv"));
+            std::fs::write(&out, to_csv(&["experiment", "param", "mean_ms"], &rows))
+                .expect("write CSV");
+            eprintln!("wrote {}", out.display());
+        }
+        "suite" => {
+            let mut cfg = if cli.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+            let mut dev = open_device(&cli);
+            cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 8);
+            if cli.quick {
+                cfg.io_count = 48;
+                cfg.io_count_rw = 96;
+            }
+            let opts = SuiteOptions::default();
+            let (plan, result) = run_full_suite(dev.as_mut(), &cfg, &opts).expect("suite");
+            println!(
+                "plan: {} runs, {} state resets; device time {:.1} s",
+                plan.run_count(),
+                result.resets,
+                result.device_time.as_secs_f64()
+            );
+            let mut rows = Vec::new();
+            for p in &result.points {
+                if let Some(s) = p.stats {
+                    rows.push(vec![
+                        p.experiment.clone(),
+                        p.param_label.clone(),
+                        format!("{:.4}", s.mean_ms()),
+                        format!("{:.4}", s.max.as_secs_f64() * 1e3),
+                    ]);
+                }
+            }
+            std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
+            let out = cli.out_dir.join("suite.csv");
+            std::fs::write(&out, to_csv(&["experiment", "param", "mean_ms", "max_ms"], &rows))
+                .expect("write CSV");
+            println!("wrote {} ({} points)", out.display(), rows.len());
+        }
+        "pattern" => {
+            let mut dev = open_device(&cli);
+            prepare(dev.as_mut(), cli.quick);
+            let window = dev.capacity_bytes() / 4;
+            let spec = match cli.pattern.as_str() {
+                "SR" => PatternSpec::baseline_sr(cli.io_size, window, cli.count),
+                "RR" => PatternSpec::baseline_rr(cli.io_size, window, cli.count),
+                "SW" => PatternSpec::baseline_sw(cli.io_size, window, cli.count),
+                "RW" => PatternSpec::baseline_rw(cli.io_size, window, cli.count),
+                other => {
+                    eprintln!("unknown pattern '{other}' (SR|RR|SW|RW)");
+                    std::process::exit(2);
+                }
+            };
+            let run = execute_run(dev.as_mut(), &spec).expect("run");
+            let s = run.summary_all().expect("non-empty");
+            println!(
+                "{}: mean {:.3} ms  min {:.3}  median {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+                cli.pattern,
+                s.mean.as_secs_f64() * 1e3,
+                s.min.as_secs_f64() * 1e3,
+                s.median.as_secs_f64() * 1e3,
+                s.p95.as_secs_f64() * 1e3,
+                s.p99.as_secs_f64() * 1e3,
+                s.max.as_secs_f64() * 1e3
+            );
+        }
+        "wear" => {
+            // White-box analysis — simulated devices only.
+            let id = cli.device.as_deref().unwrap_or("samsung");
+            let profile = catalog::by_id(id).unwrap_or_else(|| catalog::samsung());
+            let mut dev = profile.build_sim(0xF11B);
+            prepare(dev.as_mut(), cli.quick);
+            let window = dev.capacity_bytes() / 4;
+            println!("write amplification per pattern on {id}:");
+            for (name, spec) in [
+                ("SW", PatternSpec::baseline_sw(cli.io_size, window, 256)),
+                (
+                    "RW",
+                    PatternSpec::baseline_rw(cli.io_size, window, 256)
+                        .with_target(window, window),
+                ),
+            ] {
+                let before = WearReport::from_device(&dev);
+                execute_run(dev.as_mut(), &spec).expect("run");
+                dev.idle(Duration::from_secs(5));
+                let delta = WearReport::from_device(&dev).delta(&before);
+                println!("  {name}: {}", delta.row());
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
+                 [--device ID | --file PATH --size-mb N] [--bench NAME] \
+                 [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] [--quick] [--out DIR]"
+            );
+        }
+    }
+}

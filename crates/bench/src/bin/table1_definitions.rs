@@ -1,0 +1,52 @@
+//! Regenerates **Table 1**: the micro-benchmark definitions — the nine
+//! micro-benchmarks, their varying parameters and sweep ranges, and a
+//! worked example of each pattern's first IOs, generated from the same
+//! code the harness executes (so the printed table cannot drift from
+//! the implementation).
+
+use uflip_core::micro::{
+    alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
+    MicroConfig,
+};
+use uflip_core::Workload;
+
+fn show(name: &str, varying: &str, experiments: &[uflip_core::Experiment]) {
+    let points: usize = experiments.iter().map(|e| e.points.len()).sum();
+    let range: Vec<&str> = experiments
+        .first()
+        .map(|e| e.points.iter().map(|p| p.param_label.as_str()).collect())
+        .unwrap_or_default();
+    println!("\n{name} — varying {varying}; {} experiments x {points} total points", experiments.len());
+    println!("  range: {}", range.join(", "));
+    if let Some(point) = experiments.first().and_then(|e| e.points.first()) {
+        let ios: Vec<String> = match &point.workload {
+            Workload::Basic(s) => s.iter().take(4).map(|io| format!("@{}", io.offset)).collect(),
+            Workload::Mixed(m) => {
+                m.iter().take(4).map(|io| format!("p{}@{}", io.process, io.offset)).collect()
+            }
+            Workload::Parallel(p) => {
+                p.iter().take(4).map(|io| format!("p{}@{}", io.process, io.offset)).collect()
+            }
+        };
+        println!("  first IOs of '{}': {}", point.workload.label(), ios.join(" "));
+    }
+}
+
+fn main() {
+    let cfg = MicroConfig::paper_ssd();
+    println!("Table 1: micro-benchmark definitions (regenerated from the pattern code)");
+    println!(
+        "baselines: SR RR SW RW — consecutive timing, IOSize {} KB, TargetSize {} MB",
+        cfg.io_size / 1024,
+        cfg.target_size / (1024 * 1024)
+    );
+    show("1. Granularity", "IOSize", &granularity::experiments(&cfg));
+    show("2. Alignment", "IOShift", &alignment::experiments(&cfg));
+    show("3. Locality", "TargetSize", &locality::experiments(&cfg));
+    show("4. Partitioning", "Partitions", &partitioning::experiments(&cfg));
+    show("5. Order", "Incr", &order::experiments(&cfg));
+    show("6. Parallelism", "ParallelDegree", &parallelism::experiments(&cfg));
+    show("7. Mix", "Ratio", &mix::experiments(&cfg));
+    show("8. Pause", "Pause", &pause::experiments(&cfg));
+    show("9. Bursts", "Burst", &bursts::experiments(&cfg));
+}

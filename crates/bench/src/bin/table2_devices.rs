@@ -1,0 +1,26 @@
+//! Regenerates **Table 2**: the device catalogue — brand, model, type,
+//! marketed capacity and 2008 price for the eleven devices, plus our
+//! simulation's FTL family and scaled capacity for each.
+
+use uflip_device::profiles::catalog;
+
+fn main() {
+    println!("Table 2: Selected flash devices (→ = presented in the paper's results)");
+    println!(
+        "{:<2} {:<10} {:<18} {:<10} {:>7} {:>6}   {:<10} {:>9}",
+        "", "Brand", "Model", "Type", "Size", "Price", "FTL model", "Sim size"
+    );
+    for p in catalog::all() {
+        println!(
+            "{:<2} {:<10} {:<18} {:<10} {:>7} {:>5}$   {:<10} {:>6} MB",
+            if p.representative { "->" } else { "" },
+            p.brand,
+            p.model,
+            p.kind.label(),
+            p.marketed,
+            p.price_usd,
+            p.ftl_family(),
+            p.sim_capacity_bytes() / (1024 * 1024),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table 3** (result summary): the key characteristics of
+//! the seven representative devices — basic pattern costs at 32 KB,
+//! pause effect, locality area, partitioning limit, and the ordered
+//! pattern ratios.
+//!
+//! ```text
+//! cargo run --release -p uflip-bench --bin table3_summary [--quick]
+//! ```
+
+use uflip_bench::HarnessOptions;
+use uflip_core::methodology::state::enforce_random_state;
+use uflip_device::profiles::catalog;
+use uflip_report::json::write_json;
+use uflip_report::summary::{characterize, CharacterizeConfig, DeviceSummary};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let mut cfg = if opts.quick {
+        CharacterizeConfig::quick()
+    } else {
+        CharacterizeConfig::paper()
+    };
+    // The harness enforces state itself so the summary can reuse the
+    // device; keep characterize's own enforcement on (single pass).
+    cfg.enforce_state = false;
+
+    let devices = catalog::representative();
+    println!("Table 3: Result summary (simulated devices; paper values in EXPERIMENTS.md)");
+    println!("{}", DeviceSummary::table3_header());
+    let mut summaries = Vec::new();
+    for profile in devices {
+        if let Some(only) = &opts.device {
+            if only != profile.id {
+                continue;
+            }
+        }
+        let mut dev = profile.build_sim(0xF11B);
+        enforce_random_state(dev.as_mut(), 128 * 1024, cfg.state_coverage, cfg.seed)
+            .expect("state enforcement");
+        uflip_device::BlockDevice::idle(dev.as_mut(), std::time::Duration::from_secs(5));
+        let summary = characterize(dev.as_mut(), &cfg).expect("characterization");
+        println!("{}", summary.table3_row());
+        summaries.push(summary);
+    }
+    let out = opts.out_dir.join("table3_summary.json");
+    write_json(&summaries, &out).expect("write summary JSON");
+    eprintln!("wrote {}", out.display());
+}

@@ -1,0 +1,99 @@
+//! # uflip-bench — harness shared by the figure/table binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). This library holds the
+//! plumbing they share: argument parsing, output directories, and the
+//! standard preparation sequence (state enforcement + settle) of §4.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use uflip_core::methodology::state::enforce_random_state;
+use uflip_device::{BlockDevice, DeviceProfile};
+
+/// Common CLI options for the figure/table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Output directory for CSV/JSON artifacts (default `results/`).
+    pub out_dir: PathBuf,
+    /// Quick mode: reduced IO counts for smoke runs.
+    pub quick: bool,
+    /// Restrict to one device id (default: the binary's own set).
+    pub device: Option<String>,
+}
+
+impl HarnessOptions {
+    /// Parse from `std::env::args` (flags: `--out DIR`, `--quick`,
+    /// `--device ID`).
+    pub fn from_args() -> Self {
+        let mut out = HarnessOptions {
+            out_dir: PathBuf::from("results"),
+            quick: false,
+            device: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--out" => {
+                    if let Some(d) = args.next() {
+                        out.out_dir = PathBuf::from(d);
+                    }
+                }
+                "--quick" => out.quick = true,
+                "--device" => out.device = args.next(),
+                "--help" | "-h" => {
+                    eprintln!("flags: --out DIR  --quick  --device ID");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        out
+    }
+}
+
+/// Build a profile's simulated device, enforce the §4.1 random state,
+/// and settle with a long idle — the standard preparation before any
+/// measurement.
+pub fn prepared_device(profile: &DeviceProfile, quick: bool) -> Box<dyn BlockDevice> {
+    let mut dev = profile.build_sim(0xF11B);
+    // Coverage must exceed 1 + over-provisioning for the free pool to
+    // reach its GC watermark (see CharacterizeConfig::paper()).
+    let coverage = if quick { 1.5 } else { 2.0 };
+    enforce_random_state(dev.as_mut(), 128 * 1024, coverage, 0xF11B)
+        .expect("state enforcement cannot fail on a healthy simulated device");
+    dev.idle(Duration::from_secs(5));
+    dev
+}
+
+/// Mean in milliseconds over a slice of response times.
+pub fn mean_ms(rts: &[Duration]) -> f64 {
+    if rts.is_empty() {
+        return 0.0;
+    }
+    rts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rts.len() as f64 * 1e3
+}
+
+/// Milliseconds view of a trace (for plotting).
+pub fn trace_ms(rts: &[Duration]) -> Vec<f64> {
+    rts.iter().map(|d| d.as_secs_f64() * 1e3).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ms_math() {
+        let rts = vec![Duration::from_millis(2), Duration::from_millis(4)];
+        assert!((mean_ms(&rts) - 3.0).abs() < 1e-9);
+        assert_eq!(mean_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn trace_ms_preserves_length() {
+        let rts = vec![Duration::from_micros(500); 7];
+        let t = trace_ms(&rts);
+        assert_eq!(t.len(), 7);
+        assert!((t[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Pattern executors: drive a device with a pattern, capture every IO's
+//! response time.
+//!
+//! Three executors cover the paper's three pattern classes:
+//!
+//! * [`execute_run`] — basic patterns (one process, synchronous IOs;
+//!   the timing function's delays become device idle time);
+//! * [`execute_mixed`] — mixed patterns (the interleaved sequence is
+//!   itself a single synchronous stream, §3.1);
+//! * [`execute_parallel`] — parallel patterns: `ParallelDegree`
+//!   processes each issue their next IO as soon as their previous one
+//!   completes, while the device serves one IO at a time. On the
+//!   simulator this is an exact virtual-time interleaving; response
+//!   times include queueing delay, which is how "parallel execution
+//!   with a high degree can cause multiple sequential write patterns to
+//!   degenerate" (§5.2) and why Hint 7 finds no benefit in concurrency.
+//!
+//! For real devices ([`uflip_device::DirectIoFile`]), parallel patterns
+//! should instead be run with OS threads; [`execute_parallel_threads`]
+//! provides that using scoped threads over per-process device handles.
+
+use crate::run::RunResult;
+use crate::Result;
+use std::time::Duration;
+use uflip_device::BlockDevice;
+use uflip_patterns::{IoRequest, MixSpec, Mode, ParallelSpec, PatternSpec};
+
+fn issue(dev: &mut dyn BlockDevice, io: &IoRequest) -> Result<Duration> {
+    match io.mode {
+        Mode::Read => dev.read(io.offset, io.size),
+        Mode::Write => dev.write(io.offset, io.size),
+    }
+}
+
+/// Execute a basic pattern synchronously. Returns the per-IO trace.
+pub fn execute_run(dev: &mut dyn BlockDevice, spec: &PatternSpec) -> Result<RunResult> {
+    debug_assert!(spec.validate().is_ok(), "invalid spec: {:?}", spec.validate());
+    let start = dev.now();
+    let mut rts = Vec::with_capacity(spec.io_count as usize);
+    for io in spec.iter() {
+        if io.submit_delay > Duration::ZERO {
+            dev.idle(io.submit_delay);
+        }
+        rts.push(issue(dev, &io)?);
+    }
+    Ok(RunResult::new(spec.code(), rts, spec.io_ignore, dev.now() - start))
+}
+
+/// Execute a mixed pattern synchronously. The per-IO trace is returned
+/// together with which sub-pattern each IO belonged to, so analyses can
+/// separate the majority and minority costs.
+pub fn execute_mixed(dev: &mut dyn BlockDevice, mix: &MixSpec) -> Result<(RunResult, Vec<u16>)> {
+    let start = dev.now();
+    let mut rts = Vec::with_capacity(mix.io_count as usize);
+    let mut procs = Vec::with_capacity(mix.io_count as usize);
+    for io in mix.iter() {
+        if io.submit_delay > Duration::ZERO {
+            dev.idle(io.submit_delay);
+        }
+        rts.push(issue(dev, &io)?);
+        procs.push(io.process);
+    }
+    Ok((RunResult::new(mix.name(), rts, 0, dev.now() - start), procs))
+}
+
+/// Execute a parallel pattern on a simulated device using virtual-time
+/// interleaving.
+///
+/// Each process is a synchronous loop: it submits its next IO the
+/// moment its previous IO completes. The device serves IOs one at a
+/// time in submission order. The recorded response time of an IO is
+/// *completion − submission*, i.e. it includes time spent queued behind
+/// other processes' IOs — exactly what a host thread would measure.
+pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
+    let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
+    // Per-process: (ready virtual time, pending IO).
+    let mut ready: Vec<Duration> = vec![dev.now(); streams.len()];
+    let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
+    let mut device_free = dev.now();
+    let mut rts = Vec::new();
+    loop {
+        // Pick the process whose next IO is submitted earliest.
+        let Some(p) = (0..streams.len())
+            .filter(|&p| pending[p].is_some())
+            .min_by_key(|&p| ready[p])
+        else {
+            break;
+        };
+        let io = pending[p].take().expect("selected process has an IO");
+        let submit = ready[p] + io.submit_delay;
+        // If the device sat idle between IOs, let background work run.
+        if submit > device_free {
+            dev.idle(submit - device_free);
+            device_free = submit;
+        }
+        let service = issue(dev, &io)?;
+        let completion = device_free.max(submit) + service;
+        rts.push(completion - submit);
+        device_free = completion;
+        ready[p] = completion;
+        pending[p] = streams[p].next();
+    }
+    let elapsed = device_free;
+    Ok(RunResult::new(par.name(), rts, 0, elapsed))
+}
+
+/// Execute a parallel pattern with real OS threads, one per process,
+/// each driving its own device handle (e.g. separate `O_DIRECT` file
+/// descriptors onto the same block device). Used for real-hardware
+/// measurements where the OS does the interleaving.
+pub fn execute_parallel_threads<F>(
+    make_dev: F,
+    par: &ParallelSpec,
+) -> Result<RunResult>
+where
+    F: Fn(u32) -> Result<Box<dyn BlockDevice + Send>> + Sync,
+{
+    let specs = par.process_specs();
+    let results = parking_lot::Mutex::new(Vec::<Vec<Duration>>::new());
+    let first_err = parking_lot::Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        for (p, spec) in specs.iter().enumerate() {
+            let results = &results;
+            let first_err = &first_err;
+            let make_dev = &make_dev;
+            let spec = *spec;
+            scope.spawn(move |_| {
+                let run = (|| -> Result<Vec<Duration>> {
+                    let mut dev = make_dev(p as u32)?;
+                    let mut rts = Vec::with_capacity(spec.io_count as usize);
+                    for io in spec.iter() {
+                        if io.submit_delay > Duration::ZERO {
+                            dev.idle(io.submit_delay);
+                        }
+                        rts.push(issue(dev.as_mut(), &io)?);
+                    }
+                    Ok(rts)
+                })();
+                match run {
+                    Ok(rts) => results.lock().push(rts),
+                    Err(e) => {
+                        let mut slot = first_err.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("scoped threads do not panic");
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    let mut all: Vec<Duration> = results.into_inner().into_iter().flatten().collect();
+    all.sort_unstable();
+    let elapsed = all.iter().sum();
+    Ok(RunResult::new(par.name(), all, 0, elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_device::MemDevice;
+    use uflip_patterns::{LbaFn, TimingFn};
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    fn dev() -> MemDevice {
+        MemDevice::new(64 * MB, Duration::from_micros(100), 0)
+    }
+
+    #[test]
+    fn basic_run_records_every_io() {
+        let mut d = dev();
+        let spec = PatternSpec::baseline_sr(32 * KB, MB, 50);
+        let run = execute_run(&mut d, &spec).unwrap();
+        assert_eq!(run.len(), 50);
+        assert_eq!(d.reads(), 50);
+        assert!(run.rts.iter().all(|&rt| rt == Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn pause_pattern_extends_elapsed_but_not_response_times() {
+        let mut d = dev();
+        let spec = PatternSpec::baseline_sw(32 * KB, MB, 10)
+            .with_timing(TimingFn::Pause(Duration::from_millis(1)));
+        let run = execute_run(&mut d, &spec).unwrap();
+        assert!(run.rts.iter().all(|&rt| rt == Duration::from_micros(100)));
+        // 10 IOs of 100 µs + 9 pauses of 1 ms.
+        assert_eq!(run.elapsed, Duration::from_micros(10 * 100 + 9000));
+    }
+
+    #[test]
+    fn mixed_run_tags_sub_patterns() {
+        let mut d = dev();
+        let a = PatternSpec::baseline_sr(32 * KB, MB, 1);
+        let b = PatternSpec::baseline_rw(32 * KB, MB, 1).with_target(2 * MB, MB);
+        let mix = MixSpec::new(a, b, 3, 12);
+        let (run, procs) = execute_mixed(&mut d, &mix).unwrap();
+        assert_eq!(run.len(), 12);
+        assert_eq!(procs.iter().filter(|&&p| p == 1).count(), 3, "one write per 3 reads");
+        assert_eq!(d.writes(), 3);
+        assert_eq!(d.reads(), 9);
+    }
+
+    #[test]
+    fn parallel_on_serial_device_adds_queueing_delay() {
+        let mut d = dev();
+        let base = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * KB, 4 * MB, 16);
+        let par = ParallelSpec::new(base, 4);
+        let run = execute_parallel(&mut d, &par).unwrap();
+        assert_eq!(run.len(), 16);
+        // With 4 processes contending for a serial device, most IOs wait
+        // for up to 3 others: mean response ≥ service time.
+        let mean = run.summary_all().unwrap().mean;
+        assert!(
+            mean >= Duration::from_micros(100),
+            "queueing cannot make IOs faster: {mean:?}"
+        );
+        let max = run.summary_all().unwrap().max;
+        assert!(
+            max >= Duration::from_micros(300),
+            "some IO must queue behind ~3 others: {max:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_degree_one_matches_basic_run() {
+        let mut d1 = dev();
+        let mut d2 = dev();
+        let base = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * KB, 4 * MB, 8);
+        let par = ParallelSpec::new(base, 1);
+        let run_par = execute_parallel(&mut d1, &par).unwrap();
+        let run_basic =
+            execute_run(&mut d2, &par.process_specs()[0]).unwrap();
+        assert_eq!(run_par.len(), run_basic.len());
+        assert_eq!(
+            run_par.summary_all().unwrap().mean,
+            run_basic.summary_all().unwrap().mean
+        );
+    }
+
+    #[test]
+    fn parallel_total_work_is_conserved() {
+        let mut d = dev();
+        let base = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * KB, 4 * MB, 32);
+        let par = ParallelSpec::new(base, 4);
+        execute_parallel(&mut d, &par).unwrap();
+        assert_eq!(d.writes(), 32, "every process IO reaches the device");
+    }
+
+    #[test]
+    fn threaded_parallel_collects_all_ios() {
+        let base = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * KB, 4 * MB, 16);
+        let par = ParallelSpec::new(base, 4);
+        let run = execute_parallel_threads(
+            |_p| {
+                Ok(Box::new(MemDevice::new(64 * MB, Duration::from_micros(10), 0))
+                    as Box<dyn BlockDevice + Send>)
+            },
+            &par,
+        )
+        .unwrap();
+        assert_eq!(run.len(), 16);
+    }
+}

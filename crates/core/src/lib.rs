@@ -1,0 +1,46 @@
+//! # uflip-core — the uFLIP benchmark
+//!
+//! The primary contribution of *uFLIP: Understanding Flash IO Patterns*
+//! (CIDR 2009): a component benchmark made of **nine micro-benchmarks**
+//! over IO patterns (§3.2) plus the **benchmarking methodology** that
+//! makes measuring flash devices meaningful (§4).
+//!
+//! ## Structure (mirrors the paper)
+//!
+//! * [`executor`] — runs a pattern against a [`uflip_device::BlockDevice`]
+//!   and records the response time of every IO (design principle 1);
+//!   includes the virtual-time interleaver for parallel patterns and a
+//!   thread-based executor for real devices.
+//! * [`run`] / [`stats`] — runs, experiments and their statistics
+//!   (min / max / mean / standard deviation, computed over the IOs after
+//!   the `IOIgnore` warm-up prefix).
+//! * [`micro`] — the nine micro-benchmarks: Granularity, Alignment,
+//!   Locality, Partitioning, Order, Parallelism, Mix, Pause, Bursts —
+//!   each "a collection of related experiments over the baseline
+//!   patterns" with a single varying parameter.
+//! * [`methodology`] — §4: device-state enforcement (random writes of
+//!   random size over the whole device), start-up/running-phase
+//!   detection and the derivation of `IOIgnore`/`IOCount`, inter-run
+//!   pause calibration (the SR–RW–SR experiment of Figure 5), and
+//!   benchmark plans that group sequential-write experiments and insert
+//!   state resets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod experiment;
+pub mod methodology;
+pub mod micro;
+pub mod run;
+pub mod stats;
+pub mod suite;
+
+pub use executor::{execute_mixed, execute_parallel, execute_run};
+pub use experiment::{Experiment, ExperimentResult, Workload};
+pub use run::RunResult;
+pub use stats::RunStats;
+pub use suite::{execute_plan, full_suite, run_full_suite, SuiteOptions, SuiteResult};
+
+/// Result alias shared with the device layer.
+pub type Result<T> = std::result::Result<T, uflip_device::DeviceError>;

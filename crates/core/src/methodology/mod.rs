@@ -1,0 +1,31 @@
+//! The uFLIP benchmarking methodology (paper §4).
+//!
+//! Measuring flash devices is hard for three reasons the paper spells
+//! out, each addressed by one sub-module:
+//!
+//! * the **device state** determines write costs ([`state`]): uFLIP
+//!   enforces a well-defined initial state by writing the whole device
+//!   with random IOs of random size (§4.1);
+//! * **response time is not uniform in time** ([`phases`]): runs have a
+//!   cheap *start-up phase* followed by an oscillating *running phase*;
+//!   `IOIgnore` must cover the former and `IOCount` enough periods of
+//!   the latter (§4.2);
+//! * **consecutive runs interfere** ([`pause`]): asynchronous
+//!   reclamation triggered by one run can slow the next; the SR–RW–SR
+//!   calibration experiment measures the required inter-run pause
+//!   (§4.3, Figure 5).
+//!
+//! [`plan`] combines the three into a benchmark plan: experiments are
+//! ordered, sequential-write experiments are delayed and grouped onto
+//! disjoint target spaces, and state resets are inserted only when the
+//! accumulated sequential-write footprint exceeds the device (§4.2).
+
+pub mod pause;
+pub mod phases;
+pub mod plan;
+pub mod state;
+
+pub use pause::{calibrate_pause, PauseCalibration};
+pub use phases::{detect_phases, Phases};
+pub use plan::{BenchmarkPlan, PlanStep};
+pub use state::{enforce_random_state, enforce_sequential_state, StateReport};

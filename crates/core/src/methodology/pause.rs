@@ -1,0 +1,112 @@
+//! Inter-run pause calibration (paper §4.3, Figure 5).
+//!
+//! "To evaluate the length of the pause between runs, we rely on the
+//! following experiment. We submit sequential reads, followed by a
+//! batch of random writes, and sequential reads again. We count the
+//! number of sequential reads in the second batch which are affected by
+//! the random writes … we propose to significantly overestimate the
+//! length of the pause."
+
+use crate::executor::execute_run;
+use crate::Result;
+use std::time::Duration;
+use uflip_device::BlockDevice;
+use uflip_patterns::PatternSpec;
+
+/// Result of the SR–RW–SR calibration experiment.
+#[derive(Debug, Clone)]
+pub struct PauseCalibration {
+    /// Baseline sequential-read trace (before the writes).
+    pub sr_before: Vec<Duration>,
+    /// Random-write batch trace.
+    pub rw: Vec<Duration>,
+    /// Sequential-read trace after the writes.
+    pub sr_after: Vec<Duration>,
+    /// Reads in the after-batch slower than the affected threshold.
+    pub affected_reads: usize,
+    /// Wall/virtual time those affected reads lingered for.
+    pub lingering: Duration,
+    /// Recommended inter-run pause (overestimated ×2, floored at 1 s —
+    /// the paper used 5 s for the Mtron and 1 s for everything else).
+    pub recommended_pause: Duration,
+}
+
+/// Run the SR–RW–SR experiment on `dev`.
+///
+/// * `io_size` — IO size for all three batches (32 KB in the paper);
+/// * `sr_count`/`rw_count` — batch lengths (the paper used ≈5000 each,
+///   with 3000+ reads after);
+/// * `target_size` — window for the random writes.
+pub fn calibrate_pause(
+    dev: &mut dyn BlockDevice,
+    io_size: u64,
+    sr_count: u64,
+    rw_count: u64,
+    target_size: u64,
+) -> Result<PauseCalibration> {
+    let sr_spec = PatternSpec::baseline_sr(io_size, sr_count * io_size, sr_count);
+    let rw_spec =
+        PatternSpec::baseline_rw(io_size, target_size, rw_count).with_target(0, target_size);
+    let before = execute_run(dev, &sr_spec)?;
+    let rw = execute_run(dev, &rw_spec)?;
+    let after = execute_run(dev, &sr_spec)?;
+
+    // Affected = slower than 1.5 × the median baseline read.
+    let mut base: Vec<Duration> = before.rts.clone();
+    base.sort_unstable();
+    let median = base[base.len() / 2];
+    let threshold = median + median / 2;
+    // Count the affected prefix: reads recover once reclamation drains,
+    // so we measure how long the lingering lasts from the start.
+    let mut affected = 0;
+    let mut lingering = Duration::ZERO;
+    let mut fast_streak = 0;
+    for &rt in &after.rts {
+        if rt > threshold {
+            affected += 1;
+            lingering += rt;
+            fast_streak = 0;
+        } else if affected > 0 {
+            // The lingering trace oscillates; declare recovery only
+            // after a sustained run of baseline-speed reads.
+            fast_streak += 1;
+            if fast_streak >= 16 {
+                break;
+            }
+        }
+    }
+    let recommended =
+        (lingering * 2).max(Duration::from_secs(1));
+    Ok(PauseCalibration {
+        sr_before: before.rts,
+        rw: rw.rts,
+        sr_after: after.rts,
+        affected_reads: affected,
+        lingering,
+        recommended_pause: recommended,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_device::MemDevice;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn uniform_device_shows_no_lingering() {
+        let mut dev = MemDevice::new(64 * MB, Duration::from_micros(100), 0);
+        let cal = calibrate_pause(&mut dev, 32 * KB, 100, 100, 8 * MB).unwrap();
+        assert_eq!(cal.affected_reads, 0);
+        assert_eq!(cal.lingering, Duration::ZERO);
+        assert_eq!(
+            cal.recommended_pause,
+            Duration::from_secs(1),
+            "conservative 1 s floor (the paper's default)"
+        );
+        assert_eq!(cal.sr_before.len(), 100);
+        assert_eq!(cal.sr_after.len(), 100);
+    }
+}

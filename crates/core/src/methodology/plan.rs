@@ -1,0 +1,223 @@
+//! Benchmark plans (paper §4.2, last paragraph).
+//!
+//! "We define a benchmark plan that defines a sequence of state resets
+//! and micro-benchmarks, where those experiments involving sequential
+//! writes are delayed and grouped together in such a way that their
+//! allocated target space does not overlap, meaning that state resets
+//! are inserted only when the size of the accumulated target space
+//! involved in sequential write patterns is larger than the size of the
+//! flash device. Note that for the large flash devices (32 GB) the
+//! state is in fact never reset."
+//!
+//! The planner takes a list of experiments, splits them into
+//! state-neutral ones (reads and random writes — these do not disturb a
+//! random device state) and sequential-write ones, runs the neutral
+//! ones first, then packs the sequential-write experiments onto
+//! non-overlapping target windows, inserting a state reset each time
+//! the device space is exhausted.
+
+use crate::experiment::{Experiment, ExperimentPoint};
+
+/// One step of a benchmark plan.
+#[derive(Debug, Clone)]
+pub enum PlanStep {
+    /// Re-enforce the random device state (§4.1).
+    ResetState,
+    /// Wait for the calibrated inter-run pause.
+    Pause,
+    /// Run one experiment point (experiment index, point index,
+    /// relocated workload offset).
+    Run {
+        /// Index into the planned experiment list.
+        experiment: usize,
+        /// Index of the point within the experiment.
+        point: usize,
+        /// Target offset assigned by the allocator.
+        offset: u64,
+    },
+}
+
+/// A complete benchmark plan over a set of experiments.
+#[derive(Debug, Clone)]
+pub struct BenchmarkPlan {
+    /// The experiments the plan schedules (in the caller's order).
+    pub experiments: Vec<Experiment>,
+    /// The ordered steps.
+    pub steps: Vec<PlanStep>,
+    /// Number of state resets in the plan.
+    pub resets: usize,
+}
+
+impl BenchmarkPlan {
+    /// Build a plan for `experiments` on a device of `capacity` bytes.
+    ///
+    /// Placement rules:
+    /// * state-neutral points keep their own target offsets (they are
+    ///   confined windows that do not disturb the random state);
+    /// * sequential-write points are delayed to the end, packed onto
+    ///   disjoint windows from offset 0 upward; when the next window
+    ///   would exceed the capacity, a [`PlanStep::ResetState`] is
+    ///   emitted and packing restarts at offset 0.
+    pub fn build(experiments: Vec<Experiment>, capacity: u64) -> BenchmarkPlan {
+        let mut steps = Vec::new();
+        let mut resets = 0;
+
+        let is_seq_write = |p: &ExperimentPoint| p.workload.uses_sequential_writes();
+
+        // Phase 1: state-neutral experiments, in order.
+        for (ei, e) in experiments.iter().enumerate() {
+            for (pi, p) in e.points.iter().enumerate() {
+                if !is_seq_write(p) {
+                    steps.push(PlanStep::Run {
+                        experiment: ei,
+                        point: pi,
+                        offset: match &p.workload {
+                            crate::experiment::Workload::Basic(s) => s.target_offset,
+                            crate::experiment::Workload::Mixed(m) => m.a.target_offset,
+                            crate::experiment::Workload::Parallel(pp) => pp.base.target_offset,
+                        },
+                    });
+                    steps.push(PlanStep::Pause);
+                }
+            }
+        }
+
+        // Phase 2: sequential-write experiments, packed onto disjoint
+        // windows.
+        let mut cursor = 0u64;
+        for (ei, e) in experiments.iter().enumerate() {
+            for (pi, p) in e.points.iter().enumerate() {
+                if is_seq_write(p) {
+                    let span = p.workload.target_span().max(1);
+                    if cursor + span > capacity {
+                        steps.push(PlanStep::ResetState);
+                        resets += 1;
+                        cursor = 0;
+                    }
+                    steps.push(PlanStep::Run { experiment: ei, point: pi, offset: cursor });
+                    steps.push(PlanStep::Pause);
+                    cursor += span;
+                }
+            }
+        }
+
+        BenchmarkPlan { experiments, steps, resets }
+    }
+
+    /// Number of run steps.
+    pub fn run_count(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, PlanStep::Run { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Workload;
+    use uflip_patterns::PatternSpec;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    fn point(spec: PatternSpec, label: &str) -> ExperimentPoint {
+        ExperimentPoint {
+            param: 0.0,
+            param_label: label.to_string(),
+            workload: Workload::Basic(spec),
+        }
+    }
+
+    fn experiments() -> Vec<Experiment> {
+        vec![
+            Experiment {
+                name: "reads".into(),
+                varying: "IOSize",
+                points: vec![
+                    point(PatternSpec::baseline_sr(32 * KB, MB, 4), "sr"),
+                    point(PatternSpec::baseline_rw(32 * KB, MB, 4), "rw"),
+                ],
+            },
+            Experiment {
+                name: "writes".into(),
+                varying: "IOSize",
+                points: vec![
+                    point(PatternSpec::baseline_sw(32 * KB, 3 * MB, 4), "sw1"),
+                    point(PatternSpec::baseline_sw(32 * KB, 3 * MB, 4), "sw2"),
+                    point(PatternSpec::baseline_sw(32 * KB, 3 * MB, 4), "sw3"),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn neutral_points_run_first() {
+        let plan = BenchmarkPlan::build(experiments(), 8 * MB);
+        let runs: Vec<(usize, usize)> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Run { experiment, point, .. } => Some((*experiment, *point)),
+                _ => None,
+            })
+            .collect();
+        // SR and RW (experiment 0) come before the SW points (exp 1).
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[1].0, 0);
+        assert!(runs[2..].iter().all(|&(e, _)| e == 1));
+        assert_eq!(plan.run_count(), 5);
+    }
+
+    #[test]
+    fn sequential_writes_get_disjoint_windows() {
+        let plan = BenchmarkPlan::build(experiments(), 16 * MB);
+        let offsets: Vec<u64> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Run { experiment: 1, offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offsets, vec![0, 3 * MB, 6 * MB]);
+        assert_eq!(plan.resets, 0, "16 MB fits all three 3 MB windows");
+    }
+
+    #[test]
+    fn reset_inserted_when_space_exhausted() {
+        // 7 MB capacity: two 3 MB windows fit, the third forces a reset.
+        let plan = BenchmarkPlan::build(experiments(), 7 * MB);
+        assert_eq!(plan.resets, 1);
+        let reset_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlanStep::ResetState))
+            .expect("reset present");
+        // The reset happens before the last SW run.
+        let last_run = plan
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, PlanStep::Run { .. }))
+            .unwrap();
+        assert!(reset_pos < last_run);
+    }
+
+    #[test]
+    fn large_devices_never_reset() {
+        // Mirrors the paper's note about 32 GB devices.
+        let plan = BenchmarkPlan::build(experiments(), 1024 * MB);
+        assert_eq!(plan.resets, 0);
+    }
+
+    #[test]
+    fn every_run_is_followed_by_a_pause() {
+        let plan = BenchmarkPlan::build(experiments(), 16 * MB);
+        for (i, s) in plan.steps.iter().enumerate() {
+            if matches!(s, PlanStep::Run { .. }) {
+                assert!(
+                    matches!(plan.steps.get(i + 1), Some(PlanStep::Pause)),
+                    "run at step {i} lacks a trailing pause"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Device-state enforcement (paper §4.1).
+//!
+//! "We propose to enforce an initial state for the benchmark by
+//! performing random IOs of random size (ranging from 0.5 KB to the
+//! flash block size, 128 KB) on the whole device." The rationale: after
+//! writing the whole device, both FTL maps are filled and well-defined;
+//! a random state is also *stable*, because only sequential writes
+//! disturb it significantly.
+//!
+//! The alternative — a complete sequential rewrite — is faster but
+//! less stable; [`enforce_sequential_state`] implements it for the
+//! ablation bench that reproduces the §4.1/§5.1 comparison (including
+//! the Samsung out-of-the-box anomaly).
+
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use uflip_device::BlockDevice;
+
+/// Outcome of a state-enforcement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateReport {
+    /// IOs issued.
+    pub ios: u64,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Device time consumed (the paper reports 5 h for the Memoright up
+    /// to 35 days for the Corsair — on the simulator this is virtual).
+    pub device_time: Duration,
+}
+
+/// Write the whole device with random IOs of random size (0.5 KB up to
+/// `max_io_bytes`, the flash-block size — 128 KB in the paper), until
+/// the cumulative volume reaches `coverage` × capacity.
+pub fn enforce_random_state(
+    dev: &mut dyn BlockDevice,
+    max_io_bytes: u64,
+    coverage: f64,
+    seed: u64,
+) -> Result<StateReport> {
+    let capacity = dev.capacity_bytes();
+    let goal = (capacity as f64 * coverage) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_sectors = (max_io_bytes / 512).max(1);
+    let t0 = dev.now();
+    let mut written = 0u64;
+    let mut ios = 0u64;
+    while written < goal {
+        let sectors = rng.gen_range(1..=max_sectors);
+        let len = sectors * 512;
+        let max_off_sectors = (capacity - len) / 512;
+        let offset = rng.gen_range(0..=max_off_sectors) * 512;
+        dev.write(offset, len)?;
+        written += len;
+        ios += 1;
+    }
+    Ok(StateReport { ios, bytes: written, device_time: dev.now() - t0 })
+}
+
+/// Sequentially rewrite the whole device with fixed-size IOs — the
+/// faster but less stable alternative state (§4.1).
+pub fn enforce_sequential_state(dev: &mut dyn BlockDevice, io_bytes: u64) -> Result<StateReport> {
+    let capacity = dev.capacity_bytes();
+    let io_bytes = io_bytes.max(512) / 512 * 512;
+    let t0 = dev.now();
+    let mut written = 0u64;
+    let mut ios = 0u64;
+    let mut offset = 0u64;
+    while offset + io_bytes <= capacity {
+        dev.write(offset, io_bytes)?;
+        offset += io_bytes;
+        written += io_bytes;
+        ios += 1;
+    }
+    Ok(StateReport { ios, bytes: written, device_time: dev.now() - t0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_device::MemDevice;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn random_state_covers_the_requested_volume() {
+        let mut dev = MemDevice::new(16 * MB, Duration::from_micros(10), 0);
+        let r = enforce_random_state(&mut dev, 128 * 1024, 1.0, 42).unwrap();
+        assert!(r.bytes >= 16 * MB, "must write at least one capacity's worth");
+        assert!(r.ios > 0);
+        assert!(r.device_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn random_state_is_deterministic_in_io_count() {
+        let mk = || MemDevice::new(4 * MB, Duration::from_micros(1), 0);
+        let mut a = mk();
+        let mut b = mk();
+        let ra = enforce_random_state(&mut a, 128 * 1024, 1.0, 7).unwrap();
+        let rb = enforce_random_state(&mut b, 128 * 1024, 1.0, 7).unwrap();
+        assert_eq!(ra.ios, rb.ios);
+        assert_eq!(ra.bytes, rb.bytes);
+    }
+
+    #[test]
+    fn sequential_state_walks_the_device_once() {
+        let mut dev = MemDevice::new(4 * MB, Duration::from_micros(1), 0);
+        let r = enforce_sequential_state(&mut dev, 128 * 1024).unwrap();
+        assert_eq!(r.bytes, 4 * MB);
+        assert_eq!(r.ios, 32);
+    }
+
+    #[test]
+    fn partial_coverage_for_quick_tests() {
+        let mut dev = MemDevice::new(16 * MB, Duration::from_micros(1), 0);
+        let r = enforce_random_state(&mut dev, 64 * 1024, 0.25, 3).unwrap();
+        assert!(r.bytes >= 4 * MB && r.bytes < 8 * MB);
+    }
+}

@@ -1,0 +1,78 @@
+//! Micro-benchmark 9 — Bursts (`Burst`).
+//!
+//! "This is a variation of the previous micro-benchmark, where the
+//! Pause parameter is set to a fixed length (e.g. 100 msec). The Burst
+//! parameter is then varied to study how potential asynchronous
+//! overhead accumulates in time." (§3.2; Table 1:
+//! `Burst ∈ [2⁰ … 2⁶] × 10`, `Pause = 100 ms`.)
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use std::time::Duration;
+use uflip_patterns::{LbaFn, Mode, TimingFn};
+
+/// The fixed inter-group pause (100 ms, per Table 1's example).
+pub const GROUP_PAUSE: Duration = Duration::from_millis(100);
+
+/// Burst sizes: 10, 20, 40, …, 640.
+pub fn burst_sizes() -> Vec<u32> {
+    (0..=6u32).map(|e| 10 * (1 << e)).collect()
+}
+
+/// Build the four Bursts experiments.
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    let baselines = [
+        (LbaFn::Sequential, Mode::Read, "SR"),
+        (LbaFn::Random, Mode::Read, "RR"),
+        (LbaFn::Sequential, Mode::Write, "SW"),
+        (LbaFn::Random, Mode::Write, "RW"),
+    ];
+    baselines
+        .into_iter()
+        .map(|(lba, mode, code)| Experiment {
+            name: format!("bursts/{code}"),
+            varying: "Burst",
+            points: burst_sizes()
+                .into_iter()
+                .map(|b| ExperimentPoint {
+                    param: f64::from(b),
+                    param_label: format!("burst {b}"),
+                    workload: Workload::Basic(cfg.baseline(lba, mode).with_timing(
+                        TimingFn::Burst { pause: GROUP_PAUSE, burst: b },
+                    )),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_range_matches_table1() {
+        assert_eq!(burst_sizes(), vec![10, 20, 40, 80, 160, 320, 640]);
+    }
+
+    #[test]
+    fn four_experiments_with_burst_timing() {
+        let exps = experiments(&MicroConfig::quick());
+        assert_eq!(exps.len(), 4);
+        for e in &exps {
+            assert_eq!(e.varying, "Burst");
+            for p in &e.points {
+                match &p.workload {
+                    Workload::Basic(s) => {
+                        match s.timing {
+                            TimingFn::Burst { pause, .. } => assert_eq!(pause, GROUP_PAUSE),
+                            _ => panic!("bursts must use burst timing"),
+                        }
+                        s.validate().expect("burst point must validate");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Micro-benchmark 1 — Granularity (`IOSize`).
+//!
+//! "The flash translation layer manages a direct map between blocks and
+//! flash pages, but the granularity at which this mapping takes place
+//! is not documented. The IOSize parameter allows determining whether a
+//! flash device favors a given granularity of IOs." (§3.2)
+//!
+//! Table 1 range: `[2⁰ … 2⁹] × 512 B` (0.5 KB – 256 KB) "plus some
+//! non-powers of 2"; Figures 6/7 plot response time up to 512 KB, so we
+//! extend the sweep one octave and add three non-power-of-two sizes.
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use uflip_patterns::{LbaFn, Mode};
+
+/// IOSize values swept: powers of two 0.5 KB … 512 KB plus non-powers
+/// (1.5 KB, 24 KB, 160 KB) per Table 1's "plus some non-powers of 2".
+pub fn io_sizes() -> Vec<u64> {
+    let mut v: Vec<u64> = (0..=10).map(|e| 512u64 << e).collect();
+    v.extend([3 * 512, 48 * 512, 320 * 512]);
+    v.sort_unstable();
+    v
+}
+
+/// Build the four Granularity experiments (one per baseline pattern).
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    let baselines = [
+        (LbaFn::Sequential, Mode::Read, "SR"),
+        (LbaFn::Random, Mode::Read, "RR"),
+        (LbaFn::Sequential, Mode::Write, "SW"),
+        (LbaFn::Random, Mode::Write, "RW"),
+    ];
+    baselines
+        .into_iter()
+        .map(|(lba, mode, code)| Experiment {
+            name: format!("granularity/{code}"),
+            varying: "IOSize",
+            points: io_sizes()
+                .into_iter()
+                .map(|sz| ExperimentPoint {
+                    param: sz as f64,
+                    param_label: format!("{} KB", sz as f64 / 1024.0),
+                    workload: Workload::Basic(
+                        cfg.baseline(lba, mode).with_io_size(sz),
+                    ),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_experiments_one_per_baseline() {
+        let exps = experiments(&MicroConfig::quick());
+        assert_eq!(exps.len(), 4);
+        let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["granularity/SR", "granularity/RR", "granularity/SW", "granularity/RW"]
+        );
+    }
+
+    #[test]
+    fn sweep_covers_paper_range_with_non_powers() {
+        let sizes = io_sizes();
+        assert!(sizes.contains(&512), "2^0 x 512 B");
+        assert!(sizes.contains(&(256 * 1024)), "2^9 x 512 B");
+        assert!(sizes.contains(&(512 * 1024)), "Figure 6/7 extend to 512 KB");
+        assert!(sizes.contains(&(3 * 512)), "non-power of two present");
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "sweep is ordered");
+    }
+
+    #[test]
+    fn every_point_validates() {
+        for e in experiments(&MicroConfig::quick()) {
+            for p in &e.points {
+                if let Workload::Basic(s) = &p.workload {
+                    s.validate().expect("granularity point must validate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_io_size_varies() {
+        let exps = experiments(&MicroConfig::quick());
+        let e = &exps[2]; // SW
+        let first = match &e.points[0].workload {
+            Workload::Basic(s) => *s,
+            _ => unreachable!(),
+        };
+        for p in &e.points {
+            let s = match &p.workload {
+                Workload::Basic(s) => *s,
+                _ => unreachable!(),
+            };
+            assert_eq!(s.target_size, first.target_size);
+            assert_eq!(s.mode, first.mode);
+            assert_eq!(s.io_shift, 0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Micro-benchmark 3 — Locality (`TargetSize`).
+//!
+//! "We study the impact of locality of the baseline patterns, by
+//! varying TargetSize down to IOSize." (§3.2.) Table 1 sweeps random
+//! patterns over `[2⁰ … 2¹⁶] × IOSize` and sequential ones over
+//! `[2⁰ … 2⁸] × IOSize`; the sequential variant wraps inside the window
+//! (`(i × IOSize) mod TargetSize`).
+//!
+//! This is the micro-benchmark behind Figure 8 and Hint 4 ("Random
+//! writes should be limited to a focused area": 4–16 MB areas make
+//! random writes nearly as cheap as sequential ones).
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::{pow2_sweep, MicroConfig};
+use uflip_patterns::{LbaFn, Mode};
+
+/// Random-pattern target sizes: `[2⁰ … 2^max_exp] × io_size`, capped to
+/// the device budget (`cap`).
+pub fn random_target_sizes(io_size: u64, max_exp: u32, cap: u64) -> Vec<u64> {
+    pow2_sweep(io_size, max_exp).into_iter().filter(|&t| t <= cap).collect()
+}
+
+/// Build the Locality experiments: RR/RW sweep wide, SR/SW sweep narrow.
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    let rand_sizes = random_target_sizes(cfg.io_size, 16, cfg.target_size);
+    let seq_sizes = random_target_sizes(cfg.io_size, 8, cfg.target_size);
+    let mut out = Vec::new();
+    for (lba, mode, code, sizes) in [
+        (LbaFn::Random, Mode::Read, "RR", &rand_sizes),
+        (LbaFn::Random, Mode::Write, "RW", &rand_sizes),
+        (LbaFn::Sequential, Mode::Read, "SR", &seq_sizes),
+        (LbaFn::Sequential, Mode::Write, "SW", &seq_sizes),
+    ] {
+        out.push(Experiment {
+            name: format!("locality/{code}"),
+            varying: "TargetSize",
+            points: sizes
+                .iter()
+                .map(|&t| ExperimentPoint {
+                    param: t as f64,
+                    param_label: format!("{:.2} MB", t as f64 / (1024.0 * 1024.0)),
+                    workload: Workload::Basic(
+                        cfg.baseline(lba, mode).with_target(0, t),
+                    ),
+                })
+                .collect(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_go_down_to_io_size() {
+        let cfg = MicroConfig::quick();
+        let exps = experiments(&cfg);
+        for e in &exps {
+            assert_eq!(e.points[0].param, cfg.io_size as f64, "{}: smallest = IOSize", e.name);
+        }
+    }
+
+    #[test]
+    fn sweep_capped_by_budget() {
+        let sizes = random_target_sizes(32 * 1024, 16, 8 * 1024 * 1024);
+        assert_eq!(*sizes.last().unwrap(), 8 * 1024 * 1024);
+        assert!(sizes.len() > 4);
+    }
+
+    #[test]
+    fn random_sweeps_wider_than_sequential() {
+        let mut cfg = MicroConfig::quick();
+        cfg.target_size = 1 << 31; // uncapped
+        let exps = experiments(&cfg);
+        let rr = &exps[0];
+        let sr = &exps[2];
+        assert!(rr.points.len() > sr.points.len());
+        assert_eq!(rr.points.len(), 17, "2^0..2^16");
+        assert_eq!(sr.points.len(), 9, "2^0..2^8");
+    }
+
+    #[test]
+    fn all_points_validate() {
+        for e in experiments(&MicroConfig::quick()) {
+            for p in &e.points {
+                if let Workload::Basic(s) = &p.workload {
+                    s.validate().expect("locality point must validate");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Micro-benchmark 7 — Mix (`Ratio`).
+//!
+//! "We compose any two baseline patterns, for a total of six
+//! combinations. We vary the ratio to study how such mixes differ from
+//! the baselines." (§3.2; Table 1 lists SR/RR, SR/RW, SR/SW, RR/SW,
+//! RR/RW, SW/RW with `Ratio ∈ [2⁰ … 2⁶]`.)
+//!
+//! §5.2's finding (Hint 6): unlike disks, "the Mix patterns did not
+//! affect significantly the overall cost of the workloads".
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use uflip_patterns::{LbaFn, MixSpec, Mode};
+
+/// The six baseline combinations of Table 1.
+pub fn combos() -> Vec<((LbaFn, Mode), (LbaFn, Mode), &'static str)> {
+    use LbaFn::{Random as R, Sequential as S};
+    use Mode::{Read, Write};
+    vec![
+        ((S, Read), (R, Read), "SR/RR"),
+        ((S, Read), (R, Write), "SR/RW"),
+        ((S, Read), (S, Write), "SR/SW"),
+        ((R, Read), (S, Write), "RR/SW"),
+        ((R, Read), (R, Write), "RR/RW"),
+        ((S, Write), (R, Write), "SW/RW"),
+    ]
+}
+
+/// Ratios swept: 1, 2, 4, …, 64.
+pub fn ratios() -> Vec<u32> {
+    (0..=6u32).map(|e| 1 << e).collect()
+}
+
+/// Build the six Mix experiments. Sub-pattern windows are made disjoint
+/// (the paper directs sequential writes to distinct target spaces,
+/// §4.1).
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    combos()
+        .into_iter()
+        .map(|((lba_a, mode_a), (lba_b, mode_b), code)| Experiment {
+            name: format!("mix/{code}"),
+            varying: "Ratio",
+            points: ratios()
+                .into_iter()
+                .map(|r| {
+                    let a = cfg.baseline(lba_a, mode_a).with_target(0, cfg.target_size / 2);
+                    let b = cfg
+                        .baseline(lba_b, mode_b)
+                        .with_target(cfg.target_size / 2, cfg.target_size / 2);
+                    // Scale the sequence so the minority pattern still
+                    // gets a measurable share (paper §5.1: counts are
+                    // "automatically scaled … for mixed workloads").
+                    let total = cfg.io_count * u64::from(r + 1) / 2;
+                    ExperimentPoint {
+                        param: f64::from(r),
+                        param_label: format!("{r}:1"),
+                        workload: Workload::Mixed(MixSpec::new(a, b, r, total)),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_combinations_as_in_table1() {
+        assert_eq!(combos().len(), 6);
+        let exps = experiments(&MicroConfig::quick());
+        assert_eq!(exps.len(), 6);
+    }
+
+    #[test]
+    fn ratios_match_table1() {
+        assert_eq!(ratios(), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn windows_are_disjoint() {
+        for e in experiments(&MicroConfig::quick()) {
+            for p in &e.points {
+                if let Workload::Mixed(m) = &p.workload {
+                    let a_end = m.a.target_offset + m.a.target_size;
+                    assert!(a_end <= m.b.target_offset, "{}: windows overlap", e.name);
+                    m.validate().expect("mix point must validate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minority_share_grows_with_ratio() {
+        let exps = experiments(&MicroConfig::quick());
+        let io_counts: Vec<u64> = exps[0]
+            .points
+            .iter()
+            .map(|p| match &p.workload {
+                Workload::Mixed(m) => m.io_count,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(
+            io_counts.windows(2).all(|w| w[1] > w[0]),
+            "total IOs scale with the ratio: {io_counts:?}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The nine uFLIP micro-benchmarks (paper §3.2, Table 1).
+//!
+//! Each micro-benchmark is "a collection of related experiments over
+//! the baseline patterns" with a single varying parameter:
+//!
+//! | # | module          | varying parameter  |
+//! |---|-----------------|--------------------|
+//! | 1 | [`granularity`]  | `IOSize`           |
+//! | 2 | [`alignment`]    | `IOShift`          |
+//! | 3 | [`locality`]     | `TargetSize`       |
+//! | 4 | [`partitioning`] | `Partitions`       |
+//! | 5 | [`order`]        | `Incr`             |
+//! | 6 | [`parallelism`]  | `ParallelDegree`   |
+//! | 7 | [`mix`]          | `Ratio`            |
+//! | 8 | [`pause`]        | `Pause`            |
+//! | 9 | [`bursts`]       | `Burst`            |
+//!
+//! All nine honour design principle 3: they are "based on the four
+//! baseline patterns, departing from the baseline patterns only to
+//! accommodate the particular parameter being varied".
+
+pub mod alignment;
+pub mod bursts;
+pub mod granularity;
+pub mod locality;
+pub mod mix;
+pub mod order;
+pub mod parallelism;
+pub mod partitioning;
+pub mod pause;
+
+use uflip_patterns::{LbaFn, Mode, PatternSpec};
+
+/// Shared configuration for generating micro-benchmark experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Fixed IO size for the non-Granularity micro-benchmarks
+    /// (32 KB in the paper's experiments).
+    pub io_size: u64,
+    /// Default target-window size for baseline patterns.
+    pub target_size: u64,
+    /// `IOCount` for read patterns and sequential writes (the paper
+    /// used 1024 for SSDs, 512 for slow devices).
+    pub io_count: u64,
+    /// `IOCount` for random-write patterns (5120 for SSDs — their
+    /// oscillations are larger, §5.1).
+    pub io_count_rw: u64,
+    /// `IOIgnore` for non-random-write patterns.
+    pub io_ignore: u64,
+    /// `IOIgnore` for patterns involving random writes (the Memoright /
+    /// Mtron start-up phase, §5.1: 30 and 128).
+    pub io_ignore_rw: u64,
+    /// Random seed base.
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    /// The paper's SSD settings.
+    pub fn paper_ssd() -> Self {
+        MicroConfig {
+            io_size: 32 * 1024,
+            target_size: 128 * 1024 * 1024,
+            io_count: 1024,
+            io_count_rw: 5120,
+            io_ignore: 0,
+            io_ignore_rw: 128,
+            seed: 0xF11B,
+        }
+    }
+
+    /// The paper's settings for slow/small devices (USB, IDE, SD).
+    pub fn paper_low_end() -> Self {
+        MicroConfig {
+            io_size: 32 * 1024,
+            target_size: 64 * 1024 * 1024,
+            io_count: 512,
+            io_count_rw: 512,
+            io_ignore: 0,
+            io_ignore_rw: 0,
+            seed: 0xF11B,
+        }
+    }
+
+    /// Reduced settings for unit tests and quick sweeps.
+    pub fn quick() -> Self {
+        MicroConfig {
+            io_size: 32 * 1024,
+            target_size: 8 * 1024 * 1024,
+            io_count: 64,
+            io_count_rw: 128,
+            io_ignore: 0,
+            io_ignore_rw: 0,
+            seed: 0xF11B,
+        }
+    }
+
+    /// The four baseline patterns under this configuration.
+    pub fn baselines(&self) -> [PatternSpec; 4] {
+        [
+            self.baseline(LbaFn::Sequential, Mode::Read),
+            self.baseline(LbaFn::Random, Mode::Read),
+            self.baseline(LbaFn::Sequential, Mode::Write),
+            self.baseline(LbaFn::Random, Mode::Write),
+        ]
+    }
+
+    /// One baseline pattern with methodology-derived counts applied.
+    pub fn baseline(&self, lba: LbaFn, mode: Mode) -> PatternSpec {
+        let is_rw = matches!(lba, LbaFn::Random) && mode == Mode::Write;
+        let (count, ignore) = if is_rw {
+            (self.io_count_rw, self.io_ignore_rw)
+        } else {
+            (self.io_count, self.io_ignore)
+        };
+        PatternSpec::baseline(lba, mode, self.io_size, self.target_size, count)
+            .with_counts(count, ignore.min(count.saturating_sub(1)))
+            .with_seed(self.seed)
+    }
+}
+
+/// Standard power-of-two sweep `base × 2^0 … base × 2^max_exp`.
+pub(crate) fn pow2_sweep(base: u64, max_exp: u32) -> Vec<u64> {
+    (0..=max_exp).map(|e| base << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_are_the_papers_four() {
+        let cfg = MicroConfig::quick();
+        let codes: Vec<String> = cfg.baselines().iter().map(|b| b.code()).collect();
+        assert_eq!(codes, vec!["SR", "RR", "SW", "RW"]);
+    }
+
+    #[test]
+    fn random_writes_get_longer_runs_and_ignore() {
+        let cfg = MicroConfig::paper_ssd();
+        let b = cfg.baselines();
+        assert_eq!(b[0].io_count, 1024);
+        assert_eq!(b[3].io_count, 5120);
+        assert_eq!(b[3].io_ignore, 128);
+        assert_eq!(b[0].io_ignore, 0);
+    }
+
+    #[test]
+    fn sweep_generation() {
+        assert_eq!(pow2_sweep(512, 3), vec![512, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn all_baseline_specs_validate() {
+        for cfg in [MicroConfig::paper_ssd(), MicroConfig::paper_low_end(), MicroConfig::quick()] {
+            for b in cfg.baselines() {
+                b.validate().expect("baseline must validate");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Micro-benchmark 5 — Order (`Incr`).
+//!
+//! "The order patterns are another variation on the sequential
+//! patterns, where logical blocks are addressed in a given order …
+//! a reverse pattern (Incr = −1) represents a data structure accessed
+//! in reverse order …, the in-place pattern [Incr = 0] is a
+//! pathological pattern for flash chips, while an increasing LBA
+//! pattern represents the manipulation of a pre-allocated array, filled
+//! by columns or lines." (§3.2; Table 1: `Incr ∈ [−1, 0, 2⁰ … 2⁸]`.)
+//!
+//! Table 3's last three columns come from this micro-benchmark: the
+//! reverse and in-place costs relative to SW, and the large-increment
+//! cost relative to RW.
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use uflip_patterns::{LbaFn, Mode};
+
+/// Increment values: −1, 0, then powers of two 1 … 256.
+pub fn increments() -> Vec<i64> {
+    let mut v = vec![-1i64, 0];
+    v.extend((0..=8).map(|e| 1i64 << e));
+    v
+}
+
+/// Build the Order experiments (sequential read and write variants).
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    [(Mode::Read, "SR"), (Mode::Write, "SW")]
+        .into_iter()
+        .map(|(mode, code)| Experiment {
+            name: format!("order/{code}"),
+            varying: "Incr",
+            points: increments()
+                .into_iter()
+                .map(|incr| ExperimentPoint {
+                    param: incr as f64,
+                    param_label: format!("Incr={incr}"),
+                    workload: Workload::Basic(
+                        cfg.baseline(LbaFn::Sequential, mode)
+                            .with_lba(LbaFn::Ordered { incr }),
+                    ),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_range_matches_table1() {
+        let inc = increments();
+        assert_eq!(inc[0], -1, "reverse pattern");
+        assert_eq!(inc[1], 0, "in-place pattern");
+        assert!(inc.contains(&1) && inc.contains(&256));
+        assert_eq!(inc.len(), 11);
+    }
+
+    #[test]
+    fn in_place_points_pin_a_single_location() {
+        let exps = experiments(&MicroConfig::quick());
+        let point = &exps[1].points[1]; // SW, Incr = 0
+        match &point.workload {
+            Workload::Basic(s) => {
+                let offsets: std::collections::HashSet<u64> =
+                    s.iter().map(|io| io.offset).collect();
+                assert_eq!(offsets.len(), 1, "Incr=0 must stay in place");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reverse_points_descend() {
+        let exps = experiments(&MicroConfig::quick());
+        let point = &exps[1].points[0]; // SW, Incr = -1
+        match &point.workload {
+            Workload::Basic(s) => {
+                let offs: Vec<u64> = s.iter().map(|io| io.offset).skip(1).take(5).collect();
+                for w in offs.windows(2) {
+                    assert!(w[1] < w[0], "offsets must descend: {offs:?}");
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn all_points_validate() {
+        for e in experiments(&MicroConfig::quick()) {
+            for p in &e.points {
+                if let Workload::Basic(s) = &p.workload {
+                    s.validate().expect("order point must validate");
+                }
+            }
+        }
+    }
+}

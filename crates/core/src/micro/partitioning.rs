@@ -1,0 +1,93 @@
+//! Micro-benchmark 4 — Partitioning (`Partitions`).
+//!
+//! "The partitioned patterns are a variation of the sequential baseline
+//! patterns. We divide the target space into Partitions partitions
+//! which are considered in a round robin fashion; within each partition
+//! IOs are performed sequentially. This pattern represents, for
+//! instance, a merge operation of several buckets during external
+//! sort." (§3.2; Table 1: `[2⁰ … 2⁸]`, sequential patterns only.)
+//!
+//! This produces Hint 5: "Sequential writes should be limited to a few
+//! partitions. Concurrent sequential writes to 4–8 different partitions
+//! are acceptable; beyond that performance degrades to random writes."
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use uflip_patterns::{LbaFn, Mode};
+
+/// Partition counts swept: `2⁰ … 2⁸`, limited so each partition holds
+/// at least one IO.
+pub fn partition_counts(cfg: &MicroConfig) -> Vec<u32> {
+    (0..=8u32)
+        .map(|e| 1u32 << e)
+        .filter(|&p| u64::from(p) * cfg.io_size <= cfg.target_size)
+        .collect()
+}
+
+/// Build the Partitioning experiments (sequential read and write).
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    [(Mode::Read, "SR"), (Mode::Write, "SW")]
+        .into_iter()
+        .map(|(mode, code)| Experiment {
+            name: format!("partitioning/{code}"),
+            varying: "Partitions",
+            points: partition_counts(cfg)
+                .into_iter()
+                .map(|p| ExperimentPoint {
+                    param: f64::from(p),
+                    param_label: format!("{p} partitions"),
+                    workload: Workload::Basic(
+                        cfg.baseline(LbaFn::Sequential, mode)
+                            .with_lba(LbaFn::Partitioned { partitions: p }),
+                    ),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_patterns_only() {
+        let exps = experiments(&MicroConfig::quick());
+        assert_eq!(exps.len(), 2, "SR and SW only, per Table 1");
+    }
+
+    #[test]
+    fn counts_are_powers_of_two_up_to_256() {
+        let mut cfg = MicroConfig::quick();
+        cfg.target_size = 1 << 30;
+        let c = partition_counts(&cfg);
+        assert_eq!(c, vec![1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    }
+
+    #[test]
+    fn partition_one_is_the_plain_sequential_pattern() {
+        let exps = experiments(&MicroConfig::quick());
+        match &exps[1].points[0].workload {
+            Workload::Basic(s) => {
+                assert!(matches!(s.lba, LbaFn::Partitioned { partitions: 1 }));
+                // Partitioned(1) must generate the same offsets as Sequential.
+                let seq = s.with_lba(LbaFn::Sequential);
+                let a: Vec<u64> = s.iter().map(|io| io.offset).collect();
+                let b: Vec<u64> = seq.iter().map(|io| io.offset).collect();
+                assert_eq!(a, b);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn all_points_validate() {
+        for e in experiments(&MicroConfig::quick()) {
+            for p in &e.points {
+                if let Workload::Basic(s) = &p.workload {
+                    s.validate().expect("partitioning point must validate");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Micro-benchmark 8 — Pause (`Pause`).
+//!
+//! "This is a variation of the baseline patterns, where IOs are not
+//! contiguous in time. We use the pause function and vary the Pause
+//! parameter to observe whether potential asynchronous operations from
+//! the flash device block manager impact performance." (§3.2;
+//! Table 1: `[2⁰ … 2⁸] × 0.1 ms`.)
+//!
+//! Table 3 column 5: on the high-end SSDs a pause equal to the average
+//! random-write time makes random writes behave like sequential ones —
+//! but total workload time is unchanged (Hint 7).
+
+use crate::experiment::{Experiment, ExperimentPoint, Workload};
+use crate::micro::MicroConfig;
+use std::time::Duration;
+use uflip_patterns::{LbaFn, Mode, TimingFn};
+
+/// Pause values: `2⁰ … 2⁸ × 0.1 ms` (0.1 ms – 25.6 ms).
+pub fn pauses() -> Vec<Duration> {
+    (0..=8u32).map(|e| Duration::from_micros(100) * (1 << e)).collect()
+}
+
+/// Build the four Pause experiments.
+pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
+    let baselines = [
+        (LbaFn::Sequential, Mode::Read, "SR"),
+        (LbaFn::Random, Mode::Read, "RR"),
+        (LbaFn::Sequential, Mode::Write, "SW"),
+        (LbaFn::Random, Mode::Write, "RW"),
+    ];
+    baselines
+        .into_iter()
+        .map(|(lba, mode, code)| Experiment {
+            name: format!("pause/{code}"),
+            varying: "Pause",
+            points: pauses()
+                .into_iter()
+                .map(|p| ExperimentPoint {
+                    param: p.as_secs_f64() * 1e3,
+                    param_label: format!("{:.1} ms", p.as_secs_f64() * 1e3),
+                    workload: Workload::Basic(
+                        cfg.baseline(lba, mode).with_timing(TimingFn::Pause(p)),
+                    ),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_range_matches_table1() {
+        let p = pauses();
+        assert_eq!(p[0], Duration::from_micros(100));
+        assert_eq!(*p.last().unwrap(), Duration::from_micros(25_600));
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn four_experiments_with_pause_timing() {
+        let exps = experiments(&MicroConfig::quick());
+        assert_eq!(exps.len(), 4);
+        for e in &exps {
+            for p in &e.points {
+                match &p.workload {
+                    Workload::Basic(s) => {
+                        assert!(matches!(s.timing, TimingFn::Pause(_)));
+                        s.validate().expect("pause point must validate");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}

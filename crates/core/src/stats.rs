@@ -1,0 +1,155 @@
+//! Run statistics: the paper's per-run summary (min, max, mean,
+//! standard deviation) plus percentiles for richer analysis.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Summary statistics over the response times of one run.
+///
+/// §3.2, design principle 1: "For each run, we measure and record the
+/// response time for individual IOs and compute statistics (min, max,
+/// mean, standard deviation) to summarize it."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// IOs summarized (after the IOIgnore prefix).
+    pub count: u64,
+    /// Minimum response time.
+    pub min: Duration,
+    /// Maximum response time.
+    pub max: Duration,
+    /// Arithmetic mean response time.
+    pub mean: Duration,
+    /// Population standard deviation.
+    pub stddev: Duration,
+    /// Median (p50).
+    pub median: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Sum of all response times (total device busy time).
+    pub total: Duration,
+}
+
+impl RunStats {
+    /// Compute statistics over a slice of response times. Returns `None`
+    /// for an empty slice.
+    pub fn from_rts(rts: &[Duration]) -> Option<RunStats> {
+        if rts.is_empty() {
+            return None;
+        }
+        let n = rts.len() as u64;
+        let mut sorted: Vec<u64> = rts.iter().map(|d| d.as_nanos() as u64).collect();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|&x| x as u128).sum();
+        let mean = (total / n as u128) as u64;
+        let var: u128 = sorted
+            .iter()
+            .map(|&x| {
+                let d = x as i128 - mean as i128;
+                (d * d) as u128
+            })
+            .sum::<u128>()
+            / n as u128;
+        let stddev = (var as f64).sqrt() as u64;
+        let pct = |p: f64| -> u64 {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        Some(RunStats {
+            count: n,
+            min: Duration::from_nanos(sorted[0]),
+            max: Duration::from_nanos(*sorted.last().expect("non-empty")),
+            mean: Duration::from_nanos(mean),
+            stddev: Duration::from_nanos(stddev),
+            median: Duration::from_nanos(pct(0.5)),
+            p95: Duration::from_nanos(pct(0.95)),
+            p99: Duration::from_nanos(pct(0.99)),
+            total: Duration::from_nanos(total as u64),
+        })
+    }
+
+    /// Mean in milliseconds (the paper's reporting unit).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Max ÷ min ratio — a quick oscillation indicator.
+    pub fn spread(&self) -> f64 {
+        if self.min.is_zero() {
+            return f64::INFINITY;
+        }
+        self.max.as_secs_f64() / self.min.as_secs_f64()
+    }
+
+    /// Coefficient of variation (stddev ÷ mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean.is_zero() {
+            return 0.0;
+        }
+        self.stddev.as_secs_f64() / self.mean.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_slice_has_no_stats() {
+        assert!(RunStats::from_rts(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = RunStats::from_rts(&[ms(5)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, ms(5));
+        assert_eq!(s.max, ms(5));
+        assert_eq!(s.mean, ms(5));
+        assert_eq!(s.stddev, Duration::ZERO);
+        assert_eq!(s.median, ms(5));
+    }
+
+    #[test]
+    fn known_distribution() {
+        let rts = vec![ms(1), ms(2), ms(3), ms(4)];
+        let s = RunStats::from_rts(&rts).unwrap();
+        assert_eq!(s.mean, Duration::from_micros(2500));
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(4));
+        assert_eq!(s.total, ms(10));
+        // population stddev of 1..4 = sqrt(1.25) ms ≈ 1.118 ms
+        let sd = s.stddev.as_secs_f64();
+        assert!((sd - 0.001_118).abs() < 1e-5, "stddev {sd}");
+    }
+
+    #[test]
+    fn percentiles_on_ordered_data() {
+        let rts: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = RunStats::from_rts(&rts).unwrap();
+        // indices: median → round(99×0.5)=50 → value 51;
+        // p95 → round(99×0.95)=94 → value 95; p99 → round(99×0.99)=98 → 99.
+        assert_eq!(s.median, ms(51));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = RunStats::from_rts(&[ms(3), ms(1), ms(2)]).unwrap();
+        let b = RunStats::from_rts(&[ms(1), ms(2), ms(3)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_and_cv() {
+        let s = RunStats::from_rts(&[ms(1), ms(10)]).unwrap();
+        assert!((s.spread() - 10.0).abs() < 1e-9);
+        assert!(s.cv() > 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The full uFLIP suite: all nine micro-benchmarks as one benchmark
+//! plan, plus the plan executor that applies the §4 methodology
+//! (state resets, inter-run pauses, target-space packing) while
+//! running it.
+//!
+//! This is the equivalent of the paper's FlashIO "benchmark plan"
+//! execution mode: point it at a device and it produces every
+//! experiment's statistics in one pass, suitable for JSON archival
+//! (uflip.org published exactly such result sets).
+
+use crate::experiment::Experiment;
+use crate::methodology::plan::{BenchmarkPlan, PlanStep};
+use crate::methodology::state::enforce_random_state;
+use crate::micro::{
+    alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
+    MicroConfig,
+};
+use crate::run::RunResult;
+use crate::stats::RunStats;
+use crate::Result;
+use std::time::Duration;
+use uflip_device::BlockDevice;
+
+/// All nine micro-benchmarks under one configuration, in the paper's
+/// presentation order (location parameters, then parallel/mixed, then
+/// timing parameters — §3.2).
+pub fn full_suite(cfg: &MicroConfig) -> Vec<Experiment> {
+    let mut all = Vec::new();
+    all.extend(granularity::experiments(cfg));
+    all.extend(alignment::experiments(cfg));
+    all.extend(locality::experiments(cfg));
+    all.extend(partitioning::experiments(cfg));
+    all.extend(order::experiments(cfg));
+    all.extend(parallelism::experiments(cfg));
+    all.extend(mix::experiments(cfg));
+    all.extend(pause::experiments(cfg));
+    all.extend(bursts::experiments(cfg));
+    all
+}
+
+/// Execution options for a benchmark plan.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteOptions {
+    /// Inter-run pause (§4.3; calibrate with
+    /// [`crate::methodology::pause::calibrate_pause`]).
+    pub inter_run_pause: Duration,
+    /// Enforce the random state before the first run and at every
+    /// [`PlanStep::ResetState`].
+    pub enforce_state: bool,
+    /// Coverage multiple for state enforcement (≥ 1 + over-provisioning
+    /// so the pools reach steady state; see CharacterizeConfig).
+    pub state_coverage: f64,
+    /// Seed for state enforcement.
+    pub seed: u64,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            inter_run_pause: Duration::from_secs(5),
+            enforce_state: true,
+            state_coverage: 2.0,
+            seed: 0xF11B,
+        }
+    }
+}
+
+/// One executed plan step's outcome.
+#[derive(Debug, Clone)]
+pub struct SuitePointResult {
+    /// Experiment name (e.g. `locality/RW`).
+    pub experiment: String,
+    /// Varying parameter name.
+    pub varying: &'static str,
+    /// Parameter value at this point.
+    pub param: f64,
+    /// Parameter label.
+    pub param_label: String,
+    /// Workload label.
+    pub workload: String,
+    /// Summary statistics over the running phase.
+    pub stats: Option<RunStats>,
+}
+
+/// The outcome of running a whole plan.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Per-point results in execution order.
+    pub points: Vec<SuitePointResult>,
+    /// State resets performed.
+    pub resets: usize,
+    /// Total device time consumed.
+    pub device_time: Duration,
+}
+
+impl SuiteResult {
+    /// Collect the results of one experiment back into sweep order.
+    pub fn experiment(&self, name: &str) -> Vec<&SuitePointResult> {
+        let mut pts: Vec<&SuitePointResult> =
+            self.points.iter().filter(|p| p.experiment == name).collect();
+        pts.sort_by(|a, b| a.param.total_cmp(&b.param));
+        pts
+    }
+
+    /// Reconstruct `(param, mean ms)` series per experiment.
+    pub fn mean_series(&self, name: &str) -> Vec<(f64, f64)> {
+        self.experiment(name)
+            .iter()
+            .filter_map(|p| p.stats.map(|s| (p.param, s.mean_ms())))
+            .collect()
+    }
+}
+
+/// Execute a benchmark plan against a device, honouring resets and
+/// pauses. Workloads are relocated to the offsets the plan allocated.
+pub fn execute_plan(
+    dev: &mut dyn BlockDevice,
+    plan: &BenchmarkPlan,
+    opts: &SuiteOptions,
+) -> Result<SuiteResult> {
+    let t0 = dev.now();
+    if opts.enforce_state {
+        enforce_random_state(dev, 128 * 1024, opts.state_coverage, opts.seed)?;
+        dev.idle(opts.inter_run_pause);
+    }
+    let mut points = Vec::new();
+    let mut resets = 0;
+    for step in &plan.steps {
+        match step {
+            PlanStep::Pause => dev.idle(opts.inter_run_pause),
+            PlanStep::ResetState => {
+                if opts.enforce_state {
+                    enforce_random_state(dev, 128 * 1024, opts.state_coverage, opts.seed)?;
+                    dev.idle(opts.inter_run_pause);
+                }
+                resets += 1;
+            }
+            PlanStep::Run { experiment, point, offset } => {
+                let e = &plan.experiments[*experiment];
+                let p = &e.points[*point];
+                let workload = p.workload.relocated(*offset);
+                let run: RunResult = workload.execute(dev)?;
+                points.push(SuitePointResult {
+                    experiment: e.name.clone(),
+                    varying: e.varying,
+                    param: p.param,
+                    param_label: p.param_label.clone(),
+                    workload: workload.label(),
+                    stats: run.summary(),
+                });
+            }
+        }
+    }
+    Ok(SuiteResult { points, resets, device_time: dev.now() - t0 })
+}
+
+/// Convenience: build the plan for a device and run the full suite.
+pub fn run_full_suite(
+    dev: &mut dyn BlockDevice,
+    cfg: &MicroConfig,
+    opts: &SuiteOptions,
+) -> Result<(BenchmarkPlan, SuiteResult)> {
+    let plan = BenchmarkPlan::build(full_suite(cfg), dev.capacity_bytes());
+    let result = execute_plan(dev, &plan, opts)?;
+    Ok((plan, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_device::MemDevice;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn quick_cfg() -> MicroConfig {
+        let mut cfg = MicroConfig::quick();
+        cfg.io_count = 8;
+        cfg.io_count_rw = 8;
+        cfg.target_size = 2 * MB;
+        cfg
+    }
+
+    #[test]
+    fn full_suite_contains_all_nine_micro_benchmarks() {
+        let suite = full_suite(&quick_cfg());
+        let families: std::collections::BTreeSet<&str> =
+            suite.iter().map(|e| e.name.split('/').next().expect("has /")).collect();
+        assert_eq!(
+            families.into_iter().collect::<Vec<_>>(),
+            vec![
+                "alignment",
+                "bursts",
+                "granularity",
+                "locality",
+                "mix",
+                "order",
+                "parallelism",
+                "partitioning",
+                "pause"
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_execution_runs_every_point() {
+        let cfg = quick_cfg();
+        let mut dev = MemDevice::new(64 * MB, Duration::from_micros(50), 0);
+        let opts = SuiteOptions {
+            inter_run_pause: Duration::from_millis(1),
+            enforce_state: false,
+            ..Default::default()
+        };
+        let (plan, result) = run_full_suite(&mut dev, &cfg, &opts).expect("suite");
+        assert_eq!(result.points.len(), plan.run_count());
+        assert!(result.points.iter().all(|p| p.stats.is_some()));
+        assert!(result.device_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn series_reconstruction_is_sorted_by_param() {
+        let cfg = quick_cfg();
+        let mut dev = MemDevice::new(64 * MB, Duration::from_micros(50), 1);
+        let opts = SuiteOptions {
+            inter_run_pause: Duration::from_millis(1),
+            enforce_state: false,
+            ..Default::default()
+        };
+        let (_, result) = run_full_suite(&mut dev, &cfg, &opts).expect("suite");
+        let series = result.mean_series("granularity/SW");
+        assert!(!series.is_empty());
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Linear-cost device: bigger IOs never get cheaper.
+        assert!(series.first().expect("non-empty").1 <= series.last().expect("non-empty").1);
+    }
+
+    #[test]
+    fn state_enforcement_runs_when_enabled() {
+        let cfg = quick_cfg();
+        let mut dev = MemDevice::new(16 * MB, Duration::from_micros(1), 0);
+        let opts = SuiteOptions {
+            inter_run_pause: Duration::from_millis(1),
+            enforce_state: true,
+            state_coverage: 0.5,
+            seed: 3,
+        };
+        let before = dev.writes();
+        let _ = run_full_suite(&mut dev, &cfg, &opts).expect("suite");
+        assert!(dev.writes() > before, "enforcement + workload writes happened");
+    }
+}

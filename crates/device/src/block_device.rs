@@ -1,0 +1,95 @@
+//! The timed block-device abstraction the benchmark drives.
+
+use crate::Result;
+use std::time::Duration;
+
+/// A block device under benchmark.
+///
+/// uFLIP measures the **response time of each submitted IO** (paper
+/// §3.2, design principle 1); `read` and `write` therefore return the
+/// IO's response time directly. Simulated devices compute it on a
+/// virtual clock; real backends measure wall-clock time around a
+/// synchronous direct IO.
+///
+/// `idle` informs the device that the host intentionally waited
+/// (pause/burst timing functions, inter-run pauses): simulated devices
+/// use it to run background reclamation, real backends actually sleep.
+pub trait BlockDevice {
+    /// Device name for reports.
+    fn name(&self) -> &str;
+
+    /// Usable capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Synchronously read `len` bytes at byte `offset`; returns the
+    /// response time. Offsets and lengths must be 512-byte aligned (the
+    /// paper's LBA granularity — `IOShift` is expressed in 512 B units).
+    fn read(&mut self, offset: u64, len: u64) -> Result<Duration>;
+
+    /// Synchronously write `len` bytes at byte `offset`; returns the
+    /// response time.
+    fn write(&mut self, offset: u64, len: u64) -> Result<Duration>;
+
+    /// Host idle time between IOs or runs.
+    fn idle(&mut self, d: Duration);
+
+    /// Device-observed elapsed time since creation (virtual for
+    /// simulations, wall-clock for real backends).
+    fn now(&self) -> Duration;
+
+    /// Validate alignment and bounds (shared helper).
+    fn check(&self, offset: u64, len: u64) -> Result<()> {
+        if len == 0 {
+            return Err(crate::DeviceError::ZeroLength);
+        }
+        if !offset.is_multiple_of(512) || !len.is_multiple_of(512) {
+            return Err(crate::DeviceError::Unaligned { offset, len });
+        }
+        if offset + len > self.capacity_bytes() {
+            return Err(crate::DeviceError::OutOfRange {
+                offset,
+                len,
+                capacity: self.capacity_bytes(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceError;
+
+    struct Fixed;
+    impl BlockDevice for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn capacity_bytes(&self) -> u64 {
+            4096
+        }
+        fn read(&mut self, _o: u64, _l: u64) -> Result<Duration> {
+            Ok(Duration::ZERO)
+        }
+        fn write(&mut self, _o: u64, _l: u64) -> Result<Duration> {
+            Ok(Duration::ZERO)
+        }
+        fn idle(&mut self, _d: Duration) {}
+        fn now(&self) -> Duration {
+            Duration::ZERO
+        }
+    }
+
+    #[test]
+    fn check_validates_alignment_and_bounds() {
+        let d = Fixed;
+        assert!(d.check(0, 512).is_ok());
+        assert!(d.check(512, 3584).is_ok());
+        assert!(matches!(d.check(0, 0), Err(DeviceError::ZeroLength)));
+        assert!(matches!(d.check(100, 512), Err(DeviceError::Unaligned { .. })));
+        assert!(matches!(d.check(0, 100), Err(DeviceError::Unaligned { .. })));
+        assert!(matches!(d.check(4096, 512), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(d.check(3584, 1024), Err(DeviceError::OutOfRange { .. })));
+    }
+}

@@ -1,0 +1,83 @@
+//! Device-layer errors.
+
+use std::fmt;
+use uflip_ftl::FtlError;
+
+/// Errors raised by block devices.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// Request not aligned to the 512-byte sector size.
+    Unaligned {
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+    },
+    /// Request beyond the device capacity.
+    OutOfRange {
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// Zero-length IO.
+    ZeroLength,
+    /// Error from the simulated FTL.
+    Ftl(FtlError),
+    /// IO error from a real backend.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Unaligned { offset, len } => {
+                write!(f, "IO at offset {offset} (+{len}) not sector-aligned")
+            }
+            DeviceError::OutOfRange { offset, len, capacity } => {
+                write!(f, "IO at offset {offset} (+{len}) exceeds capacity {capacity}")
+            }
+            DeviceError::ZeroLength => write!(f, "zero-length IO"),
+            DeviceError::Ftl(e) => write!(f, "FTL error: {e}"),
+            DeviceError::Io(e) => write!(f, "backend IO error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Ftl(e) => Some(e),
+            DeviceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for DeviceError {
+    fn from(e: FtlError) -> Self {
+        DeviceError::Ftl(e)
+    }
+}
+
+impl From<std::io::Error> for DeviceError {
+    fn from(e: std::io::Error) -> Self {
+        DeviceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DeviceError = FtlError::ZeroLength.into();
+        assert!(e.to_string().contains("FTL error"));
+        let e: DeviceError =
+            std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.to_string().contains("backend IO error"));
+    }
+}

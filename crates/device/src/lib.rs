@@ -1,0 +1,42 @@
+//! # uflip-device — flash block devices
+//!
+//! The device layer of the uFLIP reproduction. uFLIP measures *block
+//! devices* — "flash chips and controllers whose role is to provide the
+//! block abstraction at the flash device interface" (paper §2). This
+//! crate provides:
+//!
+//! * [`BlockDevice`] — the timed block-device trait the benchmark
+//!   executor drives: `read`/`write` return per-IO response times,
+//!   `idle` models host think-time (pause/burst patterns, inter-run
+//!   pauses);
+//! * [`SimDevice`] — a simulated device: a controller model (per-IO
+//!   command overhead + interconnect transfer) over any
+//!   [`uflip_ftl::Ftl`], with a deterministic virtual clock;
+//! * [`DirectIoFile`] — a real-hardware backend using `O_DIRECT` +
+//!   `O_SYNC` (bypassing the host file system and IO scheduler, exactly
+//!   as the paper's FlashIO tool did — §4.3) with wall-clock timing;
+//! * [`MemDevice`] — a RAM-backed constant-latency device for executor
+//!   tests;
+//! * [`profiles`] — the **eleven devices of Table 2**, calibrated so the
+//!   simulation reproduces the response-time shapes of Figures 3–8 and
+//!   the summary behaviour of Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block_device;
+pub mod direct_io;
+pub mod error;
+pub mod mem_device;
+pub mod profiles;
+pub mod sim_device;
+
+pub use block_device::BlockDevice;
+pub use direct_io::DirectIoFile;
+pub use error::DeviceError;
+pub use mem_device::MemDevice;
+pub use profiles::{DeviceKind, DeviceProfile};
+pub use sim_device::{ControllerConfig, SimDevice, StrideQuirk};
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, DeviceError>;

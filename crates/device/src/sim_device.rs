@@ -1,0 +1,288 @@
+//! Simulated flash device: controller model over an FTL, virtual clock.
+
+use crate::block_device::BlockDevice;
+use crate::Result;
+use std::time::Duration;
+use uflip_ftl::Ftl;
+
+/// Controller and interconnect model.
+///
+/// Hint 1 of the paper: "Flash devices do incur latency. Despite the
+/// absence of mechanical parts, the software layers incur some overhead
+/// per IO operation." That overhead is `per_io_overhead_ns`; the
+/// interconnect (USB / IDE / SATA) contributes `len ÷ transfer_mb_s`.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Fixed command-processing overhead per IO, nanoseconds.
+    pub per_io_overhead_ns: u64,
+    /// Interconnect throughput in MB/s (USB 2.0 ≈ 30, IDE ≈ 60,
+    /// SATA ≈ 150+).
+    pub transfer_mb_s: u64,
+    /// Whether the controller pipelines the interconnect transfer with
+    /// flash work (high-end SSDs: response ≈ overhead + max(transfer,
+    /// flash)); low-end devices serialize them (overhead + transfer +
+    /// flash).
+    pub pipelined_transfer: bool,
+}
+
+impl ControllerConfig {
+    /// SATA SSD-class controller.
+    pub const fn sata_ssd() -> Self {
+        ControllerConfig { per_io_overhead_ns: 60_000, transfer_mb_s: 150, pipelined_transfer: true }
+    }
+
+    /// USB 2.0 flash-drive-class controller.
+    pub const fn usb2() -> Self {
+        ControllerConfig {
+            per_io_overhead_ns: 120_000,
+            transfer_mb_s: 32,
+            pipelined_transfer: false,
+        }
+    }
+
+    /// IDE flash-module-class controller.
+    pub const fn ide() -> Self {
+        ControllerConfig {
+            per_io_overhead_ns: 100_000,
+            transfer_mb_s: 40,
+            pipelined_transfer: false,
+        }
+    }
+
+    /// Transfer time for `len` bytes.
+    pub fn transfer_ns(&self, len: u64) -> u64 {
+        if self.transfer_mb_s == 0 {
+            return 0;
+        }
+        len * 1_000 / self.transfer_mb_s // bytes * ns/MB→ actually bytes*1000/MBps = ns
+    }
+}
+
+/// Black-box calibration quirk: several SSDs serve *strided* write
+/// patterns (the Order micro-benchmark's large `Incr`) worse than
+/// random ones — Table 3's "Large Incr" column reports ×2 (Mtron,
+/// Samsung, Transcend module) to ×4 (Memoright) *the random-write
+/// cost*. The paper treats devices as black boxes and reports the
+/// behaviour without a mechanism; we model it as the controller's
+/// LBA-hashing degrading under constant power-of-two strides (a known
+/// failure mode of die-assignment hashing) and calibrate the factor per
+/// profile. See DESIGN.md §4.
+#[derive(Debug, Clone, Copy)]
+pub struct StrideQuirk {
+    /// Minimum byte gap between consecutive writes to count as strided.
+    pub min_stride: u64,
+    /// Consecutive equal-gap writes before the penalty engages.
+    pub trigger_after: u32,
+    /// Multiplier applied to the flash-side time of strided writes.
+    pub factor: f64,
+}
+
+/// A simulated flash device: FTL + controller + virtual clock.
+pub struct SimDevice {
+    name: String,
+    ftl: Box<dyn Ftl + Send>,
+    controller: ControllerConfig,
+    stride_quirk: Option<StrideQuirk>,
+    clock_ns: u64,
+    last_write_offset: Option<u64>,
+    last_gap: Option<i128>,
+    equal_gap_run: u32,
+}
+
+impl std::fmt::Debug for SimDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDevice")
+            .field("name", &self.name)
+            .field("clock_ns", &self.clock_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimDevice {
+    /// Wrap an FTL in a controller model.
+    pub fn new(
+        name: impl Into<String>,
+        ftl: Box<dyn Ftl + Send>,
+        controller: ControllerConfig,
+        stride_quirk: Option<StrideQuirk>,
+    ) -> Self {
+        SimDevice {
+            name: name.into(),
+            ftl,
+            controller,
+            stride_quirk,
+            clock_ns: 0,
+            last_write_offset: None,
+            last_gap: None,
+            equal_gap_run: 0,
+        }
+    }
+
+    /// Access the underlying FTL (white-box statistics).
+    pub fn ftl(&self) -> &dyn Ftl {
+        self.ftl.as_ref()
+    }
+
+    fn compose(&self, flash_ns: u64, len: u64) -> u64 {
+        let xfer = self.controller.transfer_ns(len);
+        let ov = self.controller.per_io_overhead_ns;
+        if self.controller.pipelined_transfer {
+            ov + xfer.max(flash_ns)
+        } else {
+            ov + xfer + flash_ns
+        }
+    }
+
+    /// Update stride detection; returns the flash-time multiplier for
+    /// this write.
+    fn stride_factor(&mut self, offset: u64) -> f64 {
+        let Some(q) = self.stride_quirk else { return 1.0 };
+        let gap = match self.last_write_offset {
+            Some(prev) => offset as i128 - prev as i128,
+            None => 0,
+        };
+        self.last_write_offset = Some(offset);
+        let strided = gap.unsigned_abs() as u64 >= q.min_stride;
+        if strided && self.last_gap == Some(gap) {
+            self.equal_gap_run = self.equal_gap_run.saturating_add(1);
+        } else {
+            self.equal_gap_run = 0;
+        }
+        self.last_gap = Some(gap);
+        if strided && self.equal_gap_run >= q.trigger_after {
+            q.factor
+        } else {
+            1.0
+        }
+    }
+}
+
+impl BlockDevice for SimDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.ftl.capacity_bytes()
+    }
+
+    fn read(&mut self, offset: u64, len: u64) -> Result<Duration> {
+        self.check(offset, len)?;
+        let flash = self.ftl.read(offset / 512, (len / 512) as u32)?;
+        let rt = self.compose(flash, len);
+        self.clock_ns += rt;
+        Ok(Duration::from_nanos(rt))
+    }
+
+    fn write(&mut self, offset: u64, len: u64) -> Result<Duration> {
+        self.check(offset, len)?;
+        let factor = self.stride_factor(offset);
+        let flash = self.ftl.write(offset / 512, (len / 512) as u32)?;
+        let flash = (flash as f64 * factor) as u64;
+        let rt = self.compose(flash, len);
+        self.clock_ns += rt;
+        Ok(Duration::from_nanos(rt))
+    }
+
+    fn idle(&mut self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.ftl.on_idle(ns);
+        self.clock_ns += ns;
+    }
+
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.clock_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_ftl::{PageMapConfig, PageMapFtl};
+
+    fn dev(quirk: Option<StrideQuirk>) -> SimDevice {
+        let ftl = PageMapFtl::new(PageMapConfig::tiny()).unwrap();
+        SimDevice::new(
+            "test-ssd",
+            Box::new(ftl),
+            ControllerConfig { per_io_overhead_ns: 1000, transfer_mb_s: 0, pipelined_transfer: true },
+            quirk,
+        )
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        let c = ControllerConfig { per_io_overhead_ns: 0, transfer_mb_s: 32, pipelined_transfer: false };
+        // 32 KB at 32 MB/s = 1 ms.
+        assert_eq!(c.transfer_ns(32 * 1024), 1_024_000);
+    }
+
+    #[test]
+    fn overhead_applies_to_every_io() {
+        let mut d = dev(None);
+        let rt = d.read(0, 512).unwrap();
+        assert!(rt >= Duration::from_nanos(1000), "unmapped read still pays the overhead");
+    }
+
+    #[test]
+    fn clock_advances_with_io_and_idle() {
+        let mut d = dev(None);
+        let rt = d.write(0, 512).unwrap();
+        d.idle(Duration::from_millis(2));
+        assert_eq!(d.now(), rt + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut d = dev(None);
+        assert!(d.write(100, 512).is_err());
+        assert!(d.read(0, 0).is_err());
+    }
+
+    #[test]
+    fn stride_quirk_engages_after_repeated_equal_gaps() {
+        let q = StrideQuirk { min_stride: 4096, trigger_after: 2, factor: 10.0 };
+        let mut with = dev(Some(q));
+        let mut without = dev(None);
+        // Four writes with a constant 8 KB stride.
+        let offs = [0u64, 8192, 16384, 24576, 32768];
+        let mut with_last = Duration::ZERO;
+        let mut without_last = Duration::ZERO;
+        for &o in &offs {
+            with_last = with.write(o, 512).unwrap();
+            without_last = without.write(o, 512).unwrap();
+        }
+        assert!(
+            with_last > without_last,
+            "strided writes must be penalized once the quirk engages \
+             ({with_last:?} vs {without_last:?})"
+        );
+    }
+
+    #[test]
+    fn stride_quirk_ignores_sequential_writes() {
+        let q = StrideQuirk { min_stride: 4096, trigger_after: 2, factor: 10.0 };
+        let mut with = dev(Some(q));
+        let mut without = dev(None);
+        for i in 0..6u64 {
+            let a = with.write(i * 512, 512).unwrap();
+            let b = without.write(i * 512, 512).unwrap();
+            assert_eq!(a, b, "512 B steps are below min_stride");
+        }
+    }
+
+    #[test]
+    fn pipelined_controller_overlaps_transfer() {
+        let slow_xfer =
+            ControllerConfig { per_io_overhead_ns: 0, transfer_mb_s: 1, pipelined_transfer: true };
+        let serial_xfer =
+            ControllerConfig { per_io_overhead_ns: 0, transfer_mb_s: 1, pipelined_transfer: false };
+        let ftl_a = PageMapFtl::new(PageMapConfig::tiny()).unwrap();
+        let ftl_b = PageMapFtl::new(PageMapConfig::tiny()).unwrap();
+        let mut a = SimDevice::new("a", Box::new(ftl_a), slow_xfer, None);
+        let mut b = SimDevice::new("b", Box::new(ftl_b), serial_xfer, None);
+        let ra = a.write(0, 512).unwrap();
+        let rb = b.write(0, 512).unwrap();
+        assert!(rb > ra, "serialized transfer must cost more than pipelined");
+    }
+}

@@ -1,0 +1,81 @@
+//! FTL error type.
+
+use std::fmt;
+use uflip_nand::NandError;
+
+/// Errors raised by FTL implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// A host IO addressed sectors beyond the exported logical capacity.
+    OutOfCapacity {
+        /// First sector of the offending request.
+        lba: u64,
+        /// Sector count of the request.
+        sectors: u32,
+        /// Exported capacity in sectors.
+        capacity_sectors: u64,
+    },
+    /// A host IO had zero length.
+    ZeroLength,
+    /// The device ran out of usable physical blocks (all worn out) — the
+    /// end-of-life condition wear-leveling postpones.
+    OutOfPhysicalBlocks,
+    /// Configuration invariant violated at construction time.
+    InvalidConfig(String),
+    /// An underlying chip-protocol error. If this ever escapes during a
+    /// workload it indicates an FTL implementation bug, which is exactly
+    /// why the NAND layer checks the protocol.
+    Nand(NandError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::OutOfCapacity { lba, sectors, capacity_sectors } => write!(
+                f,
+                "IO at LBA {lba} (+{sectors} sectors) exceeds device capacity of \
+                 {capacity_sectors} sectors"
+            ),
+            FtlError::ZeroLength => write!(f, "zero-length IO"),
+            FtlError::OutOfPhysicalBlocks => {
+                write!(f, "no usable physical blocks remain (device worn out)")
+            }
+            FtlError::InvalidConfig(msg) => write!(f, "invalid FTL configuration: {msg}"),
+            FtlError::Nand(e) => write!(f, "NAND protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtlError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for FtlError {
+    fn from(e: NandError) -> Self {
+        FtlError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_errors_convert() {
+        let e: FtlError = NandError::EmptyBatch.into();
+        assert!(matches!(e, FtlError::Nand(NandError::EmptyBatch)));
+        assert!(e.to_string().contains("NAND protocol error"));
+    }
+
+    #[test]
+    fn capacity_error_reports_request() {
+        let e = FtlError::OutOfCapacity { lba: 100, sectors: 8, capacity_sectors: 64 };
+        let s = e.to_string();
+        assert!(s.contains("LBA 100") && s.contains("64 sectors"));
+    }
+}

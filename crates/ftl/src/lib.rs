@@ -1,0 +1,63 @@
+//! # uflip-ftl — flash translation layers
+//!
+//! Implements the *block manager* of Section 2.2 of *uFLIP: Understanding
+//! Flash IO Patterns* (CIDR 2009): the software layer inside a flash
+//! device that maps logical block addresses (LBAs) onto flash pages,
+//! trading "expensive writes-in-place (with the erase they incur) for
+//! cheaper writes onto free flash pages", reclaiming obsolete pages, and
+//! wear-leveling erases.
+//!
+//! Three FTL families are provided, matching the behaviour classes the
+//! paper observed across its eleven devices:
+//!
+//! * [`PageMapFtl`] — page-granularity mapping with greedy garbage
+//!   collection, a pre-erased block pool and optional **asynchronous
+//!   reclamation** — the high-end-SSD model (Memoright, Mtron). This
+//!   model mechanistically produces the start-up phase (Figure 3), the
+//!   running-phase oscillation, the pause effect (Table 3 column 5) and
+//!   the read-lingering effect (Figure 5).
+//! * [`HybridLogFtl`] — block-granularity direct map plus log blocks: a
+//!   small pool of sequential-stream slots (switch merges) and a
+//!   FAST-style fully-associative random log pool (full merges) — the
+//!   mid-range model (Samsung, Transcend module). It produces the
+//!   locality knee (Figure 8) and the partitioning limits.
+//! * [`BlockMapFtl`] — allocation-unit mapping with ordered replacement
+//!   blocks and read-modify-write at a coarse chunk granularity — the
+//!   low-end USB/SD model (Kingston DTI/DTHX, SD cards). It produces
+//!   ~250 ms random writes, the period-128 sequential-write oscillation
+//!   (Figure 4), severe in-place/reverse pathologies and the small-IO
+//!   write penalty (Figure 7).
+//!
+//! All FTLs implement the [`Ftl`] trait: timed `read`/`write` in 512-byte
+//! sectors plus an `on_idle` hook that models background work. Costs are
+//! *computed*, not scripted: every host IO is translated into NAND
+//! operations executed on a [`uflip_nand::NandArray`], so response times
+//! emerge from page programs, copy-backs and erases — exactly the
+//! mechanism the paper describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod block_map;
+pub mod error;
+pub mod free_pool;
+pub mod group;
+pub mod log_block;
+pub mod page_map;
+pub mod stats;
+pub mod traits;
+pub mod write_cache;
+
+pub use addr::{LogicalLayout, SECTOR_BYTES};
+pub use block_map::{BlockMapConfig, BlockMapFtl, ReplacementPolicy};
+pub use error::FtlError;
+pub use free_pool::FreePool;
+pub use log_block::{HybridLogConfig, HybridLogFtl};
+pub use page_map::{PageMapConfig, PageMapFtl};
+pub use stats::FtlStats;
+pub use traits::Ftl;
+pub use write_cache::{WriteCache, WriteCacheConfig};
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, FtlError>;

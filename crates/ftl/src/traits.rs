@@ -1,0 +1,87 @@
+//! The [`Ftl`] trait: the block-manager interface a device controller
+//! drives.
+
+use crate::stats::FtlStats;
+use crate::Result;
+use uflip_nand::NandStats;
+
+/// A flash translation layer: a timed block manager over a NAND array.
+///
+/// All methods express time in **nanoseconds of simulated device time**.
+/// `read`/`write` return the time the operation kept the device busy;
+/// `on_idle` informs the FTL that the host left the device alone for a
+/// while, letting background reclamation proceed (paper §4.3 and the
+/// Pause/Burst micro-benchmarks).
+pub trait Ftl {
+    /// Exported logical capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Read `sectors` 512-byte sectors starting at sector `lba`.
+    /// Returns busy time in nanoseconds.
+    fn read(&mut self, lba: u64, sectors: u32) -> Result<u64>;
+
+    /// Write `sectors` 512-byte sectors starting at sector `lba`.
+    /// Returns busy time in nanoseconds.
+    fn write(&mut self, lba: u64, sectors: u32) -> Result<u64>;
+
+    /// The host has been idle for `ns` nanoseconds; perform background
+    /// work (asynchronous page reclamation). Default: nothing.
+    fn on_idle(&mut self, ns: u64) {
+        let _ = ns;
+    }
+
+    /// Host-level statistics.
+    fn stats(&self) -> FtlStats;
+
+    /// Aggregated NAND statistics of the backing array (white-box view).
+    fn nand_stats(&self) -> NandStats;
+
+    /// Check a request against the exported capacity. Shared validation
+    /// used by all implementations.
+    fn check_request(&self, lba: u64, sectors: u32) -> Result<()> {
+        if sectors == 0 {
+            return Err(crate::FtlError::ZeroLength);
+        }
+        let cap = self.capacity_bytes() / crate::addr::SECTOR_BYTES;
+        if lba + sectors as u64 > cap {
+            return Err(crate::FtlError::OutOfCapacity { lba, sectors, capacity_sectors: cap });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtlError;
+
+    /// Minimal trait object to exercise the default `check_request`.
+    struct Dummy;
+    impl Ftl for Dummy {
+        fn capacity_bytes(&self) -> u64 {
+            1024 * 512
+        }
+        fn read(&mut self, _lba: u64, _sectors: u32) -> Result<u64> {
+            Ok(0)
+        }
+        fn write(&mut self, _lba: u64, _sectors: u32) -> Result<u64> {
+            Ok(0)
+        }
+        fn stats(&self) -> FtlStats {
+            FtlStats::default()
+        }
+        fn nand_stats(&self) -> NandStats {
+            NandStats::default()
+        }
+    }
+
+    #[test]
+    fn check_request_validates_bounds() {
+        let d = Dummy;
+        assert!(d.check_request(0, 1024).is_ok());
+        assert!(d.check_request(1023, 1).is_ok());
+        assert!(matches!(d.check_request(1024, 1), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(d.check_request(1000, 100), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(d.check_request(0, 0), Err(FtlError::ZeroLength)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Error types for NAND chip protocol violations and hardware faults.
+
+use crate::geometry::{BlockAddr, PageAddr};
+use std::fmt;
+
+/// Errors raised by the NAND chip simulator.
+///
+/// Most variants are *protocol violations*: the caller (an FTL) issued an
+/// operation that a real chip would reject or that would corrupt data.
+/// Surfacing these as errors (instead of silently accepting them) is what
+/// makes the simulator a useful oracle for FTL correctness tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// An address referenced a chip index outside the array.
+    ChipOutOfRange {
+        /// Requested chip index.
+        chip: u32,
+        /// Number of chips in the array.
+        chips: u32,
+    },
+    /// An address referenced a block outside the chip.
+    BlockOutOfRange {
+        /// Requested block index.
+        block: u32,
+        /// Number of blocks per chip.
+        blocks: u32,
+    },
+    /// An address referenced a page outside its block.
+    PageOutOfRange {
+        /// Requested page index within the block.
+        page: u32,
+        /// Pages per block.
+        pages: u32,
+    },
+    /// Attempt to program a page that has not been erased since it was
+    /// last programmed. Real NAND cannot flip bits 0→1 without an erase;
+    /// overwriting would corrupt the page silently.
+    ProgramWithoutErase(PageAddr),
+    /// Attempt to program pages out of the order mandated by the chip's
+    /// [`ProgramOrder`](crate::chip::ProgramOrder) policy (Section 2.1:
+    /// "sequentially within a flash block in order to minimize write
+    /// errors").
+    ProgramOrderViolation {
+        /// The offending page address.
+        addr: PageAddr,
+        /// The next programmable page index the chip expected.
+        expected_next: u32,
+    },
+    /// Attempt to read a page that was never programmed while data
+    /// retention is enabled. State-only simulations allow this (reads of
+    /// erased pages return all-0xFF on real chips), but retention-mode
+    /// callers usually want to know.
+    ReadUnwritten(PageAddr),
+    /// Operation addressed a block marked bad (worn out or factory-bad).
+    BadBlock(BlockAddr),
+    /// A dual-plane operation paired two blocks in the same plane.
+    PlaneConflict {
+        /// First block of the pair.
+        a: BlockAddr,
+        /// Second block of the pair.
+        b: BlockAddr,
+    },
+    /// A dual-plane operation paired blocks on different chips.
+    CrossChipPair {
+        /// First block of the pair.
+        a: BlockAddr,
+        /// Second block of the pair.
+        b: BlockAddr,
+    },
+    /// Data buffer length did not match the page data size.
+    DataSizeMismatch {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// Bytes required (page data area size).
+        want: usize,
+    },
+    /// The batch submitted to [`NandArray`](crate::array::NandArray) was
+    /// empty — a batch must contain at least one operation.
+    EmptyBatch,
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::ChipOutOfRange { chip, chips } => {
+                write!(f, "chip index {chip} out of range (array has {chips} chips)")
+            }
+            NandError::BlockOutOfRange { block, blocks } => {
+                write!(f, "block index {block} out of range (chip has {blocks} blocks)")
+            }
+            NandError::PageOutOfRange { page, pages } => {
+                write!(f, "page index {page} out of range (block has {pages} pages)")
+            }
+            NandError::ProgramWithoutErase(addr) => {
+                write!(f, "program of non-erased page {addr} (erase-before-program violated)")
+            }
+            NandError::ProgramOrderViolation { addr, expected_next } => write!(
+                f,
+                "out-of-order program of page {addr}; chip expected next page {expected_next}"
+            ),
+            NandError::ReadUnwritten(addr) => {
+                write!(f, "read of never-programmed page {addr} in retention mode")
+            }
+            NandError::BadBlock(addr) => write!(f, "operation on bad block {addr}"),
+            NandError::PlaneConflict { a, b } => {
+                write!(f, "dual-plane pair {a} / {b} lie in the same plane")
+            }
+            NandError::CrossChipPair { a, b } => {
+                write!(f, "dual-plane pair {a} / {b} lie on different chips")
+            }
+            NandError::DataSizeMismatch { got, want } => {
+                write!(f, "data buffer of {got} bytes does not match page size {want}")
+            }
+            NandError::EmptyBatch => write!(f, "empty operation batch"),
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PageAddr;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NandError::ProgramOrderViolation {
+            addr: PageAddr { chip: 0, block: 3, page: 7 },
+            expected_next: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out-of-order"));
+        assert!(s.contains("expected next page 2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NandError::EmptyBatch,
+            NandError::EmptyBatch,
+            "error values must support equality for test assertions"
+        );
+        assert_ne!(
+            NandError::ChipOutOfRange { chip: 1, chips: 1 },
+            NandError::BlockOutOfRange { block: 1, blocks: 1 }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # uflip-nand — NAND flash chip model
+//!
+//! This crate models NAND flash chips at the level of detail described in
+//! Section 2.1 of *uFLIP: Understanding Flash IO Patterns* (CIDR 2009):
+//!
+//! * data lives in independent arrays of memory cells — **flash blocks** —
+//!   whose rows are **flash pages** (optionally sub-divided into sectors);
+//! * the basic operations are **read**, **program** and **erase** (not
+//!   read/write): bits default to 1, programming sets them to 0, and only
+//!   an erase (whole-block granularity) restores them to 1;
+//! * pages must be programmed **sequentially within a block** to limit
+//!   write errors from electrical side effects;
+//! * blocks endure a bounded number of erase cycles (~10⁵ for MLC, ~10⁶
+//!   for SLC) after which they become bad blocks;
+//! * chips may contain **two planes** (even/odd blocks) and a **page
+//!   cache**, both of which a block manager can exploit for parallelism.
+//!
+//! The model is a *timed* simulator: every operation verifies the chip
+//! protocol (erase-before-program, sequential programming, bad-block
+//! avoidance), mutates the chip state, and returns the simulated
+//! [`Duration`](std::time::Duration) the operation occupied the chip and
+//! its bus. Data retention is optional — benchmarking workloads can run
+//! with state-only tracking, while correctness tests enable full data
+//! retention and verify read-after-write.
+//!
+//! The top-level type is [`NandArray`]: a set of chips attached to one or
+//! more channels, executing [`Batch`]es of operations with inter-channel
+//! parallelism. FTL implementations (crate `uflip-ftl`) are written
+//! against this API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod chip;
+pub mod error;
+pub mod geometry;
+pub mod ops;
+pub mod stats;
+pub mod timing;
+pub mod wear;
+
+pub use array::{Batch, NandArray, NandArrayConfig};
+pub use chip::{Chip, ChipConfig, PageState, ProgramOrder};
+pub use error::NandError;
+pub use geometry::{BlockAddr, NandGeometry, PageAddr};
+pub use ops::NandOp;
+pub use stats::NandStats;
+pub use timing::{NandTiming, NANOS_PER_MICRO};
+pub use wear::WearState;
+
+/// Convenient crate-local result alias.
+pub type Result<T> = std::result::Result<T, NandError>;

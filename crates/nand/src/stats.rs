@@ -1,0 +1,93 @@
+//! Operation counters for chips and arrays.
+
+/// Cumulative operation counts for a chip or an array.
+///
+/// The uFLIP methodology measures devices as black boxes; these counters
+/// are the "white-box" view our simulator adds, used by tests to verify
+/// FTL behaviour (e.g. "a switch merge performs exactly one erase and no
+/// copy-backs") and by ablation benches to report physical write
+/// amplification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NandStats {
+    /// Pages read (host reads + merge reads through the bus).
+    pub page_reads: u64,
+    /// Pages programmed through the bus.
+    pub page_programs: u64,
+    /// Blocks erased.
+    pub block_erases: u64,
+    /// Internal copy-back moves (no bus transfer).
+    pub copy_backs: u64,
+    /// Dual-plane program pairs executed.
+    pub dual_plane_programs: u64,
+    /// Dual-plane erase pairs executed.
+    pub dual_plane_erases: u64,
+    /// Total busy nanoseconds accumulated across operations.
+    pub busy_ns: u64,
+}
+
+impl NandStats {
+    /// Total physical pages written by any means (program, copy-back
+    /// destination, both halves of dual-plane programs).
+    pub fn physical_pages_written(&self) -> u64 {
+        self.page_programs + self.copy_backs + 2 * self.dual_plane_programs
+    }
+
+    /// Total erases counting both halves of dual-plane erases.
+    pub fn physical_blocks_erased(&self) -> u64 {
+        self.block_erases + 2 * self.dual_plane_erases
+    }
+
+    /// Accumulate another stats snapshot into this one.
+    pub fn merge(&mut self, other: &NandStats) {
+        self.page_reads += other.page_reads;
+        self.page_programs += other.page_programs;
+        self.block_erases += other.block_erases;
+        self.copy_backs += other.copy_backs;
+        self.dual_plane_programs += other.dual_plane_programs;
+        self.dual_plane_erases += other.dual_plane_erases;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Difference since an earlier snapshot (for per-run accounting).
+    pub fn since(&self, earlier: &NandStats) -> NandStats {
+        NandStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_programs: self.page_programs - earlier.page_programs,
+            block_erases: self.block_erases - earlier.block_erases,
+            copy_backs: self.copy_backs - earlier.copy_backs,
+            dual_plane_programs: self.dual_plane_programs - earlier.dual_plane_programs,
+            dual_plane_erases: self.dual_plane_erases - earlier.dual_plane_erases,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_counts_include_dual_plane_and_copy_back() {
+        let s = NandStats {
+            page_programs: 10,
+            copy_backs: 5,
+            dual_plane_programs: 3,
+            block_erases: 2,
+            dual_plane_erases: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.physical_pages_written(), 10 + 5 + 6);
+        assert_eq!(s.physical_blocks_erased(), 2 + 2);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse() {
+        let a = NandStats { page_reads: 7, busy_ns: 100, ..Default::default() };
+        let mut b = NandStats { page_reads: 3, busy_ns: 40, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.page_reads, 10);
+        let diff = b.since(&a);
+        assert_eq!(diff.page_reads, 3);
+        assert_eq!(diff.busy_ns, 40);
+    }
+}

@@ -1,0 +1,133 @@
+//! Erase-cycle wear tracking.
+//!
+//! Section 2.1: "Most flash chips can only support up to 10⁵ erase
+//! operations per flash block for MLC chips, and up to 10⁶ in the case of
+//! SLC chips. As a result, the block manager must implement some form of
+//! wear-leveling… bad cells and worn-out cells are tracked."
+
+/// Per-block erase-cycle accounting for one chip.
+#[derive(Debug, Clone)]
+pub struct WearState {
+    cycles: Vec<u32>,
+    limit: u32,
+    bad: Vec<bool>,
+}
+
+impl WearState {
+    /// Erase-cycle endurance of SLC chips (paper: up to 10⁶).
+    pub const SLC_LIMIT: u32 = 1_000_000;
+    /// Erase-cycle endurance of MLC chips (paper: up to 10⁵).
+    pub const MLC_LIMIT: u32 = 100_000;
+
+    /// Create wear state for `blocks` blocks with the given endurance
+    /// `limit` (erase count at which a block becomes bad).
+    pub fn new(blocks: u32, limit: u32) -> Self {
+        WearState {
+            cycles: vec![0; blocks as usize],
+            limit,
+            bad: vec![false; blocks as usize],
+        }
+    }
+
+    /// Record one erase of `block`. Returns `true` if the block is still
+    /// usable, `false` if this erase wore it out (it is now bad).
+    pub fn record_erase(&mut self, block: u32) -> bool {
+        let i = block as usize;
+        self.cycles[i] = self.cycles[i].saturating_add(1);
+        if self.cycles[i] >= self.limit {
+            self.bad[i] = true;
+        }
+        !self.bad[i]
+    }
+
+    /// Mark a block bad out-of-band (factory bad block or ECC failure).
+    pub fn mark_bad(&mut self, block: u32) {
+        self.bad[block as usize] = true;
+    }
+
+    /// Whether a block is bad.
+    pub fn is_bad(&self, block: u32) -> bool {
+        self.bad[block as usize]
+    }
+
+    /// Erase cycles endured so far by `block`.
+    pub fn cycles(&self, block: u32) -> u32 {
+        self.cycles[block as usize]
+    }
+
+    /// Endurance limit configured for this chip.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Number of bad blocks.
+    pub fn bad_count(&self) -> usize {
+        self.bad.iter().filter(|&&b| b).count()
+    }
+
+    /// Maximum erase count across blocks (wear-leveling quality metric).
+    pub fn max_cycles(&self) -> u32 {
+        self.cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum erase count across *good* blocks.
+    pub fn min_cycles_good(&self) -> u32 {
+        self.cycles
+            .iter()
+            .zip(self.bad.iter())
+            .filter(|(_, &bad)| !bad)
+            .map(|(&c, _)| c)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Wear imbalance: max − min over good blocks. A perfect wear
+    /// leveler keeps this within a small constant.
+    pub fn imbalance(&self) -> u32 {
+        self.max_cycles().saturating_sub(self.min_cycles_good())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_wear_out_at_limit() {
+        let mut w = WearState::new(4, 3);
+        assert!(w.record_erase(0));
+        assert!(w.record_erase(0));
+        assert!(!w.record_erase(0), "third erase reaches the limit of 3");
+        assert!(w.is_bad(0));
+        assert!(!w.is_bad(1));
+        assert_eq!(w.bad_count(), 1);
+    }
+
+    #[test]
+    fn imbalance_tracks_spread_over_good_blocks() {
+        let mut w = WearState::new(3, 100);
+        for _ in 0..10 {
+            w.record_erase(0);
+        }
+        w.record_erase(1);
+        assert_eq!(w.max_cycles(), 10);
+        assert_eq!(w.min_cycles_good(), 0, "block 2 never erased");
+        assert_eq!(w.imbalance(), 10);
+    }
+
+    #[test]
+    fn marked_bad_blocks_are_excluded_from_min() {
+        let mut w = WearState::new(2, 100);
+        for _ in 0..5 {
+            w.record_erase(0);
+        }
+        w.mark_bad(1);
+        assert_eq!(w.min_cycles_good(), 5, "bad block 1 (0 cycles) excluded");
+    }
+
+    #[test]
+    fn paper_limits() {
+        assert_eq!(WearState::SLC_LIMIT, 1_000_000);
+        assert_eq!(WearState::MLC_LIMIT, 100_000);
+    }
+}

@@ -1,0 +1,77 @@
+//! The IO request type produced by pattern generators.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// IO mode: the fourth attribute of an IO (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Read IO.
+    Read,
+    /// Write IO.
+    Write,
+}
+
+impl Mode {
+    /// Single-letter code used in pattern names (`SR`, `RW`, …).
+    pub fn letter(&self) -> char {
+        match self {
+            Mode::Read => 'R',
+            Mode::Write => 'W',
+        }
+    }
+}
+
+/// One IO request, fully resolved from a pattern.
+///
+/// `submit_delay` encodes the timing function: the executor submits the
+/// IO `submit_delay` after the *previous IO completed* (0 for the
+/// consecutive function, `Pause` for the pause function, and a
+/// position-dependent value for bursts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Index of the IO within its pattern (the *i* in IOᵢ).
+    pub index: u64,
+    /// Byte offset on the device (LBA(IOᵢ) expressed in bytes).
+    pub offset: u64,
+    /// IO size in bytes.
+    pub size: u64,
+    /// Read or write.
+    pub mode: Mode,
+    /// Idle time to insert before submitting this IO.
+    pub submit_delay: Duration,
+    /// Logical process issuing the IO (0 for basic patterns; the process
+    /// id for parallel patterns, the sub-pattern id for mixed patterns).
+    pub process: u16,
+}
+
+impl IoRequest {
+    /// End offset (exclusive) of the IO.
+    pub fn end(&self) -> u64 {
+        self.offset + self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_letters() {
+        assert_eq!(Mode::Read.letter(), 'R');
+        assert_eq!(Mode::Write.letter(), 'W');
+    }
+
+    #[test]
+    fn end_offset() {
+        let io = IoRequest {
+            index: 0,
+            offset: 4096,
+            size: 512,
+            mode: Mode::Read,
+            submit_delay: Duration::ZERO,
+            process: 0,
+        };
+        assert_eq!(io.end(), 4608);
+    }
+}

@@ -1,0 +1,220 @@
+//! LBA functions: the `LBA(IOᵢ)` attribute (paper §3.1 / Table 1).
+//!
+//! Formulas (all offsets in bytes, aligned to `IOSize` boundaries
+//! relative to `TargetOffset`, then shifted by `IOShift`):
+//!
+//! * **Rnd**: `TargetOffset + IOShift + random(TargetSize/IOSize) × IOSize`
+//! * **Seq**: `TargetOffset + IOShift + (i × IOSize) mod TargetSize`
+//!   (the `mod TargetSize` wrap is the Locality micro-benchmark's
+//!   variation; with `TargetSize ≥ IOCount × IOSize` it is the identity,
+//!   recovering the baseline formula `TargetOffset + i × IOSize`)
+//! * **Ordered(Incr)**: `TargetOffset + IOShift + ((Incr × i × IOSize)
+//!   mod TargetSize)` with a Euclidean modulo so `Incr = −1` walks the
+//!   target backwards from its top and `Incr = 0` stays in place
+//! * **Partitioned(P)**: `TargetOffset + IOShift + Pᵢ × PS + Oᵢ` where
+//!   `PS = TargetSize/P`, `Pᵢ = i mod P`, `Oᵢ = ⌊i/P⌋ × IOSize mod PS`
+//!   — round-robin over `P` partitions, sequential within each (the
+//!   paper's external-sort merge-bucket pattern).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The LBA function of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LbaFn {
+    /// Sequential locations, wrapping inside the target window.
+    Sequential,
+    /// Uniformly random `IOSize`-aligned locations in the target window.
+    Random,
+    /// Linear stride: `Incr = 1` is sequential, `Incr = 0` in-place,
+    /// `Incr = −1` reverse, `Incr > 1` leaves gaps (the Order
+    /// micro-benchmark).
+    Ordered {
+        /// Linear coefficient applied to the LBA progression.
+        incr: i64,
+    },
+    /// Round-robin over partitions, sequential inside each (the
+    /// Partitioning micro-benchmark).
+    Partitioned {
+        /// Number of partitions (≥ 1).
+        partitions: u32,
+    },
+}
+
+impl LbaFn {
+    /// Compute the byte offset of IOᵢ.
+    ///
+    /// `slots = TargetSize / IOSize` must be ≥ 1; the caller (the
+    /// pattern spec) validates this. `rng` is consulted only by
+    /// [`LbaFn::Random`], exactly once per IO, so patterns consume
+    /// identical random streams across devices.
+    pub fn offset<R: Rng>(
+        &self,
+        i: u64,
+        io_size: u64,
+        io_shift: u64,
+        target_offset: u64,
+        target_size: u64,
+        rng: &mut R,
+    ) -> u64 {
+        let slots = (target_size / io_size).max(1);
+        let within = match *self {
+            LbaFn::Sequential => (i % slots) * io_size,
+            LbaFn::Random => rng.gen_range(0..slots) * io_size,
+            LbaFn::Ordered { incr } => {
+                // Euclidean modulo keeps negative strides in-window:
+                // Incr = −1 visits slots −1, −2, … ≡ top-down.
+                let span = slots as i128 * io_size as i128;
+                let raw = incr as i128 * i as i128 * io_size as i128;
+                raw.rem_euclid(span) as u64
+            }
+            LbaFn::Partitioned { partitions } => {
+                let p = u64::from(partitions.max(1));
+                // §3.1: "the address is first computed assuming an
+                // alignment to IOSize boundaries" — the partition stride
+                // rounds down to an IOSize multiple.
+                let ps = ((target_size / p) / io_size).max(1) * io_size;
+                let pi = i % p;
+                let oi = ((i / p) * io_size) % ps;
+                pi * ps + oi
+            }
+        };
+        target_offset + io_shift + within
+    }
+
+    /// Short name used in pattern labels.
+    pub fn name(&self) -> String {
+        match self {
+            LbaFn::Sequential => "Seq".into(),
+            LbaFn::Random => "Rnd".into(),
+            LbaFn::Ordered { incr } => format!("Ordered({incr})"),
+            LbaFn::Partitioned { partitions } => format!("Partitioned({partitions})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const KB: u64 = 1024;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn off(f: LbaFn, i: u64) -> u64 {
+        // 32 KB IOs over a 1 MB target at offset 10 MB, no shift.
+        f.offset(i, 32 * KB, 0, 10 * KB * KB, KB * KB, &mut rng())
+    }
+
+    #[test]
+    fn sequential_advances_by_io_size_and_wraps() {
+        assert_eq!(off(LbaFn::Sequential, 0), 10 * KB * KB);
+        assert_eq!(off(LbaFn::Sequential, 1), 10 * KB * KB + 32 * KB);
+        // 1 MB / 32 KB = 32 slots → IO 32 wraps to the start.
+        assert_eq!(off(LbaFn::Sequential, 32), 10 * KB * KB);
+    }
+
+    #[test]
+    fn random_is_aligned_and_in_window() {
+        let mut r = rng();
+        for i in 0..1000 {
+            let o = LbaFn::Random.offset(i, 32 * KB, 0, 10 * KB * KB, KB * KB, &mut r);
+            assert!(o >= 10 * KB * KB && o < 11 * KB * KB, "offset {o} outside target window");
+            assert_eq!((o - 10 * KB * KB) % (32 * KB), 0, "offset {o} not IOSize-aligned");
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for i in 0..100 {
+            assert_eq!(
+                LbaFn::Random.offset(i, 32 * KB, 0, 0, KB * KB, &mut a),
+                LbaFn::Random.offset(i, 32 * KB, 0, 0, KB * KB, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_one_is_sequential() {
+        for i in 0..64 {
+            assert_eq!(off(LbaFn::Ordered { incr: 1 }, i), off(LbaFn::Sequential, i));
+        }
+    }
+
+    #[test]
+    fn ordered_zero_is_in_place() {
+        for i in 0..64 {
+            assert_eq!(off(LbaFn::Ordered { incr: 0 }, i), 10 * KB * KB);
+        }
+    }
+
+    #[test]
+    fn ordered_minus_one_walks_backwards_from_top() {
+        // slots = 32; IO 1 at slot 31, IO 2 at slot 30 …
+        assert_eq!(off(LbaFn::Ordered { incr: -1 }, 0), 10 * KB * KB);
+        assert_eq!(off(LbaFn::Ordered { incr: -1 }, 1), 10 * KB * KB + 31 * 32 * KB);
+        assert_eq!(off(LbaFn::Ordered { incr: -1 }, 2), 10 * KB * KB + 30 * 32 * KB);
+    }
+
+    #[test]
+    fn ordered_large_incr_leaves_gaps() {
+        let a = off(LbaFn::Ordered { incr: 4 }, 0);
+        let b = off(LbaFn::Ordered { incr: 4 }, 1);
+        assert_eq!(b - a, 4 * 32 * KB, "stride of Incr × IOSize");
+    }
+
+    #[test]
+    fn partitioned_round_robins_and_is_sequential_within() {
+        let f = LbaFn::Partitioned { partitions: 4 };
+        // PS = 1 MB / 4 = 256 KB.
+        let base = 10 * KB * KB;
+        let ps = 256 * KB;
+        assert_eq!(off(f, 0), base); // partition 0, offset 0
+        assert_eq!(off(f, 1), base + ps); // partition 1, offset 0
+        assert_eq!(off(f, 2), base + 2 * ps);
+        assert_eq!(off(f, 3), base + 3 * ps);
+        assert_eq!(off(f, 4), base + 32 * KB, "second lap: partition 0, next slot");
+        assert_eq!(off(f, 5), base + ps + 32 * KB);
+    }
+
+    #[test]
+    fn partitioned_wraps_within_partition() {
+        let f = LbaFn::Partitioned { partitions: 4 };
+        // PS = 256 KB → 8 slots per partition → lap 8 wraps.
+        assert_eq!(off(f, 32), off(f, 0));
+    }
+
+    #[test]
+    fn io_shift_displaces_everything() {
+        let aligned = off(LbaFn::Sequential, 3);
+        let shifted = LbaFn::Sequential.offset(
+            3,
+            32 * KB,
+            512,
+            10 * KB * KB,
+            KB * KB,
+            &mut rng(),
+        );
+        assert_eq!(shifted, aligned + 512);
+    }
+
+    #[test]
+    fn single_slot_targets_pin_to_offset() {
+        // TargetSize == IOSize: the Locality micro-benchmark's extreme.
+        for i in 0..8 {
+            let o = LbaFn::Sequential.offset(i, 32 * KB, 0, 0, 32 * KB, &mut rng());
+            assert_eq!(o, 0);
+        }
+        let mut r = rng();
+        for i in 0..8 {
+            let o = LbaFn::Random.offset(i, 32 * KB, 0, 0, 32 * KB, &mut r);
+            assert_eq!(o, 0);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Mixed patterns: two basic patterns interleaved under a ratio
+//! (paper §3.1 "Mixed patterns", micro-benchmark 7).
+//!
+//! The Mix micro-benchmark composes any two of the four baseline
+//! patterns (six combinations) and varies `Ratio`: `Ratio` IOs of
+//! pattern #1 are issued for every one IO of pattern #2. Each
+//! sub-pattern keeps its own LBA stream and target window (the
+//! methodology assigns disjoint windows so sequential streams do not
+//! collide — paper §4.1).
+
+use crate::io::IoRequest;
+use crate::pattern::PatternIter;
+use crate::spec::PatternSpec;
+use serde::{Deserialize, Serialize};
+
+/// Specification of a mixed pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// Majority sub-pattern (#1), issued `ratio` times per cycle.
+    pub a: PatternSpec,
+    /// Minority sub-pattern (#2), issued once per cycle.
+    pub b: PatternSpec,
+    /// IOs of `a` per IO of `b` (the paper sweeps 2⁰ … 2⁶).
+    pub ratio: u32,
+    /// Total IOs in the mixed sequence.
+    pub io_count: u64,
+}
+
+impl MixSpec {
+    /// Build a mix, reslicing each sub-pattern's `io_count` so the
+    /// interleaved sequence has exactly `io_count` IOs. (The paper notes
+    /// that `IOIgnore`/`IOCount` "are automatically scaled … when
+    /// considering mixed workloads" — the minority pattern sees only
+    /// `1/(ratio+1)` of the IOs, so experiments must size accordingly;
+    /// that scaling lives in the methodology layer.)
+    pub fn new(a: PatternSpec, b: PatternSpec, ratio: u32, io_count: u64) -> Self {
+        let ratio = ratio.max(1);
+        let cycle = u64::from(ratio) + 1;
+        let cycles = io_count.div_ceil(cycle);
+        let a = a.with_counts((cycles * u64::from(ratio)).max(1), 0);
+        let b = b.with_counts(cycles.max(1), 0);
+        MixSpec { a, b, ratio, io_count }
+    }
+
+    /// Name like `4SR/1RW`.
+    pub fn name(&self) -> String {
+        format!("{}{}/1{}", self.ratio, self.a.code(), self.b.code())
+    }
+
+    /// Iterate the interleaved sequence.
+    pub fn iter(&self) -> MixedPattern {
+        MixedPattern {
+            a: self.a.iter(),
+            b: self.b.iter(),
+            ratio: u64::from(self.ratio),
+            i: 0,
+            io_count: self.io_count,
+        }
+    }
+
+    /// Validate both sub-patterns.
+    pub fn validate(&self) -> Result<(), String> {
+        self.a.validate()?;
+        self.b.validate()?;
+        if self.io_count == 0 {
+            return Err("mixed IOCount must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a mixed pattern: `ratio` IOs of `a`, then one of `b`.
+#[derive(Debug, Clone)]
+pub struct MixedPattern {
+    a: PatternIter,
+    b: PatternIter,
+    ratio: u64,
+    i: u64,
+    io_count: u64,
+}
+
+impl Iterator for MixedPattern {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        if self.i >= self.io_count {
+            return None;
+        }
+        let pos_in_cycle = self.i % (self.ratio + 1);
+        let from_a = pos_in_cycle < self.ratio;
+        let mut io = if from_a { self.a.next()? } else { self.b.next()? };
+        io.process = u16::from(!from_a);
+        io.index = self.i;
+        self.i += 1;
+        Some(io)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.io_count - self.i) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for MixedPattern {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::Mode;
+
+    const KB: u64 = 1024;
+
+    fn mk(ratio: u32, count: u64) -> MixSpec {
+        let a = PatternSpec::baseline_sr(32 * KB, KB * KB, 1).with_target(0, KB * KB);
+        let b = PatternSpec::baseline_rw(32 * KB, KB * KB, 1).with_target(KB * KB, KB * KB);
+        MixSpec::new(a, b, ratio, count)
+    }
+
+    #[test]
+    fn ratio_interleaving_is_exact() {
+        let mix = mk(3, 12);
+        let procs: Vec<u16> = mix.iter().map(|io| io.process).collect();
+        assert_eq!(procs, vec![0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn modes_follow_sub_patterns() {
+        let mix = mk(2, 9);
+        for io in mix.iter() {
+            match io.process {
+                0 => assert_eq!(io.mode, Mode::Read),
+                1 => assert_eq!(io.mode, Mode::Write),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn sub_patterns_stay_in_their_windows() {
+        let mix = mk(4, 50);
+        for io in mix.iter() {
+            if io.process == 0 {
+                assert!(io.offset < KB * KB, "pattern a confined to its window");
+            } else {
+                assert!(io.offset >= KB * KB, "pattern b confined to its window");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        let mix = mk(7, 100);
+        assert_eq!(mix.iter().count(), 100);
+        assert_eq!(mix.iter().len(), 100);
+    }
+
+    #[test]
+    fn global_indices_are_dense() {
+        let mix = mk(2, 20);
+        for (k, io) in mix.iter().enumerate() {
+            assert_eq!(io.index, k as u64);
+        }
+    }
+
+    #[test]
+    fn name_format() {
+        assert_eq!(mk(4, 10).name(), "4SR/1RW");
+    }
+
+    #[test]
+    fn zero_ratio_clamps_to_one() {
+        let mix = mk(0, 8);
+        let procs: Vec<u16> = mix.iter().map(|io| io.process).collect();
+        assert_eq!(procs, vec![0, 1, 0, 1, 0, 1, 0, 1], "ratio 0 behaves as 1:1");
+    }
+}

@@ -1,0 +1,125 @@
+//! Timing functions: the `t(IOᵢ)` attribute (paper §3.1).
+//!
+//! Three functions are defined:
+//!
+//! * `consecutive` — IOᵢ₊₁ starts as soon as IOᵢ finishes
+//!   (`t(IOᵢ) = t(IOᵢ₋₁) + rt(IOᵢ₋₁)`);
+//! * `pause(Pause)` — a pause of length `Pause` between all IOs
+//!   (`t(IOᵢ) = t(IOᵢ₋₁) + rt(IOᵢ₋₁) + Pause`);
+//! * `burst(Pause, Burst)` — pauses between groups of `Burst` IOs; the
+//!   paper's Table 1 formula is
+//!   `t(IOᵢ) = t(IOᵢ₋₁) + rt(IOᵢ₋₁) + (i mod Burst == 0 ? Pause : 0)`
+//!   (a pause before each new burst group).
+//!
+//! The paper notes `pause(p) = burst(1, p)` and `consecutive =
+//! burst(0, –)`; [`TimingFn::delay_before`] satisfies those identities
+//! and a unit test pins them down.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The timing function of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingFn {
+    /// Each IO submits as soon as the previous one completes.
+    Consecutive,
+    /// A fixed pause between consecutive IOs.
+    Pause(Duration),
+    /// A pause between groups of `burst` IOs.
+    Burst {
+        /// Pause inserted between groups.
+        pause: Duration,
+        /// Number of IOs per group (must be ≥ 1).
+        burst: u32,
+    },
+}
+
+impl TimingFn {
+    /// The idle delay inserted before submitting IOᵢ (after IOᵢ₋₁
+    /// completed). IO₀ is always submitted immediately.
+    pub fn delay_before(&self, i: u64) -> Duration {
+        if i == 0 {
+            return Duration::ZERO;
+        }
+        match *self {
+            TimingFn::Consecutive => Duration::ZERO,
+            TimingFn::Pause(p) => p,
+            TimingFn::Burst { pause, burst } => {
+                let burst = u64::from(burst.max(1));
+                if i.is_multiple_of(burst) {
+                    pause
+                } else {
+                    Duration::ZERO
+                }
+            }
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            TimingFn::Consecutive => "consecutive".to_string(),
+            TimingFn::Pause(p) => format!("pause({:?})", p),
+            TimingFn::Burst { pause, burst } => format!("burst({:?}, {})", pause, burst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn consecutive_never_delays() {
+        for i in 0..100 {
+            assert_eq!(TimingFn::Consecutive.delay_before(i), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn pause_delays_every_io_but_the_first() {
+        let f = TimingFn::Pause(MS);
+        assert_eq!(f.delay_before(0), Duration::ZERO);
+        for i in 1..50 {
+            assert_eq!(f.delay_before(i), MS);
+        }
+    }
+
+    #[test]
+    fn burst_delays_at_group_boundaries() {
+        let f = TimingFn::Burst { pause: MS, burst: 3 };
+        let delays: Vec<bool> =
+            (0..9).map(|i| f.delay_before(i) == MS).collect();
+        assert_eq!(
+            delays,
+            vec![false, false, false, true, false, false, true, false, false],
+            "pause before IO 3 and IO 6 (groups of 3)"
+        );
+    }
+
+    #[test]
+    fn paper_identity_pause_equals_burst_of_one() {
+        let pause = TimingFn::Pause(MS);
+        let burst1 = TimingFn::Burst { pause: MS, burst: 1 };
+        for i in 0..64 {
+            assert_eq!(pause.delay_before(i), burst1.delay_before(i), "pause(p) = burst(1, p)");
+        }
+    }
+
+    #[test]
+    fn paper_identity_consecutive_equals_zero_pause_burst() {
+        let consecutive = TimingFn::Consecutive;
+        let burst0 = TimingFn::Burst { pause: Duration::ZERO, burst: 7 };
+        for i in 0..64 {
+            assert_eq!(consecutive.delay_before(i), burst0.delay_before(i));
+        }
+    }
+
+    #[test]
+    fn zero_burst_is_clamped_to_one() {
+        let f = TimingFn::Burst { pause: MS, burst: 0 };
+        assert_eq!(f.delay_before(1), MS, "burst clamps to 1 (defensive)");
+    }
+}

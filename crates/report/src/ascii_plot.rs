@@ -1,0 +1,166 @@
+//! Terminal plots for the bench binaries (Figures 3–8).
+//!
+//! Minimal dependency-free scatter/line rendering: good enough to see
+//! start-up phases, oscillations and knees directly in a terminal, with
+//! optional logarithmic axes (the paper plots response times on log
+//! scales).
+
+/// Plot configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotConfig {
+    /// Plot width in characters (data area).
+    pub width: usize,
+    /// Plot height in characters (data area).
+    pub height: usize,
+    /// Logarithmic x axis.
+    pub log_x: bool,
+    /// Logarithmic y axis.
+    pub log_y: bool,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig { width: 72, height: 20, log_x: false, log_y: true }
+    }
+}
+
+const MARKERS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+fn transform(v: f64, log: bool) -> f64 {
+    if log {
+        v.max(1e-12).log10()
+    } else {
+        v
+    }
+}
+
+/// Render one or more named series as an ASCII plot.
+///
+/// Each series is a list of `(x, y)` points; series are overlaid with
+/// distinct markers and listed in the legend.
+pub fn plot(title: &str, series: &[(&str, &[(f64, f64)])], cfg: &PlotConfig) -> String {
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        let tx = transform(x, cfg.log_x);
+        let ty = transform(y, cfg.log_y);
+        x_min = x_min.min(tx);
+        x_max = x_max.max(tx);
+        y_min = y_min.min(ty);
+        y_max = y_max.max(ty);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; cfg.width]; cfg.height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in pts.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let tx = transform(x, cfg.log_x);
+            let ty = transform(y, cfg.log_y);
+            let col = ((tx - x_min) / (x_max - x_min) * (cfg.width - 1) as f64).round() as usize;
+            let row = ((ty - y_min) / (y_max - y_min) * (cfg.height - 1) as f64).round() as usize;
+            let row = cfg.height - 1 - row.min(cfg.height - 1);
+            grid[row][col.min(cfg.width - 1)] = marker;
+        }
+    }
+    let untransform = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_hi = untransform(y_max, cfg.log_y);
+    let y_lo = untransform(y_min, cfg.log_y);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:>9.3} |")
+        } else if i == cfg.height - 1 {
+            format!("{y_lo:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(cfg.width)));
+    out.push_str(&format!(
+        "{:>10} {:<.3} {:>width$.3}\n",
+        "",
+        untransform(x_min, cfg.log_x),
+        untransform(x_max, cfg.log_x),
+        width = cfg.width - 6
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], name));
+    }
+    out
+}
+
+/// Convenience: plot a response-time trace (IO index vs milliseconds).
+pub fn plot_trace(title: &str, rts_ms: &[f64], cfg: &PlotConfig) -> String {
+    let pts: Vec<(f64, f64)> = rts_ms.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+    plot(title, &[("rt", &pts)], cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let pts_a = vec![(1.0, 1.0), (2.0, 10.0), (3.0, 100.0)];
+        let pts_b = vec![(1.0, 50.0), (3.0, 2.0)];
+        let out = plot(
+            "test",
+            &[("alpha", pts_a.as_slice()), ("beta", pts_b.as_slice())],
+            &PlotConfig::default(),
+        );
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("alpha"));
+        assert!(out.contains("beta"));
+        assert!(out.lines().count() > 20);
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let out = plot("empty", &[("none", &[])], &PlotConfig::default());
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn single_point_is_plotted() {
+        let out = plot("one", &[("p", &[(5.0, 5.0)])], &PlotConfig::default());
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn trace_plot_has_expected_height() {
+        let rts: Vec<f64> = (0..100).map(|i| if i % 10 == 0 { 50.0 } else { 1.0 }).collect();
+        let cfg = PlotConfig { height: 12, ..Default::default() };
+        let out = plot_trace("trace", &rts, &cfg);
+        let data_lines = out.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(data_lines, 12);
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let pts = vec![(1.0, f64::NAN), (2.0, 3.0), (f64::INFINITY, 1.0)];
+        let out = plot("nan", &[("s", pts.as_slice())], &PlotConfig::default());
+        assert!(out.contains('*'), "finite point still plotted");
+    }
+}

@@ -1,0 +1,33 @@
+//! # uflip-report — analysis and reporting
+//!
+//! Turns uFLIP run traces into the paper's published artifacts:
+//!
+//! * [`summary`] — the full device-characterization protocol behind
+//!   **Table 3**: baselines at 32 KB, pause effect, locality area,
+//!   partitioning limit, and the order-pattern ratios;
+//! * [`locality`] / [`partition`] — knee and limit extraction from
+//!   parameter sweeps (Figure 8 and the Partitioning column);
+//! * [`hints`] — the seven design hints of §5.3, each evaluated against
+//!   measured data rather than asserted;
+//! * [`ascii_plot`] — terminal scatter/line plots used by the bench
+//!   binaries to render Figures 3–8;
+//! * [`csv`] / [`json`] — machine-readable outputs (the uflip.org site
+//!   published "tens of millions of data points"; we keep that spirit).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii_plot;
+pub mod csv;
+pub mod hints;
+pub mod json;
+pub mod locality;
+pub mod partition;
+pub mod summary;
+pub mod wear;
+
+pub use hints::{evaluate_hints, HintReport};
+pub use locality::locality_knee;
+pub use partition::partition_limit;
+pub use summary::{characterize, CharacterizeConfig, DeviceSummary};
+pub use wear::WearReport;

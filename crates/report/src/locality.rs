@@ -1,0 +1,127 @@
+//! Locality-knee extraction (Figure 8 / Table 3 "Locality" column).
+//!
+//! Table 3 reports, per device, "the size of 'locality area' for random
+//! writes in MB and, in parentheses, the maximum cost of random writes
+//! within that area relative to the average cost for sequential
+//! writes". The knee is where confining random writes stops helping:
+//! below it they cost close to sequential writes, above it they cost
+//! like unconstrained random writes.
+
+/// A detected locality area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityKnee {
+    /// Largest target size (bytes) that still behaves "locally".
+    pub area_bytes: u64,
+    /// Maximum mean random-write cost within the area, relative to the
+    /// sequential-write mean.
+    pub max_ratio_vs_sw: f64,
+}
+
+/// Extract the locality knee from a `(target_size_bytes, mean_rt_ms)`
+/// sweep (ascending target sizes), given the device's sequential-write
+/// mean and its *unconstrained* random-write mean (the RW baseline —
+/// not the last sweep point, which on small devices may itself still be
+/// confined).
+///
+/// A point is "local" while `mean(T) ≤ local_factor × sw_mean_ms`
+/// **or** `mean(T) ≤ full_rw_ms / relief_factor` — a device counts as
+/// having a locality area if confinement either brings writes near
+/// sequential cost or at least several times below the unconstrained
+/// cost. Returns `None` when even the smallest non-trivial area shows
+/// no benefit (Kingston DTI's "No" cell).
+pub fn locality_knee(
+    series: &[(u64, f64)],
+    sw_mean_ms: f64,
+    full_rw_ms: f64,
+    local_factor: f64,
+    relief_factor: f64,
+) -> Option<LocalityKnee> {
+    if series.len() < 2 || sw_mean_ms <= 0.0 {
+        return None;
+    }
+    let full = full_rw_ms;
+    let is_local = |mean: f64| -> bool {
+        mean <= local_factor * sw_mean_ms || mean <= full / relief_factor
+    };
+    // Skip the degenerate first points whose window is so small the
+    // pattern is effectively in-place (target <= 4 IOs' worth behaves
+    // like the Order micro-benchmark, not like locality).
+    let mut knee: Option<LocalityKnee> = None;
+    let mut max_ratio: f64 = 0.0;
+    for &(t, mean) in series {
+        if !is_local(mean) {
+            break;
+        }
+        max_ratio = max_ratio.max(mean / sw_mean_ms);
+        knee = Some(LocalityKnee { area_bytes: t, max_ratio_vs_sw: max_ratio });
+    }
+    knee
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    /// Memoright-like: RW ≈ SW up to 8 MB, then jumps to ~5 ms.
+    #[test]
+    fn memoright_like_knee_at_8mb() {
+        let series: Vec<(u64, f64)> = vec![
+            (MB, 0.32),
+            (2 * MB, 0.33),
+            (4 * MB, 0.35),
+            (8 * MB, 0.40),
+            (16 * MB, 3.0),
+            (32 * MB, 4.5),
+            (128 * MB, 5.0),
+        ];
+        let knee = locality_knee(&series, 0.3, 5.0, 3.0, 3.0).expect("knee exists");
+        assert_eq!(knee.area_bytes, 8 * MB);
+        assert!(knee.max_ratio_vs_sw < 1.5, "within the area RW ≈ SW (the '=' cell)");
+    }
+
+    /// DTI-like: no benefit at any size.
+    #[test]
+    fn dti_like_has_no_knee() {
+        let series: Vec<(u64, f64)> = vec![
+            (MB, 240.0),
+            (4 * MB, 250.0),
+            (16 * MB, 255.0),
+            (64 * MB, 256.0),
+        ];
+        assert!(locality_knee(&series, 2.9, 256.0, 3.0, 3.0).is_none());
+    }
+
+    /// DTHX-like: big relief (×20 SW but ÷7 vs full cost) up to 16 MB.
+    #[test]
+    fn dthx_like_relief_counts_as_locality() {
+        let series: Vec<(u64, f64)> = vec![
+            (2 * MB, 30.0),
+            (4 * MB, 33.0),
+            (8 * MB, 35.0),
+            (16 * MB, 36.0),
+            (32 * MB, 250.0),
+            (64 * MB, 270.0),
+        ];
+        let knee = locality_knee(&series, 1.8, 270.0, 3.0, 3.0).expect("relief knee");
+        assert_eq!(knee.area_bytes, 16 * MB);
+        assert!(knee.max_ratio_vs_sw > 10.0, "×20-ish relative to SW");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(locality_knee(&[], 1.0, 1.0, 3.0, 3.0).is_none());
+        assert!(locality_knee(&[(MB, 1.0)], 1.0, 1.0, 3.0, 3.0).is_none());
+        assert!(locality_knee(&[(MB, 1.0), (2 * MB, 1.0)], 0.0, 1.0, 3.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn knee_ratio_is_the_maximum_within_area() {
+        let series: Vec<(u64, f64)> =
+            vec![(MB, 0.5), (2 * MB, 2.0), (4 * MB, 1.0), (8 * MB, 50.0)];
+        let knee = locality_knee(&series, 1.0, 50.0, 3.0, 3.0).unwrap();
+        assert_eq!(knee.area_bytes, 4 * MB);
+        assert!((knee.max_ratio_vs_sw - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Partitioning-limit extraction (Table 3 "Partitioning" column).
+//!
+//! "The column shows the number of concurrent partitions that can be
+//! written to without significant degradation of the performance, as
+//! well as the cost of the writes relative to sequential writes to a
+//! single partition. Note that when writing to more partitions than
+//! indicated in this column, the write performance degrades
+//! significantly."
+
+/// A detected partitioning limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionLimit {
+    /// Largest partition count without significant degradation.
+    pub partitions: u32,
+    /// Cost at that count relative to the single-partition cost.
+    pub ratio_vs_single: f64,
+}
+
+/// Extract the limit from a `(partitions, mean_rt_ms)` sweep (ascending
+/// partition counts, first point = 1 partition).
+///
+/// The limit is the last count before the *step*: the point where the
+/// mean jumps by more than `step_factor` relative to the previous
+/// point (significant degradation), or exceeds `cap_factor` × the
+/// single-partition cost.
+pub fn partition_limit(
+    series: &[(u32, f64)],
+    step_factor: f64,
+    cap_factor: f64,
+) -> Option<PartitionLimit> {
+    let &(first_p, single) = series.first()?;
+    if single <= 0.0 || first_p != 1 {
+        return None;
+    }
+    let mut limit = PartitionLimit { partitions: 1, ratio_vs_single: 1.0 };
+    let mut prev = single;
+    for &(p, mean) in &series[1..] {
+        let stepped = mean > prev * step_factor;
+        let capped = mean > single * cap_factor;
+        if stepped || capped {
+            break;
+        }
+        limit = PartitionLimit { partitions: p, ratio_vs_single: mean / single };
+        prev = mean;
+    }
+    Some(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Memoright-like: flat to 8, cliff at 16.
+    #[test]
+    fn flat_then_cliff() {
+        let series =
+            vec![(1, 0.3), (2, 0.31), (4, 0.32), (8, 0.35), (16, 3.0), (32, 5.0)];
+        let l = partition_limit(&series, 3.0, 4.0).unwrap();
+        assert_eq!(l.partitions, 8);
+        assert!(l.ratio_vs_single < 1.3, "the '=' cell");
+    }
+
+    /// Mtron-like: mild growth to 4 (×1.5), cliff beyond.
+    #[test]
+    fn mild_growth_then_cliff() {
+        let series = vec![(1, 0.4), (2, 0.5), (4, 0.6), (8, 4.0), (16, 9.0)];
+        let l = partition_limit(&series, 3.0, 4.0).unwrap();
+        assert_eq!(l.partitions, 4);
+        assert!((l.ratio_vs_single - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn cap_factor_limits_slow_creep() {
+        // Cost creeps ×2 per step — never a single ×3 jump, but far from
+        // the single-partition cost by p=8. The cap (strictly greater
+        // than cap_factor × single) stops the creep at ×4.
+        let series = vec![(1, 1.0), (2, 2.0), (4, 4.0), (8, 8.0)];
+        let l = partition_limit(&series, 3.0, 4.0).unwrap();
+        assert_eq!(l.partitions, 4, "p=4 sits exactly at the ×4 cap (allowed); p=8 exceeds it");
+        assert!((l.ratio_vs_single - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requires_single_partition_reference() {
+        assert!(partition_limit(&[], 3.0, 4.0).is_none());
+        assert!(partition_limit(&[(2, 1.0)], 3.0, 4.0).is_none());
+    }
+
+    #[test]
+    fn immediate_cliff_gives_limit_one() {
+        let series = vec![(1, 1.0), (2, 10.0)];
+        let l = partition_limit(&series, 3.0, 4.0).unwrap();
+        assert_eq!(l.partitions, 1);
+        assert_eq!(l.ratio_vs_single, 1.0);
+    }
+}

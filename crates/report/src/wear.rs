@@ -1,0 +1,145 @@
+//! White-box wear and write-amplification analysis.
+//!
+//! The paper's footnote 1 explains why uFLIP does not measure aging:
+//! "reaching the erase limit (with wear leveling) may take years" on
+//! real hardware. The simulator removes that barrier: every simulated
+//! device exposes its NAND-level counters, so we can report the *write
+//! amplification* each IO pattern causes and the wear-leveling quality
+//! (erase-count imbalance) — the quantities that determine device
+//! lifetime but are invisible through the block interface.
+
+use serde::Serialize;
+use uflip_device::{BlockDevice, SimDevice};
+
+/// Wear and amplification snapshot for one device after a workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WearReport {
+    /// Device name.
+    pub device: String,
+    /// Host sectors written.
+    pub host_sectors_written: u64,
+    /// Logical pages the host wrote (after sector→page expansion).
+    pub logical_pages_written: u64,
+    /// Physical pages programmed (host + merges + copy-backs).
+    pub physical_pages_written: u64,
+    /// Write amplification factor (physical ÷ logical pages).
+    pub write_amplification: f64,
+    /// Blocks erased.
+    pub blocks_erased: u64,
+    /// Merges performed: (synchronous, asynchronous, switch).
+    pub merges: (u64, u64, u64),
+    /// Read-modify-write events (misaligned / sub-unit writes).
+    pub rmw_events: u64,
+}
+
+impl WearReport {
+    /// Snapshot a simulated device's counters.
+    pub fn from_device(dev: &SimDevice) -> WearReport {
+        let ftl = dev.ftl();
+        let host = ftl.stats();
+        let nand = ftl.nand_stats();
+        let physical = nand.physical_pages_written();
+        WearReport {
+            device: dev.name().to_string(),
+            host_sectors_written: host.sectors_written,
+            logical_pages_written: host.logical_pages_written,
+            physical_pages_written: physical,
+            write_amplification: host.write_amplification(physical),
+            blocks_erased: nand.physical_blocks_erased(),
+            merges: (host.sync_merges, host.async_merges, host.switch_merges),
+            rmw_events: host.rmw_events,
+        }
+    }
+
+    /// Difference of two snapshots (before/after a workload).
+    pub fn delta(&self, earlier: &WearReport) -> WearReport {
+        WearReport {
+            device: self.device.clone(),
+            host_sectors_written: self.host_sectors_written - earlier.host_sectors_written,
+            logical_pages_written: self.logical_pages_written - earlier.logical_pages_written,
+            physical_pages_written: self.physical_pages_written - earlier.physical_pages_written,
+            write_amplification: if self.logical_pages_written > earlier.logical_pages_written {
+                (self.physical_pages_written - earlier.physical_pages_written) as f64
+                    / (self.logical_pages_written - earlier.logical_pages_written) as f64
+            } else {
+                0.0
+            },
+            blocks_erased: self.blocks_erased - earlier.blocks_erased,
+            merges: (
+                self.merges.0 - earlier.merges.0,
+                self.merges.1 - earlier.merges.1,
+                self.merges.2 - earlier.merges.2,
+            ),
+            rmw_events: self.rmw_events - earlier.rmw_events,
+        }
+    }
+
+    /// One-line rendering for reports.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<18} WA {:>5.2}  erases {:>7}  merges s/a/sw {:>5}/{:>5}/{:>5}  rmw {:>5}",
+            self.device,
+            self.write_amplification,
+            self.blocks_erased,
+            self.merges.0,
+            self.merges.1,
+            self.merges.2,
+            self.rmw_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_device::profiles::catalog;
+
+    #[test]
+    fn random_writes_amplify_more_than_sequential() {
+        // The white-box counterpart of the paper's RW ≫ SW asymmetry:
+        // random writes move more physical data per logical write.
+        let measure = |sequential: bool| -> f64 {
+            let mut dev = catalog::samsung().build_sim(5);
+            // Age the device first so merges have work to do.
+            uflip_core::methodology::state::enforce_random_state(
+                dev.as_mut(),
+                128 * 1024,
+                1.5,
+                5,
+            )
+            .expect("state");
+            let before = WearReport::from_device(&dev);
+            let window = 32 * 1024 * 1024u64;
+            let spec = if sequential {
+                uflip_patterns::PatternSpec::baseline_sw(32 * 1024, window, 256)
+            } else {
+                uflip_patterns::PatternSpec::baseline_rw(32 * 1024, window, 256)
+            };
+            uflip_core::executor::execute_run(dev.as_mut(), &spec).expect("run");
+            WearReport::from_device(&dev).delta(&before).write_amplification
+        };
+        let wa_seq = measure(true);
+        let wa_rnd = measure(false);
+        assert!(
+            wa_rnd > wa_seq * 2.0,
+            "random WA ({wa_rnd:.2}) must exceed sequential WA ({wa_seq:.2})"
+        );
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let dev = catalog::kingston_dti().build_sim(1);
+        let a = WearReport::from_device(&dev);
+        let b = WearReport::from_device(&dev);
+        let d = b.delta(&a);
+        assert_eq!(d.blocks_erased, 0);
+        assert_eq!(d.write_amplification, 0.0);
+    }
+
+    #[test]
+    fn row_renders() {
+        let dev = catalog::mtron().build_sim(1);
+        let r = WearReport::from_device(&dev);
+        assert!(r.row().contains("mtron"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Characterize a device: run the full Table 3 protocol against one
+//! simulated device (default: Samsung) or, with `--file PATH SIZE_MB`,
+//! against a real file/block device through O_DIRECT.
+//!
+//! ```text
+//! cargo run --release --example characterize_device -- samsung
+//! cargo run --release --example characterize_device -- --file /dev/sdX 1024
+//! ```
+
+use std::time::Duration;
+use uflip::device::profiles::catalog;
+use uflip::device::DirectIoFile;
+use uflip::report::summary::{characterize, CharacterizeConfig, DeviceSummary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CharacterizeConfig::quick();
+    println!("{}", DeviceSummary::table3_header());
+    if args.first().map(String::as_str) == Some("--file") {
+        let path = std::path::PathBuf::from(args.get(1).expect("--file needs a path"));
+        let size_mb: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(256);
+        // Real hardware: wall-clock timing, real O_DIRECT IO. The state
+        // enforcement writes the whole target twice — be careful with
+        // real devices; this is the paper's methodology.
+        let mut dev = DirectIoFile::open(&path, size_mb * 1024 * 1024).expect("open target");
+        cfg.inter_run_pause = Duration::from_secs(1);
+        let summary = characterize(&mut dev, &cfg).expect("characterize");
+        println!("{}", summary.table3_row());
+    } else {
+        let id = args.first().map(String::as_str).unwrap_or("samsung");
+        let profile = catalog::by_id(id).unwrap_or_else(|| {
+            eprintln!("unknown device '{id}'; using samsung. Known ids:");
+            for p in catalog::all() {
+                eprintln!("  {}", p.id);
+            }
+            catalog::samsung()
+        });
+        let mut dev = profile.build_sim(0xF11B);
+        let summary = characterize(dev.as_mut(), &cfg).expect("characterize");
+        println!("{}", summary.table3_row());
+    }
+}

@@ -1,0 +1,47 @@
+//! Derive the paper's 5.3 design hints from fresh measurements on
+//! three simulated devices (one per FTL family).
+//!
+//! ```text
+//! cargo run --release --example design_hints
+//! ```
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::PatternSpec;
+use uflip::report::hints::evaluate_hints;
+use uflip::report::summary::{characterize, CharacterizeConfig};
+
+fn main() {
+    let mut cfg = CharacterizeConfig::quick();
+    cfg.enforce_state = false;
+    let mut summaries = Vec::new();
+    for profile in [catalog::memoright(), catalog::samsung(), catalog::kingston_dti()] {
+        eprintln!("characterizing {} ...", profile.id);
+        let mut dev = profile.build_sim(1);
+        enforce_random_state(dev.as_mut(), 128 * 1024, 2.0, 1).expect("state");
+        dev.idle(Duration::from_secs(5));
+        summaries.push(characterize(dev.as_mut(), &cfg).expect("characterize"));
+    }
+    // Granularity series for Hint 1.
+    let mut dev = catalog::memoright().build_sim(1);
+    let mut series = Vec::new();
+    for kb in [1u64, 4, 32, 128, 512] {
+        let spec = PatternSpec::baseline_sr(kb * 1024, 64 * 1024 * 1024, 128);
+        let run = execute_run(dev.as_mut(), &spec).expect("SR");
+        let mean =
+            run.rts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / run.rts.len() as f64 * 1e3;
+        series.push((kb as f64 * 1024.0, mean));
+    }
+    for h in evaluate_hints(&summaries, &series) {
+        println!(
+            "Hint {}: {}\n  verdict: {}\n  evidence: {}\n",
+            h.id,
+            h.title,
+            if h.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+            h.evidence
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! External sort on flash: an application of Hint 5.
+//!
+//! The paper motivates the Partitioning micro-benchmark with "a merge
+//! operation of several buckets during external sort" (3.2). This
+//! example sizes an external-sort merge fan-out for a flash device: it
+//! measures partitioned sequential writes at increasing fan-out on a
+//! simulated mid-range SSD and reports the largest fan-out that stays
+//! near sequential speed — exactly what a query engine should use when
+//! writing run files to this device.
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::{LbaFn, Mode, PatternSpec};
+
+fn main() {
+    let profile = catalog::samsung();
+    let mut dev = profile.build_sim(7);
+    enforce_random_state(dev.as_mut(), 128 * 1024, 2.0, 7).expect("state");
+    dev.idle(Duration::from_secs(5));
+    let window = 96 * 1024 * 1024u64;
+    println!("External-sort write fan-out on {} ({}):", profile.id, profile.ftl_family());
+    println!("{:>8} {:>12} {:>14}", "fan-out", "mean ms/IO", "vs sequential");
+    let mut single = 0.0f64;
+    let mut best = 1u32;
+    for fanout in [1u32, 2, 4, 8, 16, 32, 64] {
+        let spec = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * 1024, window, 768)
+            .with_lba(LbaFn::Partitioned { partitions: fanout })
+            .with_target(window, window);
+        let run = execute_run(dev.as_mut(), &spec).expect("partitioned run");
+        dev.idle(Duration::from_secs(5));
+        let mean = run.rts[192..].iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            / (run.rts.len() - 192) as f64
+            * 1e3;
+        if fanout == 1 {
+            single = mean;
+        }
+        let rel = mean / single;
+        if rel < 3.0 {
+            best = fanout;
+        }
+        println!("{fanout:>8} {mean:>12.2} {rel:>13.1}x");
+    }
+    println!(
+        "\n=> merge at most ~{best} runs per pass on this device (Hint 5: \
+         'Sequential writes should be limited to a few partitions')."
+    );
+}

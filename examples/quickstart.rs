@@ -1,0 +1,64 @@
+//! Quickstart: simulate the paper's Memoright SSD, run the four uFLIP
+//! baseline patterns at 32 KB, and print their response-time summaries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::PatternSpec;
+
+fn main() {
+    // 1. Build a simulated device from a Table 2 profile.
+    let profile = catalog::memoright();
+    let mut dev = profile.build_sim(42);
+    println!(
+        "device: {} ({} {}, {} FTL, {} MB simulated)",
+        profile.id,
+        profile.brand,
+        profile.model,
+        profile.ftl_family(),
+        dev.capacity_bytes() / (1024 * 1024)
+    );
+
+    // 2. Methodology first (paper 4.1): enforce a well-defined device
+    //    state — skipping this step yields meaningless write numbers.
+    let report = enforce_random_state(dev.as_mut(), 128 * 1024, 2.0, 42).expect("state");
+    println!(
+        "state enforced: {} random IOs, {} MB written, {:.1} virtual seconds",
+        report.ios,
+        report.bytes / (1024 * 1024),
+        report.device_time.as_secs_f64()
+    );
+    dev.idle(Duration::from_secs(5));
+
+    // 3. Run the four baseline patterns.
+    let window = 64 * 1024 * 1024;
+    for (name, spec) in [
+        ("SR", PatternSpec::baseline_sr(32 * 1024, window, 512)),
+        ("RR", PatternSpec::baseline_rr(32 * 1024, window, 512)),
+        ("SW", PatternSpec::baseline_sw(32 * 1024, window, 512).with_target(window, window)),
+        (
+            "RW",
+            PatternSpec::baseline_rw(32 * 1024, window, 1024).with_target(2 * window, window),
+        ),
+    ] {
+        let run = execute_run(dev.as_mut(), &spec).expect("run");
+        dev.idle(Duration::from_secs(5));
+        let s = run.summary_all().expect("non-empty run");
+        println!(
+            "{name}: mean {:>7.2} ms  min {:>7.2}  max {:>8.2}  stddev {:>7.2}  ({} IOs)",
+            s.mean.as_secs_f64() * 1e3,
+            s.min.as_secs_f64() * 1e3,
+            s.max.as_secs_f64() * 1e3,
+            s.stddev.as_secs_f64() * 1e3,
+            s.count
+        );
+    }
+    println!("\nNote the asymmetry: random writes cost ~10x sequential ones —");
+    println!("the paper's core observation, emerging from simulated FTL merges.");
+}

@@ -1,0 +1,60 @@
+//! Run uFLIP baselines against real storage through O_DIRECT.
+//!
+//! Without arguments this benchmarks a 64 MB scratch file in the
+//! system temp directory (useful to sanity-check the harness; the
+//! numbers then measure your filesystem + page-cache bypass, not raw
+//! flash). Point it at a raw block device to reproduce the paper's
+//! setup — **the write patterns are destructive**.
+//!
+//! ```text
+//! cargo run --release --example real_device -- /dev/sdX 1024
+//! ```
+
+use uflip::core::executor::execute_run;
+use uflip::device::{BlockDevice, DirectIoFile};
+use uflip::patterns::PatternSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, size_mb, scratch) = match args.first() {
+        Some(p) => (
+            std::path::PathBuf::from(p),
+            args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256u64),
+            false,
+        ),
+        None => (
+            std::env::temp_dir().join(format!("uflip-scratch-{}.bin", std::process::id())),
+            64,
+            true,
+        ),
+    };
+    let capacity = size_mb * 1024 * 1024;
+    let mut dev = match DirectIoFile::open(&path, capacity) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("O_DIRECT open failed ({e}); falling back to buffered IO");
+            DirectIoFile::open_buffered(&path, capacity).expect("buffered open")
+        }
+    };
+    println!("target: {} ({} MB)", dev.name(), size_mb);
+    let window = capacity / 2;
+    for (name, spec) in [
+        ("SR", PatternSpec::baseline_sr(32 * 1024, window, 256)),
+        ("RR", PatternSpec::baseline_rr(32 * 1024, window, 256)),
+        ("SW", PatternSpec::baseline_sw(32 * 1024, window, 256)),
+        ("RW", PatternSpec::baseline_rw(32 * 1024, window, 256).with_target(window, window)),
+    ] {
+        let run = execute_run(&mut dev, &spec).expect("run");
+        let s = run.summary_all().expect("non-empty");
+        println!(
+            "{name}: mean {:>9.3} ms  p95 {:>9.3} ms  max {:>9.3} ms",
+            s.mean.as_secs_f64() * 1e3,
+            s.p95.as_secs_f64() * 1e3,
+            s.max.as_secs_f64() * 1e3
+        );
+    }
+    if scratch {
+        let _ = std::fs::remove_file(&path);
+        println!("(scratch file removed; numbers reflect your filesystem, not raw flash)");
+    }
+}

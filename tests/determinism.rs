@@ -1,0 +1,43 @@
+//! Reproducibility: identical seeds must give bit-identical traces —
+//! the property that makes uFLIP comparisons across devices and runs
+//! meaningful (the paper repeated runs and found <5% variation on real
+//! hardware; the simulator is exactly deterministic).
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::PatternSpec;
+
+#[test]
+fn identical_seeds_give_identical_traces() {
+    let run_once = || {
+        let mut dev = catalog::samsung().build_sim(11);
+        enforce_random_state(dev.as_mut(), 128 * 1024, 1.2, 99).expect("state");
+        BlockDevice::idle(dev.as_mut(), Duration::from_secs(2));
+        let spec = PatternSpec::baseline_rw(32 * 1024, 32 << 20, 200).with_seed(5);
+        execute_run(dev.as_mut(), &spec).expect("run").rts
+    };
+    assert_eq!(run_once(), run_once(), "simulation must be deterministic");
+}
+
+#[test]
+fn different_pattern_seeds_change_write_traces() {
+    let run_with = |seed: u64| {
+        let mut dev = catalog::samsung().build_sim(11);
+        enforce_random_state(dev.as_mut(), 128 * 1024, 1.2, 99).expect("state");
+        let spec = PatternSpec::baseline_rw(32 * 1024, 32 << 20, 200).with_seed(seed);
+        execute_run(dev.as_mut(), &spec).expect("run").rts
+    };
+    assert_ne!(run_with(1), run_with(2), "the LBA stream must depend on the seed");
+}
+
+#[test]
+fn state_enforcement_is_seed_stable() {
+    let io_count = |seed: u64| {
+        let mut dev = catalog::kingston_dti().build_sim(1);
+        enforce_random_state(dev.as_mut(), 128 * 1024, 1.0, seed).expect("state").ios
+    };
+    assert_eq!(io_count(42), io_count(42));
+}

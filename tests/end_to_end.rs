@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the full uFLIP pipeline — profiles →
+//! state enforcement → patterns → executor → phase analysis → summary —
+//! asserting the paper's qualitative findings hold end-to-end on the
+//! simulated devices.
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::phases::detect_phases;
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::PatternSpec;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn mean_ms(rts: &[Duration]) -> f64 {
+    rts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rts.len() as f64 * 1e3
+}
+
+/// Prepare a device with the 4.1 methodology.
+fn prepared(profile: &uflip::device::DeviceProfile) -> Box<uflip::device::SimDevice> {
+    let mut dev = profile.build_sim(0xF11B);
+    enforce_random_state(dev.as_mut(), 128 * KB, 1.5, 0xF11B).expect("state");
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    dev
+}
+
+#[test]
+fn every_representative_device_shows_the_write_asymmetry() {
+    // The paper's core observation: random writes cost much more than
+    // sequential writes on every device, after proper state enforcement.
+    for profile in catalog::representative() {
+        let mut dev = prepared(&profile);
+        let window = (64 * MB).min(dev.capacity_bytes() / 4);
+        let sw = execute_run(
+            dev.as_mut(),
+            &PatternSpec::baseline_sw(32 * KB, window, 256).with_target(0, window),
+        )
+        .expect("SW");
+        BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+        let rw = execute_run(
+            dev.as_mut(),
+            &PatternSpec::baseline_rw(32 * KB, window, 512).with_target(2 * window, window),
+        )
+        .expect("RW");
+        let sw_ms = mean_ms(&sw.rts);
+        let rw_ms = mean_ms(&rw.rts[128..]);
+        assert!(
+            rw_ms > 3.0 * sw_ms,
+            "{}: RW ({rw_ms:.2} ms) must dwarf SW ({sw_ms:.2} ms)",
+            profile.id
+        );
+    }
+}
+
+#[test]
+fn reads_are_uniform_and_cheap_everywhere() {
+    // 5.2: "the performance of reads is excellent" — SR and RR are
+    // within a small factor of each other on flash (no seek penalty).
+    for profile in catalog::representative() {
+        let mut dev = prepared(&profile);
+        let window = (64 * MB).min(dev.capacity_bytes() / 4);
+        let sr = execute_run(dev.as_mut(), &PatternSpec::baseline_sr(32 * KB, window, 256))
+            .expect("SR");
+        let rr = execute_run(dev.as_mut(), &PatternSpec::baseline_rr(32 * KB, window, 256))
+            .expect("RR");
+        let ratio = mean_ms(&rr.rts) / mean_ms(&sr.rts);
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "{}: RR/SR ratio {ratio:.2} outside the flash-typical band",
+            profile.id
+        );
+    }
+}
+
+#[test]
+fn dti_sequential_write_oscillation_has_period_128() {
+    // Figure 4: the Kingston DTI oscillates with period = AU size /
+    // IO size = 4 MB / 32 KB = 128.
+    let profile = catalog::kingston_dti();
+    let mut dev = prepared(&profile);
+    let window = (48 * MB).min(dev.capacity_bytes() / 4);
+    let sw = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline_sw(32 * KB, window, 512).with_target(window, window),
+    )
+    .expect("SW");
+    let phases = detect_phases(&sw.rts);
+    assert_eq!(phases.start_up, 0, "no start-up phase on the DTI");
+    assert!(
+        (100..=156).contains(&phases.period),
+        "oscillation period {} should be ~128",
+        phases.period
+    );
+}
+
+#[test]
+fn high_end_ssd_shows_startup_phase_after_idle() {
+    // Figure 3: after a long idle the Mtron's random writes start with
+    // a run of cheap IOs (the background-reclaimed reserve).
+    let profile = catalog::mtron();
+    let mut dev = prepared(&profile);
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(30));
+    let window = (64 * MB).min(dev.capacity_bytes() / 4);
+    let rw = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline_rw(32 * KB, window, 600).with_target(window, window),
+    )
+    .expect("RW");
+    let phases = detect_phases(&rw.rts);
+    assert!(
+        phases.start_up >= 30,
+        "start-up phase of {} IOs too short for a reclaimed reserve",
+        phases.start_up
+    );
+    assert!(phases.variability > 5.0, "running phase must oscillate");
+}
+
+#[test]
+fn samsung_absorbs_in_place_rewrites_in_cache() {
+    // Table 3: Samsung in-place (Incr = 0) is *cheaper* than SW (x0.6).
+    let profile = catalog::samsung();
+    let mut dev = prepared(&profile);
+    let window = (64 * MB).min(dev.capacity_bytes() / 4);
+    let sw = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline_sw(32 * KB, window, 256).with_target(0, window),
+    )
+    .expect("SW");
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    let inplace = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline(
+            uflip::patterns::LbaFn::Ordered { incr: 0 },
+            uflip::patterns::Mode::Write,
+            32 * KB,
+            window,
+            256,
+        )
+        .with_target(0, window),
+    )
+    .expect("in-place");
+    assert!(
+        mean_ms(&inplace.rts) < mean_ms(&sw.rts),
+        "cache dedup must make in-place cheaper than SW"
+    );
+}
+
+#[test]
+fn dti_in_place_is_pathological() {
+    // Table 3: DTI in-place is x40 SW.
+    let profile = catalog::kingston_dti();
+    let mut dev = prepared(&profile);
+    let window = (48 * MB).min(dev.capacity_bytes() / 4);
+    let sw = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline_sw(32 * KB, window, 256).with_target(0, window),
+    )
+    .expect("SW");
+    let inplace = execute_run(
+        dev.as_mut(),
+        &PatternSpec::baseline(
+            uflip::patterns::LbaFn::Ordered { incr: 0 },
+            uflip::patterns::Mode::Write,
+            32 * KB,
+            window,
+            128,
+        )
+        .with_target(window, window),
+    )
+    .expect("in-place");
+    let ratio = mean_ms(&inplace.rts) / mean_ms(&sw.rts);
+    assert!(ratio > 10.0, "DTI in-place must be pathological (x{ratio:.1})");
+}
+
+#[test]
+fn pause_effect_only_on_async_reclaim_devices() {
+    // Table 3 column 5: pacing helps the high-end SSDs, not the others.
+    use uflip::patterns::TimingFn;
+    let check = |profile: &uflip::device::DeviceProfile, expect_effect: bool| {
+        let mut dev = prepared(profile);
+        let window = (64 * MB).min(dev.capacity_bytes() / 4);
+        let rw_spec =
+            PatternSpec::baseline_rw(32 * KB, window, 512).with_target(window, window);
+        let rw = execute_run(dev.as_mut(), &rw_spec).expect("RW");
+        BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+        let rw_ms = mean_ms(&rw.rts[128..]);
+        let paced_spec = rw_spec
+            .with_timing(TimingFn::Pause(Duration::from_secs_f64(2.0 * rw_ms / 1e3)));
+        let paced = execute_run(dev.as_mut(), &paced_spec).expect("paced RW");
+        let paced_ms = mean_ms(&paced.rts[128..]);
+        if expect_effect {
+            assert!(
+                paced_ms < 0.6 * rw_ms,
+                "{}: pacing should collapse RW cost ({rw_ms:.2} -> {paced_ms:.2})",
+                profile.id
+            );
+        } else {
+            assert!(
+                paced_ms > 0.7 * rw_ms,
+                "{}: pacing should not help ({rw_ms:.2} -> {paced_ms:.2})",
+                profile.id
+            );
+        }
+    };
+    check(&catalog::memoright(), true);
+    check(&catalog::samsung(), false);
+    check(&catalog::kingston_dti(), false);
+}
+
+#[test]
+fn fresh_device_anomaly_matches_section_4_1() {
+    // 4.1: out-of-the-box the Samsung showed excellent random writes;
+    // after writing the whole device they degraded by almost an order
+    // of magnitude.
+    let profile = catalog::samsung();
+    let spec = PatternSpec::baseline_rw(32 * KB, 64 * MB, 256);
+    let mut fresh = profile.build_sim(3);
+    let fresh_rw = execute_run(fresh.as_mut(), &spec).expect("fresh");
+    let mut aged = prepared(&profile);
+    let aged_rw = execute_run(aged.as_mut(), &spec).expect("aged");
+    let ratio = mean_ms(&aged_rw.rts) / mean_ms(&fresh_rw.rts);
+    assert!(ratio > 4.0, "aging must degrade random writes strongly (x{ratio:.1})");
+}

@@ -1,0 +1,109 @@
+//! Failure injection: wear-out, bad blocks, and capacity-edge behaviour
+//! of the simulated devices — the end-of-life conditions wear-leveling
+//! postpones (paper §2.1: chips endure 10⁵–10⁶ erases; "bad cells and
+//! worn-out cells are tracked and accounted for").
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::device::BlockDevice;
+use uflip::ftl::{Ftl, HybridLogConfig, HybridLogFtl, PageMapConfig, PageMapFtl};
+use uflip::nand::{ChipConfig, ProgramOrder};
+use uflip::patterns::PatternSpec;
+
+/// A hybrid FTL on chips with a tiny erase endurance: sustained random
+/// rewrites must eventually fail with `OutOfPhysicalBlocks` (device
+/// end-of-life), not panic or corrupt state.
+#[test]
+fn worn_out_device_fails_cleanly() {
+    let mut cfg = HybridLogConfig::tiny();
+    cfg.array.chip.program_order = ProgramOrder::Ascending;
+    cfg.array.chip.wear_limit = 40; // absurdly low endurance
+    let mut ftl = HybridLogFtl::new(cfg).expect("config");
+    let spp = 1u64; // 512 B pages in the tiny geometry
+    let pages = ftl.capacity_bytes() / 512;
+    let mut failed = false;
+    let mut x = 77u64;
+    for _ in 0..200_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let lpn = x % pages;
+        match ftl.write(lpn * spp * 512 / 512, 1) {
+            Ok(_) => {}
+            Err(e) => {
+                // End-of-life must surface as a structured error.
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("worn out") || msg.contains("bad block"),
+                    "unexpected failure mode: {msg}"
+                );
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "a 40-cycle endurance device must wear out under churn");
+}
+
+/// Page-map FTL under the same abuse: also a clean failure.
+#[test]
+fn page_map_wears_out_cleanly() {
+    let mut cfg = PageMapConfig::tiny();
+    cfg.array.chip.wear_limit = 40;
+    let mut ftl = PageMapFtl::new(cfg).expect("config");
+    let pages = ftl.capacity_bytes() / 512;
+    let mut x = 5u64;
+    let mut failed = false;
+    for _ in 0..200_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        match ftl.write(x % pages, 1) {
+            Ok(_) => {}
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "endurance exhaustion must surface");
+}
+
+/// Healthy devices sustain far more work than their logical capacity —
+/// wear-leveling spreads erases so no single block dies early.
+#[test]
+fn healthy_device_survives_many_full_rewrites() {
+    let mut dev = uflip::device::profiles::catalog::kingston_dti().build_sim(9);
+    let cap = dev.capacity_bytes();
+    // Write 4x the device capacity sequentially (wrap-around).
+    let spec = PatternSpec::baseline_sw(128 * 1024, cap / 8, (cap / (128 * 1024)) as u64 / 2)
+        .with_target(0, cap / 8);
+    for _ in 0..4 {
+        execute_run(dev.as_mut(), &spec).expect("sustained rewrites must succeed");
+        dev.idle(Duration::from_secs(1));
+    }
+}
+
+/// IOs that graze the capacity boundary are either served or rejected —
+/// never silently truncated.
+#[test]
+fn capacity_edges_are_exact() {
+    let mut dev = uflip::device::profiles::catalog::transcend_mlc().build_sim(2);
+    let cap = dev.capacity_bytes();
+    assert!(dev.write(cap - 512, 512).is_ok(), "last sector writable");
+    assert!(dev.write(cap - 512, 1024).is_err(), "straddling IO rejected");
+    assert!(dev.read(cap, 512).is_err(), "read past end rejected");
+    assert!(dev.write(0, 0).is_err(), "zero-length rejected");
+}
+
+/// Chip-level fault: marking a block bad mid-run. The NAND layer must
+/// refuse operations on it, and the error must carry the address.
+#[test]
+fn bad_blocks_are_refused_with_address() {
+    use uflip::nand::{Chip, PageAddr};
+    let mut chip = Chip::new(ChipConfig::tiny());
+    chip.program_page(PageAddr { chip: 0, block: 3, page: 0 }, None).expect("healthy");
+    // Inject the fault via wear-out: erase to the limit.
+    let mut cfg = ChipConfig::tiny();
+    cfg.wear_limit = 1;
+    let mut chip = Chip::new(cfg);
+    chip.erase_block(3).expect("first erase succeeds but wears the block out");
+    let err = chip.program_page(PageAddr { chip: 0, block: 3, page: 0 }, None).unwrap_err();
+    assert!(err.to_string().contains("b3"), "error must name the bad block: {err}");
+}

@@ -1,0 +1,142 @@
+//! Micro-benchmark-level integration: each of the nine micro-benchmarks
+//! produces its paper-documented signature on an appropriate simulated
+//! device.
+
+use std::time::Duration;
+use uflip::core::executor::{execute_mixed, execute_run};
+use uflip::core::methodology::state::enforce_random_state;
+use uflip::device::profiles::catalog;
+use uflip::device::BlockDevice;
+use uflip::patterns::{LbaFn, MixSpec, Mode, PatternSpec, TimingFn};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn mean_ms(rts: &[Duration]) -> f64 {
+    rts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rts.len() as f64 * 1e3
+}
+
+fn prepared(p: &uflip::device::DeviceProfile) -> Box<uflip::device::SimDevice> {
+    let mut dev = p.build_sim(0xF11B);
+    enforce_random_state(dev.as_mut(), 128 * KB, 1.5, 0xF11B).expect("state");
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    dev
+}
+
+/// Granularity (micro-benchmark 1): sub-chunk sequential writes on the
+/// DTI cost *more per IO* than 32 KB ones (Figure 7's signature).
+#[test]
+fn granularity_small_writes_pay_rmw_on_low_end() {
+    let mut dev = prepared(&catalog::kingston_dti());
+    let w = 24 * MB;
+    let small = PatternSpec::baseline_sw(4 * KB, w, 128).with_target(w, w);
+    let small_ms = mean_ms(&execute_run(dev.as_mut(), &small).expect("small").rts);
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    let full = PatternSpec::baseline_sw(32 * KB, w, 128).with_target(2 * w, w);
+    let full_ms = mean_ms(&execute_run(dev.as_mut(), &full).expect("full").rts);
+    assert!(
+        small_ms > full_ms * 0.8,
+        "a 4 KB write ({small_ms:.2} ms) must cost nearly as much as a 32 KB one \
+         ({full_ms:.2} ms) — it rewrites the whole mapping chunk"
+    );
+}
+
+/// Alignment (2): misaligned writes are never cheaper, and touch more
+/// flash pages.
+#[test]
+fn alignment_misalignment_never_helps() {
+    let mut dev = prepared(&catalog::samsung());
+    let w = 32 * MB;
+    let aligned = PatternSpec::baseline_rw(32 * KB, w, 192).with_target(w, w);
+    let a = mean_ms(&execute_run(dev.as_mut(), &aligned).expect("aligned").rts);
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    let shifted = aligned.with_io_shift(512).with_seed(9);
+    let b = mean_ms(&execute_run(dev.as_mut(), &shifted).expect("shifted").rts);
+    assert!(b >= a * 0.95, "misaligned RW ({b:.2}) must not beat aligned ({a:.2})");
+}
+
+/// Order (5): on the high-end SSD large increments cost several times
+/// the random-write baseline (Table 3 last column).
+#[test]
+fn order_large_increments_hurt_high_end() {
+    let mut dev = prepared(&catalog::memoright());
+    let w = 96 * MB;
+    let rw = PatternSpec::baseline_rw(32 * KB, w, 512).with_target(w, w);
+    let rw_ms = mean_ms(&execute_run(dev.as_mut(), &rw).expect("rw").rts[128..]);
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    let strided = PatternSpec::baseline(LbaFn::Ordered { incr: 64 }, Mode::Write, 32 * KB, w, 512)
+        .with_target(w, w);
+    let strided_ms = mean_ms(&execute_run(dev.as_mut(), &strided).expect("strided").rts[128..]);
+    assert!(
+        strided_ms > 2.0 * rw_ms,
+        "2 MB strides ({strided_ms:.2} ms) must cost multiples of random writes ({rw_ms:.2} ms)"
+    );
+}
+
+/// Mix (7): the expensive minority pattern's cost survives inside the
+/// mix — the 4.2 warning that short mixed runs only capture the cheap
+/// start-up writes is real, and our scaled counts avoid it.
+#[test]
+fn mix_preserves_minority_write_costs() {
+    let mut dev = prepared(&catalog::kingston_dti());
+    let w = 24 * MB;
+    let sr = PatternSpec::baseline_sr(32 * KB, w, 1);
+    let rw = PatternSpec::baseline_rw(32 * KB, w, 1).with_target(w, w);
+    let mix = MixSpec::new(sr, rw, 4, 200);
+    let (run, procs) = execute_mixed(dev.as_mut(), &mix).expect("mix");
+    let writes: Vec<Duration> = run
+        .rts
+        .iter()
+        .zip(&procs)
+        .filter(|(_, &p)| p == 1)
+        .map(|(&rt, _)| rt)
+        .collect();
+    let reads: Vec<Duration> = run
+        .rts
+        .iter()
+        .zip(&procs)
+        .filter(|(_, &p)| p == 0)
+        .map(|(&rt, _)| rt)
+        .collect();
+    assert!(
+        mean_ms(&writes) > 20.0 * mean_ms(&reads),
+        "random writes inside the mix must keep their pathological cost"
+    );
+}
+
+/// Pause (8) on a device *without* asynchronous reclamation: pausing
+/// changes nothing (Samsung row of Table 3, column 5 empty).
+#[test]
+fn pause_is_neutral_without_async_reclaim() {
+    let mut dev = prepared(&catalog::transcend_module());
+    let w = 48 * MB;
+    let rw = PatternSpec::baseline_rw(32 * KB, w, 256).with_target(w, w);
+    let base = mean_ms(&execute_run(dev.as_mut(), &rw).expect("rw").rts[64..]);
+    BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
+    let paced = rw.with_timing(TimingFn::Pause(Duration::from_millis(30))).with_seed(4);
+    let paced_ms = mean_ms(&execute_run(dev.as_mut(), &paced).expect("paced").rts[64..]);
+    assert!(
+        paced_ms > 0.7 * base,
+        "pauses must not rescue a device without background reclamation \
+         ({base:.1} -> {paced_ms:.1} ms)"
+    );
+}
+
+/// Bursts (9): response times within a burst group match the paced
+/// behaviour — total time grows by the pauses, per-IO cost does not
+/// explode.
+#[test]
+fn bursts_extend_elapsed_not_response() {
+    let mut dev = prepared(&catalog::memoright());
+    let w = 48 * MB;
+    let burst = PatternSpec::baseline_sr(32 * KB, w, 120)
+        .with_timing(TimingFn::Burst { pause: Duration::from_millis(100), burst: 10 });
+    let run = execute_run(dev.as_mut(), &burst).expect("burst");
+    let s = run.summary_all().expect("non-empty");
+    assert!(s.mean < Duration::from_millis(2), "reads stay sub-2ms inside bursts");
+    assert!(
+        run.elapsed >= Duration::from_millis(100) * 11,
+        "11 inter-group pauses must appear in elapsed time ({:?})",
+        run.elapsed
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests (proptest) over the pattern generators and the
+//! statistics/phase machinery — the invariants every uFLIP component
+//! must hold for arbitrary parameters.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use uflip::core::methodology::phases::detect_phases;
+use uflip::core::RunStats;
+use uflip::patterns::{LbaFn, MixSpec, Mode, ParallelSpec, PatternSpec};
+
+const KB: u64 = 1024;
+
+fn arb_lba() -> impl Strategy<Value = LbaFn> {
+    prop_oneof![
+        Just(LbaFn::Sequential),
+        Just(LbaFn::Random),
+        (-4i64..=256).prop_map(|incr| LbaFn::Ordered { incr }),
+        (1u32..=64).prop_map(|partitions| LbaFn::Partitioned { partitions }),
+    ]
+}
+
+proptest! {
+    /// Every generated IO stays inside the pattern's target window and
+    /// is IOSize-aligned relative to it (modulo IOShift).
+    #[test]
+    fn ios_stay_in_window(
+        lba in arb_lba(),
+        size_kb in 1u64..=128,
+        count in 1u64..=300,
+        shift_sectors in 0u64..8,
+        mode in prop_oneof![Just(Mode::Read), Just(Mode::Write)],
+        seed in any::<u64>(),
+    ) {
+        let io_size = size_kb * KB;
+        let shift = (shift_sectors * 512).min(io_size.saturating_sub(512));
+        let target = 64 * KB * KB;
+        let spec = PatternSpec::baseline(lba, mode, io_size, target, count)
+            .with_io_shift(shift)
+            .with_target(8 * KB * KB, target)
+            .with_seed(seed);
+        prop_assume!(spec.validate().is_ok());
+        for io in spec.iter() {
+            prop_assert!(io.offset >= spec.target_offset);
+            prop_assert!(io.end() <= spec.span_end() + io_size);
+            prop_assert_eq!((io.offset - spec.target_offset - shift) % io_size, 0);
+        }
+    }
+
+    /// The iterator yields exactly IOCount requests with dense indices.
+    #[test]
+    fn exact_io_count(lba in arb_lba(), count in 1u64..=500, seed in any::<u64>()) {
+        let spec = PatternSpec::baseline(lba, Mode::Write, 32 * KB, 16 * KB * KB, count)
+            .with_seed(seed);
+        prop_assume!(spec.validate().is_ok());
+        let ios: Vec<_> = spec.iter().collect();
+        prop_assert_eq!(ios.len() as u64, count);
+        for (k, io) in ios.iter().enumerate() {
+            prop_assert_eq!(io.index, k as u64);
+        }
+    }
+
+    /// Mixed patterns preserve the ratio within every cycle.
+    #[test]
+    fn mix_ratio_holds(ratio in 1u32..=16, cycles in 1u64..=20) {
+        let a = PatternSpec::baseline_sr(32 * KB, 4 * KB * KB, 1);
+        let b = PatternSpec::baseline_rw(32 * KB, 4 * KB * KB, 1).with_target(4 * KB * KB, 4 * KB * KB);
+        let count = u64::from(ratio + 1) * cycles;
+        let mix = MixSpec::new(a, b, ratio, count);
+        let minority = mix.iter().filter(|io| io.process == 1).count() as u64;
+        prop_assert_eq!(minority, cycles);
+    }
+
+    /// Parallel slices partition the window: disjoint and covering.
+    #[test]
+    fn parallel_slices_disjoint(degree in 1u32..=16) {
+        let base = PatternSpec::baseline_sw(32 * KB, 64 * KB * KB, 64);
+        let par = ParallelSpec::new(base, degree);
+        prop_assume!(par.validate().is_ok());
+        let specs = par.process_specs();
+        for w in specs.windows(2) {
+            prop_assert_eq!(w[0].target_offset + w[0].target_size, w[1].target_offset);
+        }
+    }
+
+    /// Statistics invariants: min <= median <= mean-ish <= max, count
+    /// preserved, total = sum.
+    #[test]
+    fn stats_invariants(rts_ms in prop::collection::vec(1u64..100_000, 1..200)) {
+        let rts: Vec<Duration> = rts_ms.iter().map(|&v| Duration::from_micros(v)).collect();
+        let s = RunStats::from_rts(&rts).expect("non-empty");
+        prop_assert_eq!(s.count as usize, rts.len());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        let total: Duration = rts.iter().sum();
+        prop_assert_eq!(s.total, total);
+    }
+
+    /// Phase detection never panics and returns sane bounds.
+    #[test]
+    fn phases_are_sane(rts_us in prop::collection::vec(100u64..1_000_000, 0..400)) {
+        let rts: Vec<Duration> = rts_us.iter().map(|&v| Duration::from_micros(v)).collect();
+        let p = detect_phases(&rts);
+        prop_assert!(p.start_up <= rts.len());
+        prop_assert!(p.period <= rts.len());
+        prop_assert!(p.variability >= 1.0 || rts.is_empty());
+    }
+}

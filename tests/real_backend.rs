@@ -1,0 +1,43 @@
+//! The real-hardware backend (buffered fallback) must run the same
+//! benchmark code paths as the simulator: patterns, executor,
+//! statistics, phase analysis.
+
+#![cfg(unix)]
+
+use uflip::core::executor::execute_run;
+use uflip::core::methodology::phases::detect_phases;
+use uflip::device::{BlockDevice, DirectIoFile};
+use uflip::patterns::PatternSpec;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("uflip-it-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn baselines_run_against_a_file() {
+    let path = scratch("baselines");
+    let capacity = 8 * 1024 * 1024;
+    let mut dev = DirectIoFile::open_buffered(&path, capacity).expect("open");
+    for spec in [
+        PatternSpec::baseline_sr(32 * 1024, capacity / 2, 32),
+        PatternSpec::baseline_rr(32 * 1024, capacity / 2, 32),
+        PatternSpec::baseline_sw(32 * 1024, capacity / 2, 32),
+        PatternSpec::baseline_rw(32 * 1024, capacity / 2, 32).with_target(capacity / 2, capacity / 2),
+    ] {
+        let run = execute_run(&mut dev, &spec).expect("run");
+        assert_eq!(run.len(), 32);
+        let stats = run.summary_all().expect("non-empty");
+        assert!(stats.mean > std::time::Duration::ZERO);
+        let _ = detect_phases(&run.rts); // must not panic on real noise
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn out_of_range_io_is_rejected_not_extended() {
+    let path = scratch("bounds");
+    let mut dev = DirectIoFile::open_buffered(&path, 1024 * 1024).expect("open");
+    assert!(dev.write(1024 * 1024, 512).is_err());
+    assert!(dev.read(1024 * 1024 - 512, 1024).is_err());
+    let _ = std::fs::remove_file(path);
+}
