@@ -21,7 +21,11 @@ fn array() -> NandArrayConfig {
     let mut chip = ChipConfig::slc();
     chip.geometry.blocks_per_plane = 128; // 32 MB per chip
     chip.program_order = ProgramOrder::Ascending;
-    NandArrayConfig { chip, chips: 4, channels: 4 }
+    NandArrayConfig {
+        chip,
+        chips: 4,
+        channels: 4,
+    }
 }
 
 fn page_map() -> Box<dyn Ftl + Send> {

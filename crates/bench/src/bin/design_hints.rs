@@ -17,7 +17,11 @@ fn main() {
         CharacterizeConfig::paper()
     };
     cfg.enforce_state = false;
-    let devices = [catalog::memoright(), catalog::samsung(), catalog::kingston_dti()];
+    let devices = [
+        catalog::memoright(),
+        catalog::samsung(),
+        catalog::kingston_dti(),
+    ];
     let mut summaries = Vec::new();
     for profile in devices {
         let mut dev = prepared_device(&profile, opts.quick);
@@ -38,7 +42,11 @@ fn main() {
             "Hint {}: {} — {}\n        evidence: {}",
             h.id,
             h.title,
-            if h.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+            if h.supported {
+                "SUPPORTED"
+            } else {
+                "NOT SUPPORTED"
+            },
             h.evidence
         );
     }

@@ -32,13 +32,20 @@ fn main() {
 
     let rts = trace_ms(&run.rts);
     let phases = detect_phases(&run.rts);
-    println!("Figure 3: start-up and running phase, {} (RW baseline)", profile.id);
+    println!(
+        "Figure 3: start-up and running phase, {} (RW baseline)",
+        profile.id
+    );
     println!(
         "start-up = {} IOs, period = {} IOs, variability = {:.1}x (paper: ~125 IOs, short period)",
         phases.start_up, phases.period, phases.variability
     );
 
-    let pts: Vec<(f64, f64)> = rts.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+    let pts: Vec<(f64, f64)> = rts
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (i as f64, y))
+        .collect();
     let incl: Vec<(f64, f64)> = run
         .running_average()
         .iter()
@@ -53,7 +60,10 @@ fn main() {
         .enumerate()
         .map(|(i, d)| (i as f64, d.as_secs_f64() * 1e3))
         .collect();
-    let cfg = PlotConfig { log_y: true, ..Default::default() };
+    let cfg = PlotConfig {
+        log_y: true,
+        ..Default::default()
+    };
     println!(
         "{}",
         plot(

@@ -36,8 +36,14 @@ fn main() {
         phases.start_up, phases.period
     );
     let rts = trace_ms(&run.rts);
-    let cfg = PlotConfig { log_y: true, ..Default::default() };
-    println!("{}", plot_trace("response time (ms, log) vs IO number", &rts, &cfg));
+    let cfg = PlotConfig {
+        log_y: true,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        plot_trace("response time (ms, log) vs IO number", &rts, &cfg)
+    );
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     let out = opts.out_dir.join("fig4_oscillation.csv");
     std::fs::write(&out, trace_csv(&rts)).expect("write CSV");

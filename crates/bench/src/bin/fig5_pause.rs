@@ -18,7 +18,11 @@ fn main() {
         .and_then(catalog::by_id)
         .unwrap_or_else(catalog::mtron);
     let mut dev = prepared_device(&profile, opts.quick);
-    let (sr, rw) = if opts.quick { (2000, 1000) } else { (5000, 3000) };
+    let (sr, rw) = if opts.quick {
+        (2000, 1000)
+    } else {
+        (5000, 3000)
+    };
     let cal = calibrate_pause(dev.as_mut(), 32 * 1024, sr, rw, 96 * 1024 * 1024)
         .expect("SR-RW-SR calibration");
     println!("Figure 5: pause determination, {}", profile.id);
@@ -31,8 +35,14 @@ fn main() {
     let mut all = trace_ms(&cal.sr_before);
     all.extend(trace_ms(&cal.rw));
     all.extend(trace_ms(&cal.sr_after));
-    let cfg = PlotConfig { log_y: true, ..Default::default() };
-    println!("{}", plot_trace("SR | RW | SR response time (ms, log)", &all, &cfg));
+    let cfg = PlotConfig {
+        log_y: true,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        plot_trace("SR | RW | SR response time (ms, log)", &all, &cfg)
+    );
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     let out = opts.out_dir.join("fig5_pause.csv");
     std::fs::write(&out, trace_csv(&all)).expect("write CSV");

@@ -19,7 +19,11 @@ fn main() {
         .and_then(catalog::by_id)
         .unwrap_or_else(catalog::memoright);
     let mut dev = prepared_device(&profile, opts.quick);
-    let mut cfg = if opts.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+    let mut cfg = if opts.quick {
+        MicroConfig::quick()
+    } else {
+        MicroConfig::paper_ssd()
+    };
     cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
     if !opts.quick {
         cfg.io_count = 256;
@@ -29,7 +33,12 @@ fn main() {
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     let mut rows = Vec::new();
     for exp in granularity::experiments(&cfg) {
-        let code = exp.name.split('/').next_back().expect("name has /").to_string();
+        let code = exp
+            .name
+            .split('/')
+            .next_back()
+            .expect("name has /")
+            .to_string();
         let mut pts = Vec::new();
         for point in &exp.points {
             // Each point gets its own region to avoid cross-talk.
@@ -38,15 +47,28 @@ fn main() {
             dev.idle(std::time::Duration::from_secs(1));
             let m = mean_ms(&run.rts);
             pts.push((point.param / 1024.0, m));
-            rows.push(vec![code.clone(), format!("{}", point.param), format!("{m}")]);
+            rows.push(vec![
+                code.clone(),
+                format!("{}", point.param),
+                format!("{m}"),
+            ]);
         }
         println!("  {code}: {} points", pts.len());
         series.push((code, pts));
     }
-    let named: Vec<(&str, &[(f64, f64)])> =
-        series.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
-    let cfg_plot = PlotConfig { log_x: true, log_y: true, ..Default::default() };
-    println!("{}", plot("response time (ms) vs IO size (KB)", &named, &cfg_plot));
+    let named: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    let cfg_plot = PlotConfig {
+        log_x: true,
+        log_y: true,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        plot("response time (ms) vs IO size (KB)", &named, &cfg_plot)
+    );
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     let out = opts.out_dir.join("fig6_granularity_ssd.csv");
     std::fs::write(&out, to_csv(&["pattern", "io_size", "mean_ms"], &rows)).expect("write CSV");

@@ -4,10 +4,10 @@
 //! *more* than 32 KB ones — the mapping-granularity read-modify-write.
 
 use uflip_bench::{mean_ms, prepared_device, HarnessOptions};
+use uflip_core::executor::execute_run;
 use uflip_core::micro::{granularity, MicroConfig};
 use uflip_device::profiles::catalog;
 use uflip_patterns::PatternSpec;
-use uflip_core::executor::execute_run;
 use uflip_report::ascii_plot::{plot, PlotConfig};
 use uflip_report::csv::to_csv;
 
@@ -19,14 +19,23 @@ fn main() {
         .and_then(catalog::by_id)
         .unwrap_or_else(catalog::kingston_dti);
     let mut dev = prepared_device(&profile, opts.quick);
-    let mut cfg = if opts.quick { MicroConfig::quick() } else { MicroConfig::paper_low_end() };
+    let mut cfg = if opts.quick {
+        MicroConfig::quick()
+    } else {
+        MicroConfig::paper_low_end()
+    };
     cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
     cfg.io_count = if opts.quick { 64 } else { 192 };
     println!("Figure 7: granularity, {} (SR, RR, SW)", profile.id);
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     let mut rows = Vec::new();
     for exp in granularity::experiments(&cfg) {
-        let code = exp.name.split('/').next_back().expect("name has /").to_string();
+        let code = exp
+            .name
+            .split('/')
+            .next_back()
+            .expect("name has /")
+            .to_string();
         if code == "RW" {
             continue; // the paper omits RW here (≈ constant 260 ms)
         }
@@ -37,19 +46,35 @@ fn main() {
             dev.idle(std::time::Duration::from_secs(1));
             let m = mean_ms(&run.rts);
             pts.push((point.param / 1024.0, m));
-            rows.push(vec![code.clone(), format!("{}", point.param), format!("{m}")]);
+            rows.push(vec![
+                code.clone(),
+                format!("{}", point.param),
+                format!("{m}"),
+            ]);
         }
         series.push((code, pts));
     }
     // Reference: the near-constant random write cost.
-    let rw = PatternSpec::baseline_rw(32 * 1024, cfg.target_size, 48)
-        .with_target(0, cfg.target_size);
+    let rw =
+        PatternSpec::baseline_rw(32 * 1024, cfg.target_size, 48).with_target(0, cfg.target_size);
     let rw_run = execute_run(dev.as_mut(), &rw).expect("RW reference");
-    println!("  (RW at 32 KB for reference: {:.0} ms — omitted from the plot)", mean_ms(&rw_run.rts));
-    let named: Vec<(&str, &[(f64, f64)])> =
-        series.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
-    let cfg_plot = PlotConfig { log_x: true, log_y: false, ..Default::default() };
-    println!("{}", plot("response time (ms) vs IO size (KB)", &named, &cfg_plot));
+    println!(
+        "  (RW at 32 KB for reference: {:.0} ms — omitted from the plot)",
+        mean_ms(&rw_run.rts)
+    );
+    let named: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    let cfg_plot = PlotConfig {
+        log_x: true,
+        log_y: false,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        plot("response time (ms) vs IO size (KB)", &named, &cfg_plot)
+    );
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     let out = opts.out_dir.join("fig7_granularity_usb.csv");
     std::fs::write(&out, to_csv(&["pattern", "io_size", "mean_ms"], &rows)).expect("write CSV");

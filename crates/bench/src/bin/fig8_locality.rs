@@ -49,16 +49,29 @@ fn main() {
             ]);
             t *= 2;
         }
-        println!("  {}: {} points, SW = {:.2} ms", profile.id, pts.len(), sw_ms);
+        println!(
+            "  {}: {} points, SW = {:.2} ms",
+            profile.id,
+            pts.len(),
+            sw_ms
+        );
         series.push((profile.id.to_string(), pts));
     }
-    let named: Vec<(&str, &[(f64, f64)])> =
-        series.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
-    let cfg_plot = PlotConfig { log_x: true, log_y: false, ..Default::default() };
-    println!("{}", plot("RW/SW cost ratio vs TargetSize (MB)", &named, &cfg_plot));
+    let named: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    let cfg_plot = PlotConfig {
+        log_x: true,
+        log_y: false,
+        ..Default::default()
+    };
+    println!(
+        "{}",
+        plot("RW/SW cost ratio vs TargetSize (MB)", &named, &cfg_plot)
+    );
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     let out = opts.out_dir.join("fig8_locality.csv");
-    std::fs::write(&out, to_csv(&["device", "target_mb", "rw_over_sw"], &rows))
-        .expect("write CSV");
+    std::fs::write(&out, to_csv(&["device", "target_mb", "rw_over_sw"], &rows)).expect("write CSV");
     eprintln!("wrote {}", out.display());
 }

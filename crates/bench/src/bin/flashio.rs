@@ -83,11 +83,8 @@ fn open_device(cli: &Cli) -> Box<dyn BlockDevice> {
         let dev = DirectIoFile::open(std::path::Path::new(path), cli.size_mb * 1024 * 1024)
             .unwrap_or_else(|e| {
                 eprintln!("O_DIRECT open failed ({e}); using buffered IO");
-                DirectIoFile::open_buffered(
-                    std::path::Path::new(path),
-                    cli.size_mb * 1024 * 1024,
-                )
-                .expect("buffered open")
+                DirectIoFile::open_buffered(std::path::Path::new(path), cli.size_mb * 1024 * 1024)
+                    .expect("buffered open")
             });
         Box::new(dev)
     } else {
@@ -147,7 +144,8 @@ fn main() {
                 ("RR", PatternSpec::baseline_rr(cli.io_size, window, count)),
                 (
                     "SW",
-                    PatternSpec::baseline_sw(cli.io_size, window, count).with_target(window, window),
+                    PatternSpec::baseline_sw(cli.io_size, window, count)
+                        .with_target(window, window),
                 ),
                 (
                     "RW",
@@ -157,12 +155,20 @@ fn main() {
             ] {
                 let run = execute_run(dev.as_mut(), &spec).expect("run");
                 dev.idle(Duration::from_secs(5));
-                println!("{name}: mean {:.3} ms over {} IOs", mean_ms(&run.rts), run.len());
+                println!(
+                    "{name}: mean {:.3} ms over {} IOs",
+                    mean_ms(&run.rts),
+                    run.len()
+                );
             }
         }
         "micro" => {
             let bench = cli.bench.clone().unwrap_or_else(|| "locality".into());
-            let mut cfg = if cli.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+            let mut cfg = if cli.quick {
+                MicroConfig::quick()
+            } else {
+                MicroConfig::paper_ssd()
+            };
             let mut dev = open_device(&cli);
             cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
             let Some(exps) = micro_experiments(&bench, &cfg) else {
@@ -172,10 +178,16 @@ fn main() {
             prepare(dev.as_mut(), cli.quick);
             let mut rows = Vec::new();
             for e in exps {
-                let result = e.run(dev.as_mut(), Duration::from_secs(5)).expect("experiment");
+                let result = e
+                    .run(dev.as_mut(), Duration::from_secs(5))
+                    .expect("experiment");
                 for (param, mean) in result.mean_series() {
                     println!("{:<24} {:>14} {:>10.3} ms", result.name, param, mean);
-                    rows.push(vec![result.name.clone(), format!("{param}"), format!("{mean}")]);
+                    rows.push(vec![
+                        result.name.clone(),
+                        format!("{param}"),
+                        format!("{mean}"),
+                    ]);
                 }
             }
             std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
@@ -185,7 +197,11 @@ fn main() {
             eprintln!("wrote {}", out.display());
         }
         "suite" => {
-            let mut cfg = if cli.quick { MicroConfig::quick() } else { MicroConfig::paper_ssd() };
+            let mut cfg = if cli.quick {
+                MicroConfig::quick()
+            } else {
+                MicroConfig::paper_ssd()
+            };
             let mut dev = open_device(&cli);
             cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 8);
             if cli.quick {
@@ -213,8 +229,11 @@ fn main() {
             }
             std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
             let out = cli.out_dir.join("suite.csv");
-            std::fs::write(&out, to_csv(&["experiment", "param", "mean_ms", "max_ms"], &rows))
-                .expect("write CSV");
+            std::fs::write(
+                &out,
+                to_csv(&["experiment", "param", "mean_ms", "max_ms"], &rows),
+            )
+            .expect("write CSV");
             println!("wrote {} ({} points)", out.display(), rows.len());
         }
         "pattern" => {
@@ -247,7 +266,7 @@ fn main() {
         "wear" => {
             // White-box analysis — simulated devices only.
             let id = cli.device.as_deref().unwrap_or("samsung");
-            let profile = catalog::by_id(id).unwrap_or_else(|| catalog::samsung());
+            let profile = catalog::by_id(id).unwrap_or_else(catalog::samsung);
             let mut dev = profile.build_sim(0xF11B);
             prepare(dev.as_mut(), cli.quick);
             let window = dev.capacity_bytes() / 4;
@@ -256,8 +275,7 @@ fn main() {
                 ("SW", PatternSpec::baseline_sw(cli.io_size, window, 256)),
                 (
                     "RW",
-                    PatternSpec::baseline_rw(cli.io_size, window, 256)
-                        .with_target(window, window),
+                    PatternSpec::baseline_rw(cli.io_size, window, 256).with_target(window, window),
                 ),
             ] {
                 let before = WearReport::from_device(&dev);

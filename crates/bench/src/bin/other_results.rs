@@ -29,7 +29,10 @@ fn main() {
         let a = execute_run(dev.as_mut(), &aligned).expect("aligned RW");
         dev.idle(Duration::from_secs(5));
         let b = execute_run(dev.as_mut(), &shifted).expect("misaligned RW");
-        let (am, bm) = (mean_ms(&a.rts[count as usize / 4..]), mean_ms(&b.rts[count as usize / 4..]));
+        let (am, bm) = (
+            mean_ms(&a.rts[count as usize / 4..]),
+            mean_ms(&b.rts[count as usize / 4..]),
+        );
         println!(
             "Alignment ({}): aligned RW {am:.1} ms vs 512B-shifted {bm:.1} ms (x{:.2}; \
              paper Samsung: 18 -> 32 ms)",
@@ -79,7 +82,10 @@ fn main() {
         let window = 64 * mb;
         let count = if opts.quick { 256 } else { 512 };
         let base = PatternSpec::baseline_sw(32 * kb, window, count).with_target(0, window);
-        println!("Parallelism ({}): sequential writes split over N processes:", profile.id);
+        println!(
+            "Parallelism ({}): sequential writes split over N processes:",
+            profile.id
+        );
         for degree in [1u32, 2, 4, 8, 16] {
             let par = ParallelSpec::new(base, degree);
             let run = execute_parallel(dev.as_mut(), &par).expect("parallel SW");

@@ -1,0 +1,109 @@
+//! Queue-depth sweep: aggregate throughput vs NCQ depth.
+//!
+//! Goes beyond the paper. uFLIP's parallelism micro-benchmark (§3.2,
+//! Hint 7) found *no* benefit from concurrent submission because the
+//! 2008 devices served one command at a time. The submission engine
+//! (`uflip_device::queue`) makes channel overlap emergent, so this
+//! binary answers the question the paper could not: how much aggregate
+//! throughput does each Table 2 channel layout unlock as the command
+//! queue deepens?
+//!
+//! For each device and baseline pattern, runs the parallel pattern at
+//! degree 16 with queue depth 1, 2, …, 32 and reports IOPS plus the
+//! speed-up over depth 1. Output: ASCII table + `qd_sweep.csv`.
+
+use std::time::Duration;
+use uflip_bench::{prepared_device, HarnessOptions};
+use uflip_core::executor::execute_parallel;
+use uflip_core::micro::parallelism::queue_depths;
+use uflip_device::profiles::catalog;
+use uflip_patterns::{LbaFn, Mode, ParallelSpec, PatternSpec};
+use uflip_report::csv::to_csv;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let devices = [catalog::memoright(), catalog::mtron(), catalog::samsung()];
+    let count = if opts.quick { 256 } else { 1024 };
+    // One-page reads/writes so a single IO occupies a single channel —
+    // the regime where queue depth, not IO striping, provides overlap.
+    let io_size = 2 * 1024u64;
+    let patterns = [
+        (LbaFn::Random, Mode::Read, "RR"),
+        (LbaFn::Sequential, Mode::Read, "SR"),
+        (LbaFn::Random, Mode::Write, "RW"),
+    ];
+    let mut rows = Vec::new();
+    println!("Queue-depth sweep: degree 16, {io_size} B IOs, {count} IOs per run");
+    for profile in devices {
+        if let Some(only) = &opts.device {
+            if only != profile.id {
+                continue;
+            }
+        }
+        println!("\n{} ({} channels)", profile.id, sim_channels(&profile));
+        println!(
+            "{:>8} {:>4} {:>12} {:>10} {:>8}",
+            "pattern", "qd", "elapsed", "IOPS", "vs qd1"
+        );
+        for (lba, mode, code) in patterns {
+            let window = 64 * 1024 * 1024u64;
+            let base = PatternSpec::baseline(lba, mode, io_size, window, count);
+            let mut base_iops = 0.0;
+            for depth in queue_depths() {
+                let mut dev = prepared_device(&profile, opts.quick);
+                dev.idle(Duration::from_secs(5));
+                let par = ParallelSpec::new(base, 16).with_queue_depth(depth);
+                let run = execute_parallel(dev.as_mut(), &par).expect("sweep point");
+                let secs = run.elapsed.as_secs_f64();
+                let iops = if secs > 0.0 {
+                    run.len() as f64 / secs
+                } else {
+                    f64::INFINITY
+                };
+                if depth == 1 {
+                    base_iops = iops;
+                }
+                let speedup = if base_iops > 0.0 {
+                    iops / base_iops
+                } else {
+                    1.0
+                };
+                println!(
+                    "{code:>8} {depth:>4} {:>12?} {iops:>10.0} {speedup:>7.2}x",
+                    run.elapsed
+                );
+                rows.push(vec![
+                    profile.id.to_string(),
+                    code.to_string(),
+                    depth.to_string(),
+                    format!("{:.6}", secs * 1e3),
+                    format!("{iops:.0}"),
+                    format!("{speedup:.3}"),
+                ]);
+            }
+        }
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
+    let out = opts.out_dir.join("qd_sweep.csv");
+    std::fs::write(
+        &out,
+        to_csv(
+            &[
+                "device",
+                "pattern",
+                "queue_depth",
+                "elapsed_ms",
+                "iops",
+                "speedup_vs_qd1",
+            ],
+            &rows,
+        ),
+    )
+    .expect("write CSV");
+    eprintln!("\nwrote {}", out.display());
+}
+
+/// Channel count of a profile's NAND array (for the report header).
+fn sim_channels(profile: &uflip_device::DeviceProfile) -> u32 {
+    profile.build_sim(0).channels()
+}

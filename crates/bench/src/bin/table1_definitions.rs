@@ -16,19 +16,34 @@ fn show(name: &str, varying: &str, experiments: &[uflip_core::Experiment]) {
         .first()
         .map(|e| e.points.iter().map(|p| p.param_label.as_str()).collect())
         .unwrap_or_default();
-    println!("\n{name} — varying {varying}; {} experiments x {points} total points", experiments.len());
+    println!(
+        "\n{name} — varying {varying}; {} experiments x {points} total points",
+        experiments.len()
+    );
     println!("  range: {}", range.join(", "));
     if let Some(point) = experiments.first().and_then(|e| e.points.first()) {
         let ios: Vec<String> = match &point.workload {
-            Workload::Basic(s) => s.iter().take(4).map(|io| format!("@{}", io.offset)).collect(),
-            Workload::Mixed(m) => {
-                m.iter().take(4).map(|io| format!("p{}@{}", io.process, io.offset)).collect()
-            }
-            Workload::Parallel(p) => {
-                p.iter().take(4).map(|io| format!("p{}@{}", io.process, io.offset)).collect()
-            }
+            Workload::Basic(s) => s
+                .iter()
+                .take(4)
+                .map(|io| format!("@{}", io.offset))
+                .collect(),
+            Workload::Mixed(m) => m
+                .iter()
+                .take(4)
+                .map(|io| format!("p{}@{}", io.process, io.offset))
+                .collect(),
+            Workload::Parallel(p) => p
+                .iter()
+                .take(4)
+                .map(|io| format!("p{}@{}", io.process, io.offset))
+                .collect(),
         };
-        println!("  first IOs of '{}': {}", point.workload.label(), ios.join(" "));
+        println!(
+            "  first IOs of '{}': {}",
+            point.workload.label(),
+            ios.join(" ")
+        );
     }
 }
 
@@ -43,9 +58,17 @@ fn main() {
     show("1. Granularity", "IOSize", &granularity::experiments(&cfg));
     show("2. Alignment", "IOShift", &alignment::experiments(&cfg));
     show("3. Locality", "TargetSize", &locality::experiments(&cfg));
-    show("4. Partitioning", "Partitions", &partitioning::experiments(&cfg));
+    show(
+        "4. Partitioning",
+        "Partitions",
+        &partitioning::experiments(&cfg),
+    );
     show("5. Order", "Incr", &order::experiments(&cfg));
-    show("6. Parallelism", "ParallelDegree", &parallelism::experiments(&cfg));
+    show(
+        "6. Parallelism",
+        "ParallelDegree",
+        &parallelism::experiments(&cfg),
+    );
     show("7. Mix", "Ratio", &mix::experiments(&cfg));
     show("8. Pause", "Pause", &pause::experiments(&cfg));
     show("9. Bursts", "Burst", &bursts::experiments(&cfg));

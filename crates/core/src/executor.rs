@@ -9,20 +9,40 @@
 //!   itself a single synchronous stream, §3.1);
 //! * [`execute_parallel`] — parallel patterns: `ParallelDegree`
 //!   processes each issue their next IO as soon as their previous one
-//!   completes, while the device serves one IO at a time. On the
-//!   simulator this is an exact virtual-time interleaving; response
-//!   times include queueing delay, which is how "parallel execution
-//!   with a high degree can cause multiple sequential write patterns to
-//!   degenerate" (§5.2) and why Hint 7 finds no benefit in concurrency.
+//!   completes.
+//!
+//! ## How parallel patterns are served
+//!
+//! When the device exposes an [`uflip_device::IoQueue`] (every
+//! [`uflip_device::SimDevice`] does), `execute_parallel` drives it as a
+//! **submit/poll event loop**: process arrivals are submitted into the
+//! device's NCQ-style queue in virtual-time order, and the device
+//! schedules each IO onto the busy tracks of the flash channels it
+//! touches. Queueing delay — and any *benefit* of concurrency on a
+//! multi-channel device — is therefore **emergent** from the device
+//! model. At the default queue depth of 1 the device serves one IO at
+//! a time and the behaviour of the paper's measurements is reproduced
+//! exactly: response times include time queued behind other processes,
+//! which is how "parallel execution with a high degree can cause
+//! multiple sequential write patterns to degenerate" (§5.2) and why
+//! Hint 7 finds no benefit in concurrency on 2008 devices. Sweeping
+//! [`uflip_patterns::ParallelSpec::with_queue_depth`] ≥ the channel
+//! count shows what those devices *could* have delivered.
+//!
+//! Devices without a queue (e.g. [`uflip_device::MemDevice`]) fall
+//! back to the same virtual-time interleaving computed host-side, with
+//! the device serving one IO at a time — **simulated** queueing rather
+//! than emergent, equivalent to queue depth 1.
 //!
 //! For real devices ([`uflip_device::DirectIoFile`]), parallel patterns
 //! should instead be run with OS threads; [`execute_parallel_threads`]
-//! provides that using scoped threads over per-process device handles.
+//! provides that using scoped threads over per-process device handles,
+//! letting the operating system and the hardware do the interleaving.
 
 use crate::run::RunResult;
 use crate::Result;
 use std::time::Duration;
-use uflip_device::BlockDevice;
+use uflip_device::{BlockDevice, DeviceError, Token};
 use uflip_patterns::{IoRequest, MixSpec, Mode, ParallelSpec, PatternSpec};
 
 fn issue(dev: &mut dyn BlockDevice, io: &IoRequest) -> Result<Duration> {
@@ -34,7 +54,11 @@ fn issue(dev: &mut dyn BlockDevice, io: &IoRequest) -> Result<Duration> {
 
 /// Execute a basic pattern synchronously. Returns the per-IO trace.
 pub fn execute_run(dev: &mut dyn BlockDevice, spec: &PatternSpec) -> Result<RunResult> {
-    debug_assert!(spec.validate().is_ok(), "invalid spec: {:?}", spec.validate());
+    debug_assert!(
+        spec.validate().is_ok(),
+        "invalid spec: {:?}",
+        spec.validate()
+    );
     let start = dev.now();
     let mut rts = Vec::with_capacity(spec.io_count as usize);
     for io in spec.iter() {
@@ -43,7 +67,12 @@ pub fn execute_run(dev: &mut dyn BlockDevice, spec: &PatternSpec) -> Result<RunR
         }
         rts.push(issue(dev, &io)?);
     }
-    Ok(RunResult::new(spec.code(), rts, spec.io_ignore, dev.now() - start))
+    Ok(RunResult::new(
+        spec.code(),
+        rts,
+        spec.io_ignore,
+        dev.now() - start,
+    ))
 }
 
 /// Execute a mixed pattern synchronously. The per-IO trace is returned
@@ -63,29 +92,176 @@ pub fn execute_mixed(dev: &mut dyn BlockDevice, mix: &MixSpec) -> Result<(RunRes
     Ok((RunResult::new(mix.name(), rts, 0, dev.now() - start), procs))
 }
 
-/// Execute a parallel pattern on a simulated device using virtual-time
-/// interleaving.
+/// Execute a parallel pattern.
 ///
 /// Each process is a synchronous loop: it submits its next IO the
-/// moment its previous IO completes. The device serves IOs one at a
-/// time in submission order. The recorded response time of an IO is
-/// *completion − submission*, i.e. it includes time spent queued behind
-/// other processes' IOs — exactly what a host thread would measure.
+/// moment its previous IO completes. The recorded response time of an
+/// IO is *completion − submission*, i.e. it includes time spent queued
+/// behind other processes' IOs — exactly what a host thread would
+/// measure.
+///
+/// Queue-capable devices are driven through their submit/poll
+/// [`IoQueue`] (see the module docs); others fall back to host-side
+/// serial interleaving, equivalent to queue depth 1.
 pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
+    if dev.io_queue().is_some() {
+        execute_parallel_queued(dev, par)
+    } else {
+        execute_parallel_serial(dev, par)
+    }
+}
+
+/// Drive a queue-capable device with the parallel pattern's processes.
+///
+/// The event loop maintains one invariant the simulation depends on:
+/// **IOs reach the device in non-decreasing virtual submission time**,
+/// so FTL state evolves in the same order a real command stream would
+/// arrive in. A candidate IO is only submitted while the queue has a
+/// free slot *and* no in-flight IO would complete before the candidate
+/// submits (a completion may release a process whose next IO submits
+/// earlier); otherwise the earliest completion is retired first.
+fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
+    let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
+    let n = streams.len();
+    let base = dev.now();
+    let mut ready: Vec<Duration> = vec![base; n];
+    let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
+    // Processes are synchronous: `blocked[p]` while p's IO is in flight.
+    let mut blocked = vec![false; n];
+    let queue = dev
+        .io_queue()
+        .expect("caller verified the device is queue-capable");
+    // A spec-level queue depth is a per-run request: remember the
+    // device's own depth and restore it once the run drains, so one
+    // sweep point cannot silently reconfigure later runs.
+    let device_depth = queue.queue_depth();
+    if let Some(depth) = par.queue_depth {
+        queue.set_queue_depth(depth);
+    }
+    // Token bookkeeping: submission order index and times per in-flight
+    // IO, so completions can be turned into response times and traced
+    // back to their process.
+    let mut inflight: Vec<(Token, usize, Duration, usize)> = Vec::new(); // (token, proc, submit, seq)
+    let mut rts: Vec<Duration> = Vec::new();
+    let mut seq = 0usize;
+    let mut last_completion = base;
+    loop {
+        // Earliest-submitting runnable process, if any.
+        let candidate = (0..n)
+            .filter(|&p| !blocked[p] && pending[p].is_some())
+            .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay);
+        let Some(p) = candidate else {
+            // Nothing left to submit: drain the queue.
+            match queue.poll() {
+                Some((token, completion)) => {
+                    retire(
+                        &mut inflight,
+                        &mut blocked,
+                        &mut ready,
+                        &mut rts,
+                        token,
+                        completion,
+                    );
+                    last_completion = last_completion.max(completion);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        let submit = ready[p]
+            + pending[p]
+                .as_ref()
+                .expect("candidate has an IO")
+                .submit_delay;
+        // Retire completions that precede this submission: they may
+        // unblock a process with an even earlier arrival.
+        if let Some(next_done) = queue.next_completion() {
+            if next_done <= submit {
+                let (token, completion) = queue.poll().expect("peeked completion exists");
+                retire(
+                    &mut inflight,
+                    &mut blocked,
+                    &mut ready,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+                continue;
+            }
+        }
+        let io = pending[p].take().expect("candidate has an IO");
+        match queue.submit(&io, submit) {
+            Ok(token) => {
+                inflight.push((token, p, submit, seq));
+                seq += 1;
+                rts.push(Duration::ZERO); // placeholder until completion
+                blocked[p] = true;
+                pending[p] = streams[p].next();
+            }
+            Err(DeviceError::QueueFull { .. }) => {
+                // Back-pressure: retire one completion and retry.
+                pending[p] = Some(io);
+                let (token, completion) = queue
+                    .poll()
+                    .expect("a full queue has in-flight IOs to poll");
+                retire(
+                    &mut inflight,
+                    &mut blocked,
+                    &mut ready,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if queue.queue_depth() != device_depth {
+        queue.set_queue_depth(device_depth);
+    }
+    Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
+}
+
+/// Book a completed IO: compute its response time into `rts` (indexed
+/// by submission order) and unblock its process.
+fn retire(
+    inflight: &mut Vec<(Token, usize, Duration, usize)>,
+    blocked: &mut [bool],
+    ready: &mut [Duration],
+    rts: &mut [Duration],
+    token: Token,
+    completion: Duration,
+) {
+    let idx = inflight
+        .iter()
+        .position(|(t, _, _, _)| *t == token)
+        .expect("completed token was submitted");
+    let (_, p, submit, seq) = inflight.swap_remove(idx);
+    rts[seq] = completion - submit;
+    blocked[p] = false;
+    ready[p] = completion;
+}
+
+/// Host-side virtual-time interleaving over a device that serves one
+/// IO at a time (the fallback for devices without an [`IoQueue`]; also
+/// the reference semantics the queue engine must reproduce at depth 1).
+pub fn execute_parallel_serial(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
     let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
     // Per-process: (ready virtual time, pending IO).
-    let mut ready: Vec<Duration> = vec![dev.now(); streams.len()];
+    let base = dev.now();
+    let mut ready: Vec<Duration> = vec![base; streams.len()];
     let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
-    let mut device_free = dev.now();
+    let mut device_free = base;
     let mut rts = Vec::new();
-    loop {
-        // Pick the process whose next IO is submitted earliest.
-        let Some(p) = (0..streams.len())
-            .filter(|&p| pending[p].is_some())
-            .min_by_key(|&p| ready[p])
-        else {
-            break;
-        };
+    // Pick the process whose next IO is submitted earliest (ready time
+    // plus its timing-function delay — the same order the queued path
+    // uses, so the two paths stay equivalent at depth 1).
+    while let Some(p) = (0..streams.len())
+        .filter(|&p| pending[p].is_some())
+        .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay)
+    {
         let io = pending[p].take().expect("selected process has an IO");
         let submit = ready[p] + io.submit_delay;
         // If the device sat idle between IOs, let background work run.
@@ -100,32 +276,26 @@ pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result
         ready[p] = completion;
         pending[p] = streams[p].next();
     }
-    let elapsed = device_free;
-    Ok(RunResult::new(par.name(), rts, 0, elapsed))
+    Ok(RunResult::new(par.name(), rts, 0, device_free - base))
 }
 
 /// Execute a parallel pattern with real OS threads, one per process,
 /// each driving its own device handle (e.g. separate `O_DIRECT` file
 /// descriptors onto the same block device). Used for real-hardware
 /// measurements where the OS does the interleaving.
-pub fn execute_parallel_threads<F>(
-    make_dev: F,
-    par: &ParallelSpec,
-) -> Result<RunResult>
+pub fn execute_parallel_threads<F>(make_dev: F, par: &ParallelSpec) -> Result<RunResult>
 where
     F: Fn(u32) -> Result<Box<dyn BlockDevice + Send>> + Sync,
 {
     let specs = par.process_specs();
-    let results = parking_lot::Mutex::new(Vec::<Vec<Duration>>::new());
-    let first_err = parking_lot::Mutex::new(None);
-    crossbeam::thread::scope(|scope| {
-        for (p, spec) in specs.iter().enumerate() {
-            let results = &results;
-            let first_err = &first_err;
-            let make_dev = &make_dev;
-            let spec = *spec;
-            scope.spawn(move |_| {
-                let run = (|| -> Result<Vec<Duration>> {
+    let per_process: Vec<Result<Vec<Duration>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(p, spec)| {
+                let make_dev = &make_dev;
+                let spec = *spec;
+                scope.spawn(move || -> Result<Vec<Duration>> {
                     let mut dev = make_dev(p as u32)?;
                     let mut rts = Vec::with_capacity(spec.io_count as usize);
                     for io in spec.iter() {
@@ -135,24 +305,18 @@ where
                         rts.push(issue(dev.as_mut(), &io)?);
                     }
                     Ok(rts)
-                })();
-                match run {
-                    Ok(rts) => results.lock().push(rts),
-                    Err(e) => {
-                        let mut slot = first_err.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("scoped threads do not panic");
-    if let Some(e) = first_err.into_inner() {
-        return Err(e);
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark threads do not panic"))
+            .collect()
+    });
+    let mut all = Vec::new();
+    for run in per_process {
+        all.extend(run?);
     }
-    let mut all: Vec<Duration> = results.into_inner().into_iter().flatten().collect();
     all.sort_unstable();
     let elapsed = all.iter().sum();
     Ok(RunResult::new(par.name(), all, 0, elapsed))
@@ -200,7 +364,11 @@ mod tests {
         let mix = MixSpec::new(a, b, 3, 12);
         let (run, procs) = execute_mixed(&mut d, &mix).unwrap();
         assert_eq!(run.len(), 12);
-        assert_eq!(procs.iter().filter(|&&p| p == 1).count(), 3, "one write per 3 reads");
+        assert_eq!(
+            procs.iter().filter(|&&p| p == 1).count(),
+            3,
+            "one write per 3 reads"
+        );
         assert_eq!(d.writes(), 3);
         assert_eq!(d.reads(), 9);
     }
@@ -233,8 +401,7 @@ mod tests {
         let base = PatternSpec::baseline(LbaFn::Sequential, Mode::Write, 32 * KB, 4 * MB, 8);
         let par = ParallelSpec::new(base, 1);
         let run_par = execute_parallel(&mut d1, &par).unwrap();
-        let run_basic =
-            execute_run(&mut d2, &par.process_specs()[0]).unwrap();
+        let run_basic = execute_run(&mut d2, &par.process_specs()[0]).unwrap();
         assert_eq!(run_par.len(), run_basic.len());
         assert_eq!(
             run_par.summary_all().unwrap().mean,
@@ -257,8 +424,10 @@ mod tests {
         let par = ParallelSpec::new(base, 4);
         let run = execute_parallel_threads(
             |_p| {
-                Ok(Box::new(MemDevice::new(64 * MB, Duration::from_micros(10), 0))
-                    as Box<dyn BlockDevice + Send>)
+                Ok(
+                    Box::new(MemDevice::new(64 * MB, Duration::from_micros(10), 0))
+                        as Box<dyn BlockDevice + Send>,
+                )
             },
             &par,
         )

@@ -72,13 +72,12 @@ impl Workload {
     /// Shift the workload's target window(s) to a new base offset.
     pub fn relocated(&self, new_offset: u64) -> Workload {
         match self {
-            Workload::Basic(s) => {
-                Workload::Basic(s.with_target(new_offset, s.target_size))
-            }
+            Workload::Basic(s) => Workload::Basic(s.with_target(new_offset, s.target_size)),
             Workload::Mixed(m) => {
                 let mut m2 = *m;
                 m2.a = m.a.with_target(new_offset, m.a.target_size);
-                m2.b = m.b.with_target(new_offset + m.a.target_size, m.b.target_size);
+                m2.b =
+                    m.b.with_target(new_offset + m.a.target_size, m.b.target_size);
                 Workload::Mixed(m2)
             }
             Workload::Parallel(p) => {
@@ -160,7 +159,11 @@ impl Experiment {
                 stats,
             });
         }
-        Ok(ExperimentResult { name: self.name.clone(), varying: self.varying, points })
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            varying: self.varying,
+            points,
+        })
     }
 }
 
@@ -193,7 +196,11 @@ mod tests {
                 workload: Workload::Basic(PatternSpec::baseline_sw(kb * KB, 4 * MB, 10)),
             })
             .collect();
-        Experiment { name: "granularity/SW".into(), varying: "IOSize", points }
+        Experiment {
+            name: "granularity/SW".into(),
+            varying: "IOSize",
+            points,
+        }
     }
 
     #[test]
@@ -212,9 +219,13 @@ mod tests {
         let sw = Workload::Basic(PatternSpec::baseline_sw(32 * KB, MB, 4));
         let rw = Workload::Basic(PatternSpec::baseline_rw(32 * KB, MB, 4));
         let sr = Workload::Basic(PatternSpec::baseline_sr(32 * KB, MB, 4));
-        let ordered = Workload::Basic(
-            PatternSpec::baseline(LbaFn::Ordered { incr: -1 }, Mode::Write, 32 * KB, MB, 4),
-        );
+        let ordered = Workload::Basic(PatternSpec::baseline(
+            LbaFn::Ordered { incr: -1 },
+            Mode::Write,
+            32 * KB,
+            MB,
+            4,
+        ));
         assert!(sw.uses_sequential_writes());
         assert!(!rw.uses_sequential_writes());
         assert!(!sr.uses_sequential_writes());

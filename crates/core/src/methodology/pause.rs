@@ -75,8 +75,7 @@ pub fn calibrate_pause(
             }
         }
     }
-    let recommended =
-        (lingering * 2).max(Duration::from_secs(1));
+    let recommended = (lingering * 2).max(Duration::from_secs(1));
     Ok(PauseCalibration {
         sr_before: before.rts,
         rw: rw.rts,

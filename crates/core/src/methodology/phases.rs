@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn io_ignore_and_count_derivation() {
-        let analyses = vec![detect_phases(&mtron_like()), detect_phases(&kingston_like())];
+        let analyses = vec![
+            detect_phases(&mtron_like()),
+            detect_phases(&kingston_like()),
+        ];
         let ignore = derive_io_ignore(&analyses);
         assert_eq!(ignore, 128);
         let count = derive_io_count(&analyses, 20, 512);

@@ -94,19 +94,30 @@ impl BenchmarkPlan {
                         resets += 1;
                         cursor = 0;
                     }
-                    steps.push(PlanStep::Run { experiment: ei, point: pi, offset: cursor });
+                    steps.push(PlanStep::Run {
+                        experiment: ei,
+                        point: pi,
+                        offset: cursor,
+                    });
                     steps.push(PlanStep::Pause);
                     cursor += span;
                 }
             }
         }
 
-        BenchmarkPlan { experiments, steps, resets }
+        BenchmarkPlan {
+            experiments,
+            steps,
+            resets,
+        }
     }
 
     /// Number of run steps.
     pub fn run_count(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, PlanStep::Run { .. })).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Run { .. }))
+            .count()
     }
 }
 
@@ -156,7 +167,9 @@ mod tests {
             .steps
             .iter()
             .filter_map(|s| match s {
-                PlanStep::Run { experiment, point, .. } => Some((*experiment, *point)),
+                PlanStep::Run {
+                    experiment, point, ..
+                } => Some((*experiment, *point)),
                 _ => None,
             })
             .collect();
@@ -174,7 +187,11 @@ mod tests {
             .steps
             .iter()
             .filter_map(|s| match s {
-                PlanStep::Run { experiment: 1, offset, .. } => Some(*offset),
+                PlanStep::Run {
+                    experiment: 1,
+                    offset,
+                    ..
+                } => Some(*offset),
                 _ => None,
             })
             .collect();

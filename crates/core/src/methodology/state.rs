@@ -55,7 +55,11 @@ pub fn enforce_random_state(
         written += len;
         ios += 1;
     }
-    Ok(StateReport { ios, bytes: written, device_time: dev.now() - t0 })
+    Ok(StateReport {
+        ios,
+        bytes: written,
+        device_time: dev.now() - t0,
+    })
 }
 
 /// Sequentially rewrite the whole device with fixed-size IOs — the
@@ -73,7 +77,11 @@ pub fn enforce_sequential_state(dev: &mut dyn BlockDevice, io_bytes: u64) -> Res
         written += io_bytes;
         ios += 1;
     }
-    Ok(StateReport { ios, bytes: written, device_time: dev.now() - t0 })
+    Ok(StateReport {
+        ios,
+        bytes: written,
+        device_time: dev.now() - t0,
+    })
 }
 
 #[cfg(test)]
@@ -87,7 +95,10 @@ mod tests {
     fn random_state_covers_the_requested_volume() {
         let mut dev = MemDevice::new(16 * MB, Duration::from_micros(10), 0);
         let r = enforce_random_state(&mut dev, 128 * 1024, 1.0, 42).unwrap();
-        assert!(r.bytes >= 16 * MB, "must write at least one capacity's worth");
+        assert!(
+            r.bytes >= 16 * MB,
+            "must write at least one capacity's worth"
+        );
         assert!(r.ios > 0);
         assert!(r.device_time > Duration::ZERO);
     }

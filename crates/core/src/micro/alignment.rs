@@ -59,7 +59,10 @@ mod tests {
         assert_eq!(s[0], 0, "aligned reference point included");
         assert_eq!(s[1], 512, "2^0 x 512 B");
         assert_eq!(*s.last().unwrap(), 16 * 1024, "largest shift below IOSize");
-        assert!(!s.contains(&(32 * 1024)), "IOShift = IOSize is alignment again");
+        assert!(
+            !s.contains(&(32 * 1024)),
+            "IOShift = IOSize is alignment again"
+        );
     }
 
     #[test]

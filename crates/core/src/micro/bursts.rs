@@ -38,7 +38,10 @@ pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
                     param: f64::from(b),
                     param_label: format!("burst {b}"),
                     workload: Workload::Basic(cfg.baseline(lba, mode).with_timing(
-                        TimingFn::Burst { pause: GROUP_PAUSE, burst: b },
+                        TimingFn::Burst {
+                            pause: GROUP_PAUSE,
+                            burst: b,
+                        },
                     )),
                 })
                 .collect(),

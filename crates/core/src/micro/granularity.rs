@@ -40,9 +40,7 @@ pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
                 .map(|sz| ExperimentPoint {
                     param: sz as f64,
                     param_label: format!("{} KB", sz as f64 / 1024.0),
-                    workload: Workload::Basic(
-                        cfg.baseline(lba, mode).with_io_size(sz),
-                    ),
+                    workload: Workload::Basic(cfg.baseline(lba, mode).with_io_size(sz)),
                 })
                 .collect(),
         })
@@ -60,7 +58,12 @@ mod tests {
         let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["granularity/SR", "granularity/RR", "granularity/SW", "granularity/RW"]
+            vec![
+                "granularity/SR",
+                "granularity/RR",
+                "granularity/SW",
+                "granularity/RW"
+            ]
         );
     }
 

@@ -17,7 +17,10 @@ use uflip_patterns::{LbaFn, Mode};
 /// Random-pattern target sizes: `[2⁰ … 2^max_exp] × io_size`, capped to
 /// the device budget (`cap`).
 pub fn random_target_sizes(io_size: u64, max_exp: u32, cap: u64) -> Vec<u64> {
-    pow2_sweep(io_size, max_exp).into_iter().filter(|&t| t <= cap).collect()
+    pow2_sweep(io_size, max_exp)
+        .into_iter()
+        .filter(|&t| t <= cap)
+        .collect()
 }
 
 /// Build the Locality experiments: RR/RW sweep wide, SR/SW sweep narrow.
@@ -39,9 +42,7 @@ pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
                 .map(|&t| ExperimentPoint {
                     param: t as f64,
                     param_label: format!("{:.2} MB", t as f64 / (1024.0 * 1024.0)),
-                    workload: Workload::Basic(
-                        cfg.baseline(lba, mode).with_target(0, t),
-                    ),
+                    workload: Workload::Basic(cfg.baseline(lba, mode).with_target(0, t)),
                 })
                 .collect(),
         });
@@ -58,7 +59,11 @@ mod tests {
         let cfg = MicroConfig::quick();
         let exps = experiments(&cfg);
         for e in &exps {
-            assert_eq!(e.points[0].param, cfg.io_size as f64, "{}: smallest = IOSize", e.name);
+            assert_eq!(
+                e.points[0].param, cfg.io_size as f64,
+                "{}: smallest = IOSize",
+                e.name
+            );
         }
     }
 

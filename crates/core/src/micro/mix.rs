@@ -12,8 +12,12 @@ use crate::experiment::{Experiment, ExperimentPoint, Workload};
 use crate::micro::MicroConfig;
 use uflip_patterns::{LbaFn, MixSpec, Mode};
 
+/// One mixed-pattern combination: majority `(LBA, mode)`, minority
+/// `(LBA, mode)`, and the report label.
+pub type MixCombo = ((LbaFn, Mode), (LbaFn, Mode), &'static str);
+
 /// The six baseline combinations of Table 1.
-pub fn combos() -> Vec<((LbaFn, Mode), (LbaFn, Mode), &'static str)> {
+pub fn combos() -> Vec<MixCombo> {
     use LbaFn::{Random as R, Sequential as S};
     use Mode::{Read, Write};
     vec![
@@ -43,7 +47,9 @@ pub fn experiments(cfg: &MicroConfig) -> Vec<Experiment> {
             points: ratios()
                 .into_iter()
                 .map(|r| {
-                    let a = cfg.baseline(lba_a, mode_a).with_target(0, cfg.target_size / 2);
+                    let a = cfg
+                        .baseline(lba_a, mode_a)
+                        .with_target(0, cfg.target_size / 2);
                     let b = cfg
                         .baseline(lba_b, mode_b)
                         .with_target(cfg.target_size / 2, cfg.target_size / 2);

@@ -151,7 +151,11 @@ mod tests {
 
     #[test]
     fn all_baseline_specs_validate() {
-        for cfg in [MicroConfig::paper_ssd(), MicroConfig::paper_low_end(), MicroConfig::quick()] {
+        for cfg in [
+            MicroConfig::paper_ssd(),
+            MicroConfig::paper_low_end(),
+            MicroConfig::quick(),
+        ] {
             for b in cfg.baselines() {
                 b.validate().expect("baseline must validate");
             }

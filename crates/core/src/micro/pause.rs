@@ -17,7 +17,9 @@ use uflip_patterns::{LbaFn, Mode, TimingFn};
 
 /// Pause values: `2⁰ … 2⁸ × 0.1 ms` (0.1 ms – 25.6 ms).
 pub fn pauses() -> Vec<Duration> {
-    (0..=8u32).map(|e| Duration::from_micros(100) * (1 << e)).collect()
+    (0..=8u32)
+        .map(|e| Duration::from_micros(100) * (1 << e))
+        .collect()
 }
 
 /// Build the four Pause experiments.

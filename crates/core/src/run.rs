@@ -20,8 +20,18 @@ pub struct RunResult {
 
 impl RunResult {
     /// Create a run result.
-    pub fn new(label: impl Into<String>, rts: Vec<Duration>, io_ignore: u64, elapsed: Duration) -> Self {
-        RunResult { label: label.into(), rts, io_ignore, elapsed }
+    pub fn new(
+        label: impl Into<String>,
+        rts: Vec<Duration>,
+        io_ignore: u64,
+        elapsed: Duration,
+    ) -> Self {
+        RunResult {
+            label: label.into(),
+            rts,
+            io_ignore,
+            elapsed,
+        }
     }
 
     /// Statistics over the running phase (after `io_ignore`), the way
@@ -57,12 +67,13 @@ impl RunResult {
         let skip = (self.io_ignore as usize).min(self.rts.len());
         let mut out = vec![Duration::ZERO; self.rts.len()];
         let mut sum = 0u128;
-        for i in skip..self.rts.len() {
-            sum += self.rts[i].as_nanos();
+        for (i, rt) in self.rts.iter().enumerate().skip(skip) {
+            sum += rt.as_nanos();
             out[i] = Duration::from_nanos((sum / (i - skip + 1) as u128) as u64);
         }
-        for i in 0..skip {
-            out[i] = out.get(skip).copied().unwrap_or(Duration::ZERO);
+        let head = out.get(skip).copied().unwrap_or(Duration::ZERO);
+        for slot in out.iter_mut().take(skip) {
+            *slot = head;
         }
         out
     }
@@ -94,7 +105,10 @@ mod tests {
         assert_eq!(s.mean, ms(100));
         let all = r.summary_all().unwrap();
         assert_eq!(all.count, 4);
-        assert!(all.mean < s.mean, "including cheap start-up lowers the average");
+        assert!(
+            all.mean < s.mean,
+            "including cheap start-up lowers the average"
+        );
     }
 
     #[test]

@@ -96,8 +96,11 @@ pub struct SuiteResult {
 impl SuiteResult {
     /// Collect the results of one experiment back into sweep order.
     pub fn experiment(&self, name: &str) -> Vec<&SuitePointResult> {
-        let mut pts: Vec<&SuitePointResult> =
-            self.points.iter().filter(|p| p.experiment == name).collect();
+        let mut pts: Vec<&SuitePointResult> = self
+            .points
+            .iter()
+            .filter(|p| p.experiment == name)
+            .collect();
         pts.sort_by(|a, b| a.param.total_cmp(&b.param));
         pts
     }
@@ -135,7 +138,11 @@ pub fn execute_plan(
                 }
                 resets += 1;
             }
-            PlanStep::Run { experiment, point, offset } => {
+            PlanStep::Run {
+                experiment,
+                point,
+                offset,
+            } => {
                 let e = &plan.experiments[*experiment];
                 let p = &e.points[*point];
                 let workload = p.workload.relocated(*offset);
@@ -151,7 +158,11 @@ pub fn execute_plan(
             }
         }
     }
-    Ok(SuiteResult { points, resets, device_time: dev.now() - t0 })
+    Ok(SuiteResult {
+        points,
+        resets,
+        device_time: dev.now() - t0,
+    })
 }
 
 /// Convenience: build the plan for a device and run the full suite.
@@ -183,8 +194,10 @@ mod tests {
     #[test]
     fn full_suite_contains_all_nine_micro_benchmarks() {
         let suite = full_suite(&quick_cfg());
-        let families: std::collections::BTreeSet<&str> =
-            suite.iter().map(|e| e.name.split('/').next().expect("has /")).collect();
+        let families: std::collections::BTreeSet<&str> = suite
+            .iter()
+            .map(|e| e.name.split('/').next().expect("has /"))
+            .collect();
         assert_eq!(
             families.into_iter().collect::<Vec<_>>(),
             vec![
@@ -245,6 +258,9 @@ mod tests {
         };
         let before = dev.writes();
         let _ = run_full_suite(&mut dev, &cfg, &opts).expect("suite");
-        assert!(dev.writes() > before, "enforcement + workload writes happened");
+        assert!(
+            dev.writes() > before,
+            "enforcement + workload writes happened"
+        );
     }
 }

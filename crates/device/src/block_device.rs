@@ -37,6 +37,14 @@ pub trait BlockDevice {
     /// simulations, wall-clock for real backends).
     fn now(&self) -> Duration;
 
+    /// The device's NCQ-style submission queue, if it can serve
+    /// overlapping IOs (see [`crate::queue::IoQueue`]). Synchronous
+    /// backends return `None` (the default) and callers fall back to
+    /// serial interleaving.
+    fn io_queue(&mut self) -> Option<&mut dyn crate::queue::IoQueue> {
+        None
+    }
+
     /// Validate alignment and bounds (shared helper).
     fn check(&self, offset: u64, len: u64) -> Result<()> {
         if len == 0 {
@@ -87,9 +95,21 @@ mod tests {
         assert!(d.check(0, 512).is_ok());
         assert!(d.check(512, 3584).is_ok());
         assert!(matches!(d.check(0, 0), Err(DeviceError::ZeroLength)));
-        assert!(matches!(d.check(100, 512), Err(DeviceError::Unaligned { .. })));
-        assert!(matches!(d.check(0, 100), Err(DeviceError::Unaligned { .. })));
-        assert!(matches!(d.check(4096, 512), Err(DeviceError::OutOfRange { .. })));
-        assert!(matches!(d.check(3584, 1024), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(
+            d.check(100, 512),
+            Err(DeviceError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            d.check(0, 100),
+            Err(DeviceError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            d.check(4096, 512),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.check(3584, 1024),
+            Err(DeviceError::OutOfRange { .. })
+        ));
     }
 }

@@ -110,8 +110,12 @@ impl DirectIoFile {
     /// Open without `O_DIRECT` (buffered) — used by tests and as an
     /// escape hatch for filesystems that reject direct IO.
     pub fn open_buffered(path: &Path, capacity: u64) -> Result<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
         if file.metadata()?.len() < capacity {
             file.set_len(capacity)?;
         }
@@ -140,7 +144,8 @@ impl BlockDevice for DirectIoFile {
         self.check(offset, len)?;
         self.buf.ensure(len as usize);
         let t0 = Instant::now();
-        self.file.read_exact_at(&mut self.buf.as_mut_slice()[..len as usize], offset)?;
+        self.file
+            .read_exact_at(&mut self.buf.as_mut_slice()[..len as usize], offset)?;
         Ok(t0.elapsed())
     }
 
@@ -153,7 +158,8 @@ impl BlockDevice for DirectIoFile {
         let fill = self.fill;
         self.buf.as_mut_slice()[..len as usize].fill(fill);
         let t0 = Instant::now();
-        self.file.write_all_at(&self.buf.as_slice()[..len as usize], offset)?;
+        self.file
+            .write_all_at(&self.buf.as_slice()[..len as usize], offset)?;
         Ok(t0.elapsed())
     }
 

@@ -24,6 +24,13 @@ pub enum DeviceError {
     },
     /// Zero-length IO.
     ZeroLength,
+    /// Submission rejected: the device's command queue already holds
+    /// `depth` in-flight IOs. The submitter must poll a completion
+    /// before retrying (NCQ back-pressure, not a failure of the IO).
+    QueueFull {
+        /// Configured queue depth.
+        depth: u32,
+    },
     /// Error from the simulated FTL.
     Ftl(FtlError),
     /// IO error from a real backend.
@@ -36,10 +43,20 @@ impl fmt::Display for DeviceError {
             DeviceError::Unaligned { offset, len } => {
                 write!(f, "IO at offset {offset} (+{len}) not sector-aligned")
             }
-            DeviceError::OutOfRange { offset, len, capacity } => {
-                write!(f, "IO at offset {offset} (+{len}) exceeds capacity {capacity}")
+            DeviceError::OutOfRange {
+                offset,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "IO at offset {offset} (+{len}) exceeds capacity {capacity}"
+                )
             }
             DeviceError::ZeroLength => write!(f, "zero-length IO"),
+            DeviceError::QueueFull { depth } => {
+                write!(f, "submission queue full ({depth} IOs in flight)")
+            }
             DeviceError::Ftl(e) => write!(f, "FTL error: {e}"),
             DeviceError::Io(e) => write!(f, "backend IO error: {e}"),
         }
@@ -76,8 +93,7 @@ mod tests {
     fn conversions_and_display() {
         let e: DeviceError = FtlError::ZeroLength.into();
         assert!(e.to_string().contains("FTL error"));
-        let e: DeviceError =
-            std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: DeviceError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("backend IO error"));
     }
 }

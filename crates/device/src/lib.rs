@@ -12,6 +12,10 @@
 //! * [`SimDevice`] — a simulated device: a controller model (per-IO
 //!   command overhead + interconnect transfer) over any
 //!   [`uflip_ftl::Ftl`], with a deterministic virtual clock;
+//! * [`IoQueue`] — the NCQ-style submit/poll interface (`queue`
+//!   module): simulated devices schedule in-flight IOs onto per-channel
+//!   busy tracks, making channel overlap — and its collapse under
+//!   stride-aligned patterns — emergent rather than scripted;
 //! * [`DirectIoFile`] — a real-hardware backend using `O_DIRECT` +
 //!   `O_SYNC` (bypassing the host file system and IO scheduler, exactly
 //!   as the paper's FlashIO tool did — §4.3) with wall-clock timing;
@@ -29,6 +33,7 @@ pub mod direct_io;
 pub mod error;
 pub mod mem_device;
 pub mod profiles;
+pub mod queue;
 pub mod sim_device;
 
 pub use block_device::BlockDevice;
@@ -36,6 +41,7 @@ pub use direct_io::DirectIoFile;
 pub use error::DeviceError;
 pub use mem_device::MemDevice;
 pub use profiles::{DeviceKind, DeviceProfile};
+pub use queue::{IoQueue, Token};
 pub use sim_device::{ControllerConfig, SimDevice, StrideQuirk};
 
 /// Crate-local result alias.

@@ -21,7 +21,14 @@ pub struct MemDevice {
 impl MemDevice {
     /// Create a device of `capacity` bytes with the given cost model.
     pub fn new(capacity: u64, base: Duration, per_byte_ns: u64) -> Self {
-        MemDevice { capacity, base, per_byte_ns, clock: Duration::ZERO, reads: 0, writes: 0 }
+        MemDevice {
+            capacity,
+            base,
+            per_byte_ns,
+            clock: Duration::ZERO,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Number of reads served.

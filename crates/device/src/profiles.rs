@@ -112,7 +112,12 @@ impl DeviceProfile {
                 Box::new(BlockMapFtl::new(c).expect("profile BlockMap config must be valid"))
             }
         };
-        Box::new(SimDevice::new(self.id, ftl, self.controller, self.stride_quirk))
+        Box::new(SimDevice::new(
+            self.id,
+            ftl,
+            self.controller,
+            self.stride_quirk,
+        ))
     }
 
     /// FTL family name for reports.
@@ -189,7 +194,11 @@ pub mod catalog {
     pub fn memoright() -> DeviceProfile {
         let chips = 16;
         let chip = slc_chip(128, 220, 25); // 16 × 32 MB = 512 MB physical
-        let array = NandArrayConfig { chip, chips, channels: 16 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 16,
+        };
         DeviceProfile {
             id: "memoright",
             brand: "Memoright",
@@ -211,8 +220,8 @@ pub mod catalog {
                 // start-up ≈ pool capacity ≈ 256 IOs after a long idle
                 read_contention_factor: 4.0,
                 bg_rate_during_reads: 1.0, // full-shadow GC: short lingering
-                incremental_gc: true, // frequent small merge spikes
-                associative: true,    // FAST-style pool (high-end)
+                incremental_gc: true,      // frequent small merge spikes
+                associative: true,         // FAST-style pool (high-end)
             }),
             controller: ControllerConfig {
                 per_io_overhead_ns: 70_000,
@@ -247,7 +256,11 @@ pub mod catalog {
     pub fn mtron() -> DeviceProfile {
         let chips = 8;
         let chip = slc_chip(256, 190, 25); // 8 × 64 MB = 512 MB physical
-        let array = NandArrayConfig { chip, chips, channels: 8 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 8,
+        };
         DeviceProfile {
             id: "mtron",
             brand: "Mtron",
@@ -265,7 +278,7 @@ pub mod catalog {
                 descending_streams: true, // reverse "="
                 rmw_granularity_bytes: 0,
                 async_reclaim: true,
-                bg_reserve_groups: 8, // idle fully cleans the pool
+                bg_reserve_groups: 8,        // idle fully cleans the pool
                 read_contention_factor: 8.0, // reads visibly slowed (Fig 5)
                 bg_rate_during_reads: 0.9,   // ~3000 reads to drain
                 incremental_gc: true,
@@ -289,7 +302,11 @@ pub mod catalog {
     pub fn samsung() -> DeviceProfile {
         let chips = 16;
         let chip = slc_chip(128, 230, 28); // 512 MB physical
-        let array = NandArrayConfig { chip, chips, channels: 16 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 16,
+        };
         DeviceProfile {
             id: "samsung",
             brand: "Samsung",
@@ -310,7 +327,7 @@ pub mod catalog {
                 },
                 descending_streams: true,
                 rmw_granularity_bytes: 16 * 1024, // §5.2 alignment result
-                async_reclaim: false, // Table 3: no pause effect
+                async_reclaim: false,             // Table 3: no pause effect
                 bg_reserve_groups: 0,
                 read_contention_factor: 1.0,
                 bg_rate_during_reads: 0.0,
@@ -340,7 +357,11 @@ pub mod catalog {
     pub fn transcend_module() -> DeviceProfile {
         let chips = 2;
         let chip = slc_chip(512, 240, 30); // 2 × 128 MB = 256 MB physical
-        let array = NandArrayConfig { chip, chips, channels: 2 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 2,
+        };
         DeviceProfile {
             id: "transcend-module",
             brand: "Transcend",
@@ -381,7 +402,11 @@ pub mod catalog {
     pub fn transcend_mlc() -> DeviceProfile {
         let chips = 2;
         let chip = mlc_chip(128, 650, 100, 3_000); // 2 × 128 MB = 256 MB
-        let array = NandArrayConfig { chip, chips, channels: 2 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 2,
+        };
         DeviceProfile {
             id: "transcend-mlc",
             brand: "Transcend",
@@ -412,7 +437,11 @@ pub mod catalog {
     pub fn transcend_slc() -> DeviceProfile {
         let chips = 2;
         let chip = slc_chip(512, 240, 28);
-        let array = NandArrayConfig { chip, chips, channels: 2 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 2,
+        };
         let mut p = transcend_mlc();
         p.id = "transcend-slc";
         p.model = "TS16GSSD25S-S";
@@ -437,7 +466,11 @@ pub mod catalog {
     pub fn kingston_dthx() -> DeviceProfile {
         let chips = 2;
         let chip = mlc_chip(128, 600, 60, 3_000); // 2 × 128 MB = 256 MB
-        let array = NandArrayConfig { chip, chips, channels: 2 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 2,
+        };
         DeviceProfile {
             id: "kingston-dthx",
             brand: "Kingston",
@@ -453,7 +486,7 @@ pub mod catalog {
                 chunk_bytes: 32 * 1024,
                 open_aus: 8, // 8 open AUs → 16 MB "locality", 8 partitions
                 policy: ReplacementPolicy::Ordered {
-                    ooo_random_chunks: 6, // ~×10 SW inside the open AUs
+                    ooo_random_chunks: 6,  // ~×10 SW inside the open AUs
                     ooo_inplace_chunks: 3, // in-place ×6
                     ooo_reverse_chunks: 3, // reverse ×7
                 },
@@ -488,7 +521,11 @@ pub mod catalog {
     pub fn kingston_dti() -> DeviceProfile {
         let chips = 2;
         let chip = mlc_chip(64, 300, 60, 3_200); // 2 × 64 MB = 128 MB
-        let array = NandArrayConfig { chip, chips, channels: 2 };
+        let array = NandArrayConfig {
+            chip,
+            chips,
+            channels: 2,
+        };
         DeviceProfile {
             id: "kingston-dti",
             brand: "Kingston",
@@ -504,7 +541,7 @@ pub mod catalog {
                 chunk_bytes: 32 * 1024,
                 open_aus: 4,
                 policy: ReplacementPolicy::Ordered {
-                    ooo_random_chunks: 90, // effectively no locality benefit
+                    ooo_random_chunks: 90,  // effectively no locality benefit
                     ooo_inplace_chunks: 40, // in-place ×40
                     ooo_reverse_chunks: 7,  // reverse ×8
                 },
@@ -635,8 +672,16 @@ mod tests {
             let mut dev = p.build_sim(7);
             let w = dev.write(0, 32 * 1024).unwrap();
             let r = dev.read(0, 32 * 1024).unwrap();
-            assert!(w > std::time::Duration::ZERO, "{}: write has nonzero rt", p.id);
-            assert!(r > std::time::Duration::ZERO, "{}: read has nonzero rt", p.id);
+            assert!(
+                w > std::time::Duration::ZERO,
+                "{}: write has nonzero rt",
+                p.id
+            );
+            assert!(
+                r > std::time::Duration::ZERO,
+                "{}: read has nonzero rt",
+                p.id
+            );
         }
     }
 
@@ -646,7 +691,10 @@ mod tests {
         let mut usb = catalog::kingston_dti().build_sim(1);
         let a = ssd.read(0, 32 * 1024).unwrap();
         let b = usb.read(0, 32 * 1024).unwrap();
-        assert!(b > a * 2, "USB ({b:?}) must be much slower than SSD ({a:?})");
+        assert!(
+            b > a * 2,
+            "USB ({b:?}) must be much slower than SSD ({a:?})"
+        );
     }
 
     #[test]

@@ -161,8 +161,11 @@ impl BlockMapFtl {
     /// Build the FTL.
     pub fn new(cfg: BlockMapConfig) -> Result<Self> {
         cfg.validate()?;
-        let groups =
-            StripeGroups::new(&cfg.array.chip.geometry, cfg.array.chips, cfg.au_blocks_per_chip);
+        let groups = StripeGroups::new(
+            &cfg.array.chip.geometry,
+            cfg.array.chips,
+            cfg.au_blocks_per_chip,
+        );
         let layout = LogicalLayout::new(&cfg.array.chip.geometry, cfg.capacity_bytes);
         let au_bytes = groups.group_bytes(cfg.array.chip.geometry.page_data_bytes);
         let logical_aus = cfg.capacity_bytes.div_ceil(au_bytes);
@@ -194,7 +197,8 @@ impl BlockMapFtl {
 
     /// Bytes per allocation unit.
     pub fn au_bytes(&self) -> u64 {
-        self.groups.group_bytes(self.cfg.array.chip.geometry.page_data_bytes)
+        self.groups
+            .group_bytes(self.cfg.array.chip.geometry.page_data_bytes)
     }
 
     /// Chunks per allocation unit.
@@ -225,7 +229,14 @@ impl BlockMapFtl {
     /// groups, starting at chunk `first_chunk`. Appends ops to `batch`.
     /// When `src` is `None` (never-written AU), only programs are issued
     /// — there is nothing to read.
-    fn copy_chunk_ops(&self, src: Option<u32>, dst: u32, first_chunk: u32, count: u32, batch: &mut Batch) {
+    fn copy_chunk_ops(
+        &self,
+        src: Option<u32>,
+        dst: u32,
+        first_chunk: u32,
+        count: u32,
+        batch: &mut Batch,
+    ) {
         let ppc = self.pages_per_chunk();
         for c in first_chunk..first_chunk + count {
             for p in 0..ppc {
@@ -276,8 +287,8 @@ impl BlockMapFtl {
         // chunks never sit at identity positions: any written chunk
         // forces the rebuild path (identity-position copies into the
         // replacement would collide with appended pages).
-        let paged_dirty = matches!(self.cfg.policy, ReplacementPolicy::Paged)
-            && au.written.iter().any(|&w| w);
+        let paged_dirty =
+            matches!(self.cfg.policy, ReplacementPolicy::Paged) && au.written.iter().any(|&w| w);
         let mut batch = Batch::new();
         let ns;
         if !paged_dirty && (src.is_none() || !holes_below) {
@@ -296,7 +307,11 @@ impl BlockMapFtl {
             if let Some(old) = src {
                 self.erase_group_ops(old, &mut batch);
             }
-            ns = if batch.is_empty() { 0 } else { self.array.execute(&batch)? };
+            ns = if batch.is_empty() {
+                0
+            } else {
+                self.array.execute(&batch)?
+            };
             if let Some(old) = src {
                 self.free.push_back(old);
             }
@@ -311,7 +326,11 @@ impl BlockMapFtl {
             // Rebuild: merge replacement + old into a fresh group.
             let fresh = self.alloc_group()?;
             for c in 0..nchunks {
-                let from = if au.written[c as usize] { Some(au.repl) } else { src };
+                let from = if au.written[c as usize] {
+                    Some(au.repl)
+                } else {
+                    src
+                };
                 if let Some(from) = from {
                     self.copy_chunk_ops(Some(from), fresh, c, 1, &mut batch);
                 }
@@ -430,7 +449,13 @@ impl BlockMapFtl {
             self.stats.switch_merges += 1;
         } else {
             let fresh = self.alloc_group()?;
-            self.copy_chunk_ops(src.or(Some(repl)), fresh, 0, self.chunks_per_au(), &mut batch);
+            self.copy_chunk_ops(
+                src.or(Some(repl)),
+                fresh,
+                0,
+                self.chunks_per_au(),
+                &mut batch,
+            );
             self.erase_group_ops(repl, &mut batch);
             if let Some(old) = src {
                 self.erase_group_ops(old, &mut batch);
@@ -594,7 +619,11 @@ impl Ftl for BlockMapFtl {
                 batch.push(NandOp::ReadPage(self.groups.page_addr(src, j)));
             }
         }
-        let ns = if batch.is_empty() { 0 } else { self.array.execute(&batch)? };
+        let ns = if batch.is_empty() {
+            0
+        } else {
+            self.array.execute(&batch)?
+        };
         self.stats.host_reads += 1;
         self.stats.sectors_read += sectors as u64;
         Ok(ns)
@@ -629,6 +658,15 @@ impl Ftl for BlockMapFtl {
 
     fn nand_stats(&self) -> NandStats {
         self.array.stats()
+    }
+
+    fn channels(&self) -> u32 {
+        self.array.channels()
+    }
+
+    fn channel_busy_ns(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.array.busy_totals());
     }
 }
 
@@ -677,7 +715,11 @@ mod tests {
         for i in 0..(2 * chunks) {
             costs.push(f.write(i * s, s as u32).unwrap());
         }
-        let body_max = costs[..(chunks - 1) as usize].iter().copied().max().unwrap();
+        let body_max = costs[..(chunks - 1) as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap();
         let spike = costs[(chunks - 1) as usize];
         assert!(
             spike > body_max,
@@ -830,7 +872,10 @@ mod tests {
         let mut f = tiny();
         let s = spc(&f);
         f.write(0, s as u32).unwrap();
-        assert!(f.read(0, s as u32).unwrap() > 0, "read from open replacement");
+        assert!(
+            f.read(0, s as u32).unwrap() > 0,
+            "read from open replacement"
+        );
         // Force the AU closed by opening others.
         let au_sectors = f.au_bytes() / SECTOR_BYTES;
         f.write(au_sectors, s as u32).unwrap();
@@ -851,7 +896,10 @@ mod tests {
         for i in 0..n_aus {
             f.write(i * au_sectors, s as u32).unwrap();
         }
-        assert!(n_aus as usize > f.cfg.open_aus, "test must exceed the open-AU limit");
+        assert!(
+            n_aus as usize > f.cfg.open_aus,
+            "test must exceed the open-AU limit"
+        );
         assert!(f.open.len() <= f.cfg.open_aus);
     }
 
@@ -859,7 +907,10 @@ mod tests {
     fn capacity_validation() {
         let mut f = tiny();
         let cap = f.capacity_bytes() / SECTOR_BYTES;
-        assert!(matches!(f.write(cap, 8), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(
+            f.write(cap, 8),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
         assert!(matches!(f.read(0, 0), Err(FtlError::ZeroLength)));
     }
 
@@ -867,7 +918,10 @@ mod tests {
     fn construction_rejects_bad_chunk_size() {
         let mut c = cfg();
         c.chunk_bytes = 100; // not a multiple of page size
-        assert!(matches!(BlockMapFtl::new(c), Err(FtlError::InvalidConfig(_))));
+        assert!(matches!(
+            BlockMapFtl::new(c),
+            Err(FtlError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -890,6 +944,6 @@ mod tests {
             f.free.len() + f.open.len() + mapped <= total,
             "group accounting must not leak"
         );
-        assert!(f.free.len() >= 1, "reserve must survive churn");
+        assert!(!f.free.is_empty(), "reserve must survive churn");
     }
 }

@@ -31,7 +31,11 @@ pub enum FtlError {
 impl fmt::Display for FtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FtlError::OutOfCapacity { lba, sectors, capacity_sectors } => write!(
+            FtlError::OutOfCapacity {
+                lba,
+                sectors,
+                capacity_sectors,
+            } => write!(
                 f,
                 "IO at LBA {lba} (+{sectors} sectors) exceeds device capacity of \
                  {capacity_sectors} sectors"
@@ -74,7 +78,11 @@ mod tests {
 
     #[test]
     fn capacity_error_reports_request() {
-        let e = FtlError::OutOfCapacity { lba: 100, sectors: 8, capacity_sectors: 64 };
+        let e = FtlError::OutOfCapacity {
+            lba: 100,
+            sectors: 8,
+            capacity_sectors: 64,
+        };
         let s = e.to_string();
         assert!(s.contains("LBA 100") && s.contains("64 sectors"));
     }

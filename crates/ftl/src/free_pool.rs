@@ -27,8 +27,15 @@ impl FreePool {
     ///
     /// [`push`]: FreePool::push
     pub fn new(low_watermark: usize, high_watermark: usize) -> Self {
-        assert!(low_watermark <= high_watermark, "low watermark must not exceed high");
-        FreePool { free: std::collections::VecDeque::new(), low_watermark, high_watermark }
+        assert!(
+            low_watermark <= high_watermark,
+            "low watermark must not exceed high"
+        );
+        FreePool {
+            free: std::collections::VecDeque::new(),
+            low_watermark,
+            high_watermark,
+        }
     }
 
     /// Add an erased block to the pool.
@@ -96,7 +103,10 @@ mod tests {
         let mut p = FreePool::new(1, 3);
         assert!(p.needs_sync_reclaim(), "empty pool is below low watermark");
         p.push(0);
-        assert!(p.needs_sync_reclaim(), "at low watermark still needs reclaim");
+        assert!(
+            p.needs_sync_reclaim(),
+            "at low watermark still needs reclaim"
+        );
         p.push(1);
         assert!(!p.needs_sync_reclaim());
         assert!(p.wants_background_reclaim());

@@ -31,7 +31,12 @@ impl StripeGroups {
     pub fn new(geometry: &NandGeometry, chips: u32, blocks_per_chip_group: u32) -> Self {
         assert!(blocks_per_chip_group >= 1);
         let groups = geometry.blocks_per_chip() / blocks_per_chip_group;
-        StripeGroups { chips, blocks_per_chip_group, pages_per_block: geometry.pages_per_block, groups }
+        StripeGroups {
+            chips,
+            blocks_per_chip_group,
+            pages_per_block: geometry.pages_per_block,
+            groups,
+        }
     }
 
     /// Total number of groups in the array.
@@ -76,9 +81,8 @@ impl StripeGroups {
     /// All flash blocks of a group, as (chip, block) pairs.
     pub fn blocks(&self, group: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let base = group * self.blocks_per_chip_group;
-        (0..self.chips).flat_map(move |chip| {
-            (0..self.blocks_per_chip_group).map(move |b| (chip, base + b))
-        })
+        (0..self.chips)
+            .flat_map(move |chip| (0..self.blocks_per_chip_group).map(move |b| (chip, base + b)))
     }
 }
 
@@ -121,7 +125,11 @@ mod tests {
             let p = g.page_addr(0, j);
             if let Some((lb, lp)) = last[p.chip as usize] {
                 let ok = (p.block == lb && p.page == lp + 1) || (p.block == lb + 1 && p.page == 0);
-                assert!(ok, "page order on chip {} regressed: {lb}/{lp} -> {}/{}", p.chip, p.block, p.page);
+                assert!(
+                    ok,
+                    "page order on chip {} regressed: {lb}/{lp} -> {}/{}",
+                    p.chip, p.block, p.page
+                );
             } else {
                 assert_eq!((p.block, p.page), (0, 0));
             }

@@ -253,7 +253,9 @@ impl HybridLogFtl {
     /// knee of Figure 8.
     pub fn locality_area_bytes(&self) -> u64 {
         self.cfg.rand_log_groups as u64
-            * self.groups.group_bytes(self.cfg.array.chip.geometry.page_data_bytes)
+            * self
+                .groups
+                .group_bytes(self.cfg.array.chip.geometry.page_data_bytes)
     }
 
     fn filled_get(&self, lpn: u64) -> bool {
@@ -324,16 +326,21 @@ impl HybridLogFtl {
             s.appended += len;
             match s.dir {
                 StreamDir::Up => s.expected += len,
-                StreamDir::Down => {
-                    s.expected = (lpn % self.groups.pages_per_group() as u64) as u32
-                }
+                StreamDir::Down => s.expected = (lpn % self.groups.pages_per_group() as u64) as u32,
             }
-            (s.lgroup, s.appended >= self.groups.pages_per_group(), s.pristine)
+            (
+                s.lgroup,
+                s.appended >= self.groups.pages_per_group(),
+                s.pristine,
+            )
         };
         if complete {
-            let full_valid =
-                self.log_valid.get(&self.seq[slot].unwrap().phys).copied().unwrap_or(0)
-                    == self.groups.pages_per_group();
+            let full_valid = self
+                .log_valid
+                .get(&self.seq[slot].unwrap().phys)
+                .copied()
+                .unwrap_or(0)
+                == self.groups.pages_per_group();
             if pristine && full_valid {
                 ns += self.switch_merge(slot)?;
             } else {
@@ -537,7 +544,8 @@ impl HybridLogFtl {
             }
             ns += self.array.execute(&batch)?;
             self.tick += 1;
-            self.assoc_logs.insert(lg, (phys, next + take as u32, self.tick));
+            self.assoc_logs
+                .insert(lg, (phys, next + take as u32, self.tick));
             i += take;
         }
         Ok(ns)
@@ -652,9 +660,12 @@ impl HybridLogFtl {
         // Rough cost of one logical-group merge, for credit gating.
         let t = self.cfg.array.chip.timing;
         let ppg = self.groups.pages_per_group() as u64;
-        let est = ppg / self.cfg.array.chips as u64 * t.copy_back_total_ns()
-            + 2 * t.erase_total_ns();
-        let target = self.cfg.rand_log_groups.saturating_sub(self.cfg.bg_reserve_groups);
+        let est =
+            ppg / self.cfg.array.chips as u64 * t.copy_back_total_ns() + 2 * t.erase_total_ns();
+        let target = self
+            .cfg
+            .rand_log_groups
+            .saturating_sub(self.cfg.bg_reserve_groups);
         loop {
             if self.rand_full.len() <= target {
                 break; // pool clean — stale streams may still remain
@@ -678,7 +689,9 @@ impl HybridLogFtl {
         // burst starts from a fully clean slate — this is what produces
         // the start-up phase of Figure 3 at its full length.
         while self.bg_credit_ns > 1_000_000_000 {
-            let Some(slot) = self.seq.iter().position(|s| s.is_some()) else { break };
+            let Some(slot) = self.seq.iter().position(|s| s.is_some()) else {
+                break;
+            };
             let stream = self.seq[slot].expect("checked");
             let before = self.bg_credit_ns;
             match self.merge_logical(stream.lgroup) {
@@ -715,7 +728,10 @@ impl HybridLogFtl {
     pub fn background_pending(&self) -> bool {
         self.cfg.async_reclaim
             && self.rand_full.len()
-                > self.cfg.rand_log_groups.saturating_sub(self.cfg.bg_reserve_groups)
+                > self
+                    .cfg
+                    .rand_log_groups
+                    .saturating_sub(self.cfg.bg_reserve_groups)
     }
 
     /// Reclaim one random log group: merge every logical group with live
@@ -812,10 +828,7 @@ impl HybridLogFtl {
             // Extend a run of consecutive pages within one logical group.
             let lg = self.lgroup_of(lpns[i]);
             let mut j = i + 1;
-            while j < lpns.len()
-                && lpns[j] == lpns[j - 1] + 1
-                && self.lgroup_of(lpns[j]) == lg
-            {
+            while j < lpns.len() && lpns[j] == lpns[j - 1] + 1 && self.lgroup_of(lpns[j]) == lg {
                 j += 1;
             }
             let run_start = lpns[i];
@@ -907,7 +920,11 @@ impl Ftl for HybridLogFtl {
                 }
             }
         }
-        let mut ns = if batch.is_empty() { 0 } else { self.array.execute(&batch)? };
+        let mut ns = if batch.is_empty() {
+            0
+        } else {
+            self.array.execute(&batch)?
+        };
         // Pending background work contends with reads (Figure 5's
         // lingering effect) and drains in their shadow.
         if self.background_pending() {
@@ -990,6 +1007,15 @@ impl Ftl for HybridLogFtl {
     fn nand_stats(&self) -> NandStats {
         self.array.stats()
     }
+
+    fn channels(&self) -> u32 {
+        self.array.channels()
+    }
+
+    fn channel_busy_ns(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.array.busy_totals());
+    }
 }
 
 impl HybridLogFtl {
@@ -1039,7 +1065,10 @@ mod tests {
     fn construction_requires_spare_groups() {
         let mut c = cfg();
         c.capacity_bytes = c.array.capacity_bytes(); // no spare
-        assert!(matches!(HybridLogFtl::new(c), Err(FtlError::InvalidConfig(_))));
+        assert!(matches!(
+            HybridLogFtl::new(c),
+            Err(FtlError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -1047,7 +1076,10 @@ mod tests {
         let mut f = tiny();
         write_group_seq(&mut f, 0); // first pass: no old data group
         write_group_seq(&mut f, 0); // second pass: switch-merge the old
-        assert!(f.stats.switch_merges >= 2, "dense streams must switch-merge");
+        assert!(
+            f.stats.switch_merges >= 2,
+            "dense streams must switch-merge"
+        );
         assert_eq!(f.stats.full_merges, 0, "no full merges for pure sequential");
     }
 
@@ -1062,10 +1094,17 @@ mod tests {
         for _ in 0..400 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let lpn = x % pages;
-            let lpn = if lpn % ppg(&f) == 0 { lpn + 1 } else { lpn };
+            let lpn = if lpn.is_multiple_of(ppg(&f)) {
+                lpn + 1
+            } else {
+                lpn
+            };
             f.write(lpn * s, s as u32).unwrap();
         }
-        assert!(f.stats.full_merges > 0, "random churn must trigger full merges");
+        assert!(
+            f.stats.full_merges > 0,
+            "random churn must trigger full merges"
+        );
     }
 
     #[test]
@@ -1081,7 +1120,11 @@ mod tests {
             for _ in 0..600 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let lpn = x % span_pages;
-                let lpn = if lpn % ppg(&f) == 0 { lpn + 1 } else { lpn };
+                let lpn = if lpn.is_multiple_of(ppg(&f)) {
+                    lpn + 1
+                } else {
+                    lpn
+                };
                 f.write(lpn * s, s as u32).unwrap();
             }
             f.stats.full_merges
@@ -1134,12 +1177,22 @@ mod tests {
         let s = spp(&f);
         // Page still in a log:
         f.write(5 * s, s as u32).unwrap();
-        assert!(f.read(5 * s, s as u32).unwrap() > 0, "log-resident page read from flash");
+        assert!(
+            f.read(5 * s, s as u32).unwrap() > 0,
+            "log-resident page read from flash"
+        );
         // Whole group merged to data:
         write_group_seq(&mut f, 1);
-        assert!(f.read(ppg(&f) * s, s as u32).unwrap() > 0, "data-resident page readable");
+        assert!(
+            f.read(ppg(&f) * s, s as u32).unwrap() > 0,
+            "data-resident page readable"
+        );
         // Never-written page: zero flash time.
-        assert_eq!(f.read((f.layout.capacity_pages() - 1) * s, s as u32).unwrap(), 0);
+        assert_eq!(
+            f.read((f.layout.capacity_pages() - 1) * s, s as u32)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -1153,19 +1206,29 @@ mod tests {
         for _ in 0..600 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let lpn = x % pages;
-            let lpn = if lpn % ppg(&f) == 0 { lpn + 1 } else { lpn };
+            let lpn = if lpn.is_multiple_of(ppg(&f)) {
+                lpn + 1
+            } else {
+                lpn
+            };
             let ns = f.write(lpn * s, s as u32).unwrap();
             max_ns = max_ns.max(ns);
             min_ns = min_ns.min(ns);
         }
-        assert!(max_ns > min_ns * 5, "merge spikes ({max_ns}) must dwarf appends ({min_ns})");
+        assert!(
+            max_ns > min_ns * 5,
+            "merge spikes ({max_ns}) must dwarf appends ({min_ns})"
+        );
     }
 
     #[test]
     fn write_cache_absorbs_in_place_rewrites() {
         let mut c = cfg();
-        c.write_cache =
-            WriteCacheConfig { capacity_pages: 8, dedup: true, destage_batch_pages: 8 };
+        c.write_cache = WriteCacheConfig {
+            capacity_pages: 8,
+            dedup: true,
+            destage_batch_pages: 8,
+        };
         let mut f = HybridLogFtl::new(c).unwrap();
         let s = spp(&f);
         let mut total_after_first = 0;
@@ -1173,25 +1236,38 @@ mod tests {
         for _ in 0..50 {
             total_after_first += f.write(0, s as u32 * 4).unwrap();
         }
-        assert_eq!(total_after_first, 0, "in-place rewrites absorbed entirely in RAM");
+        assert_eq!(
+            total_after_first, 0,
+            "in-place rewrites absorbed entirely in RAM"
+        );
     }
 
     #[test]
     fn cached_pages_read_from_ram() {
         let mut c = cfg();
-        c.write_cache =
-            WriteCacheConfig { capacity_pages: 8, dedup: true, destage_batch_pages: 8 };
+        c.write_cache = WriteCacheConfig {
+            capacity_pages: 8,
+            dedup: true,
+            destage_batch_pages: 8,
+        };
         let mut f = HybridLogFtl::new(c).unwrap();
         let s = spp(&f);
         f.write(0, s as u32).unwrap();
-        assert_eq!(f.read(0, s as u32).unwrap(), 0, "dirty page served from RAM");
+        assert_eq!(
+            f.read(0, s as u32).unwrap(),
+            0,
+            "dirty page served from RAM"
+        );
     }
 
     #[test]
     fn capacity_checks() {
         let mut f = tiny();
         let cap = f.capacity_bytes() / SECTOR_BYTES;
-        assert!(matches!(f.write(cap, 1), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(
+            f.write(cap, 1),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
         assert!(matches!(f.read(0, 0), Err(FtlError::ZeroLength)));
     }
 
@@ -1241,7 +1317,10 @@ mod tests {
             f.stats.full_merges, merges_before,
             "a tolerated descending stream must not full-merge"
         );
-        assert!(f.stats.switch_merges >= 2, "both passes end in switch merges");
+        assert!(
+            f.stats.switch_merges >= 2,
+            "both passes end in switch merges"
+        );
     }
 
     #[test]
@@ -1258,7 +1337,7 @@ mod tests {
         }
         let appended = f.nand_stats().page_programs - before;
         assert!(
-            appended >= pg as u64 - 1,
+            appended >= pg - 1,
             "descending writes must hit flash through the random log"
         );
     }

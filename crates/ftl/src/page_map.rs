@@ -89,7 +89,9 @@ impl PageMapConfig {
             )));
         }
         if self.low_watermark > self.high_watermark {
-            return Err(FtlError::InvalidConfig("low watermark above high watermark".into()));
+            return Err(FtlError::InvalidConfig(
+                "low watermark above high watermark".into(),
+            ));
         }
         let spare_blocks = (self.array.capacity_bytes() - self.capacity_bytes)
             / self.array.chip.geometry.block_bytes();
@@ -153,9 +155,9 @@ impl PageMapFtl {
         let low = cfg.low_watermark.div_ceil(chips);
         let high = cfg.high_watermark.div_ceil(chips).max(low);
         let mut pools: Vec<FreePool> = (0..chips).map(|_| FreePool::new(low, high)).collect();
-        for chip in 0..chips {
+        for (chip, pool) in pools.iter_mut().enumerate() {
             for b in 0..blocks_per_chip {
-                pools[chip].push(chip as u32 * blocks_per_chip + b);
+                pool.push(chip as u32 * blocks_per_chip + b);
             }
         }
         Ok(PageMapFtl {
@@ -250,10 +252,17 @@ impl PageMapFtl {
                 gc_ns += ns;
                 guard += 1;
             }
-            let block = self.pools[chip].pop().ok_or(FtlError::OutOfPhysicalBlocks)?;
-            self.active[chip] = Some(ActiveBlock { block, next_page: 0 });
+            let block = self.pools[chip]
+                .pop()
+                .ok_or(FtlError::OutOfPhysicalBlocks)?;
+            self.active[chip] = Some(ActiveBlock {
+                block,
+                next_page: 0,
+            });
         }
-        let a = self.active[chip].as_mut().expect("active block just ensured");
+        let a = self.active[chip]
+            .as_mut()
+            .expect("active block just ensured");
         let ppn = a.block * self.pages_per_block + a.next_page;
         a.next_page += 1;
         Ok((ppn, gc_ns))
@@ -267,10 +276,17 @@ impl PageMapFtl {
             None => true,
         };
         if need_new_block {
-            let block = self.pools[chip].pop().ok_or(FtlError::OutOfPhysicalBlocks)?;
-            self.gc_active[chip] = Some(ActiveBlock { block, next_page: 0 });
+            let block = self.pools[chip]
+                .pop()
+                .ok_or(FtlError::OutOfPhysicalBlocks)?;
+            self.gc_active[chip] = Some(ActiveBlock {
+                block,
+                next_page: 0,
+            });
         }
-        let a = self.gc_active[chip].as_mut().expect("gc block just ensured");
+        let a = self.gc_active[chip]
+            .as_mut()
+            .expect("gc block just ensured");
         let ppn = a.block * self.pages_per_block + a.next_page;
         a.next_page += 1;
         Ok(ppn)
@@ -359,7 +375,9 @@ impl PageMapFtl {
     /// Estimated cost of the next background merge on the neediest chip,
     /// used to decide whether enough idle credit has accumulated.
     fn estimate_merge_ns(&self, chip: usize) -> u64 {
-        let Some(victim) = self.pick_victim(chip) else { return u64::MAX };
+        let Some(victim) = self.pick_victim(chip) else {
+            return u64::MAX;
+        };
         let valid = self.valid[victim as usize] as u64;
         let t = self.cfg.array.chip.timing;
         valid * t.copy_back_total_ns() + t.erase_total_ns()
@@ -415,7 +433,11 @@ impl Ftl for PageMapFtl {
                 batch.push(NandOp::ReadPage(self.page_addr(ppn)));
             }
         }
-        let mut ns = if batch.is_empty() { 0 } else { self.array.execute(&batch)? };
+        let mut ns = if batch.is_empty() {
+            0
+        } else {
+            self.array.execute(&batch)?
+        };
         // Lingering background work contends with reads (Figure 5).
         if self.background_pending() {
             ns = (ns as f64 * self.cfg.read_contention_factor) as u64;
@@ -472,6 +494,15 @@ impl Ftl for PageMapFtl {
     fn nand_stats(&self) -> NandStats {
         self.array.stats()
     }
+
+    fn channels(&self) -> u32 {
+        self.array.channels()
+    }
+
+    fn channel_busy_ns(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.array.busy_totals());
+    }
 }
 
 #[cfg(test)]
@@ -493,14 +524,20 @@ mod tests {
     fn construction_validates_capacity() {
         let mut cfg = PageMapConfig::tiny();
         cfg.capacity_bytes = cfg.array.capacity_bytes() * 2;
-        assert!(matches!(PageMapFtl::new(cfg), Err(FtlError::InvalidConfig(_))));
+        assert!(matches!(
+            PageMapFtl::new(cfg),
+            Err(FtlError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn construction_requires_spare_for_watermarks() {
         let mut cfg = PageMapConfig::tiny();
         cfg.capacity_bytes = cfg.array.capacity_bytes(); // no spare at all
-        assert!(matches!(PageMapFtl::new(cfg), Err(FtlError::InvalidConfig(_))));
+        assert!(matches!(
+            PageMapFtl::new(cfg),
+            Err(FtlError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -529,8 +566,9 @@ mod tests {
         let spp = sectors_per_page(&f);
         // Two consecutive pages → two different chips → parallel time.
         f.write(0, spp * 2).unwrap();
-        let per_chip: Vec<u64> =
-            (0..2).map(|c| f.array().chip(c).unwrap().stats().page_programs).collect();
+        let per_chip: Vec<u64> = (0..2)
+            .map(|c| f.array().chip(c).unwrap().stats().page_programs)
+            .collect();
         assert_eq!(per_chip, vec![1, 1], "one page per chip via striping");
     }
 
@@ -593,7 +631,10 @@ mod tests {
             }
             assert!(round < 6, "writes must keep succeeding");
         }
-        assert!(f.stats().sync_merges > 0, "pool exhaustion forces synchronous merges");
+        assert!(
+            f.stats().sync_merges > 0,
+            "pool exhaustion forces synchronous merges"
+        );
         assert!(f.nand_stats().block_erases > 0);
         // Valid-count invariant: total valid pages equals mapped pages.
         let mapped = f.map.iter().filter(|&&m| m != UNMAPPED).count() as u64;
@@ -609,13 +650,18 @@ mod tests {
         // Deterministic pseudo-random overwrite churn.
         let mut x = 12345u64;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = x % cap_pages;
             f.write(lpn * spp as u64, spp).unwrap();
         }
         for (lpn, &ppn) in f.map.iter().enumerate() {
             if ppn != UNMAPPED {
-                assert_eq!(f.rmap[ppn as usize], lpn as u32, "map/rmap must stay inverse");
+                assert_eq!(
+                    f.rmap[ppn as usize], lpn as u32,
+                    "map/rmap must stay inverse"
+                );
             }
         }
     }
@@ -662,7 +708,10 @@ mod tests {
         let free_before = f.free_blocks();
         assert!(f.background_pending());
         f.on_idle(10_000_000_000); // 10 s of idle
-        assert!(f.free_blocks() > free_before, "idle time must refill the pool");
+        assert!(
+            f.free_blocks() > free_before,
+            "idle time must refill the pool"
+        );
         assert!(f.stats().async_merges > 0);
     }
 
@@ -712,8 +761,14 @@ mod tests {
     fn out_of_bounds_rejected() {
         let mut f = tiny();
         let cap = f.capacity_bytes() / SECTOR_BYTES;
-        assert!(matches!(f.write(cap, 1), Err(FtlError::OutOfCapacity { .. })));
-        assert!(matches!(f.read(cap - 1, 2), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(
+            f.write(cap, 1),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
+        assert!(matches!(
+            f.read(cap - 1, 2),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
         assert!(matches!(f.read(0, 0), Err(FtlError::ZeroLength)));
     }
 

@@ -48,7 +48,10 @@ mod tests {
 
     #[test]
     fn write_amplification_ratio() {
-        let s = FtlStats { logical_pages_written: 100, ..Default::default() };
+        let s = FtlStats {
+            logical_pages_written: 100,
+            ..Default::default()
+        };
         assert!((s.write_amplification(250) - 2.5).abs() < 1e-9);
     }
 
@@ -60,7 +63,11 @@ mod tests {
 
     #[test]
     fn merge_total_combines_sync_and_async() {
-        let s = FtlStats { sync_merges: 3, async_merges: 4, ..Default::default() };
+        let s = FtlStats {
+            sync_merges: 3,
+            async_merges: 4,
+            ..Default::default()
+        };
         assert_eq!(s.total_merges(), 7);
     }
 }

@@ -30,6 +30,31 @@ pub trait Ftl {
         let _ = ns;
     }
 
+    /// Number of independent flash channels in the backing array.
+    ///
+    /// The device queue engine uses this to size its per-channel busy
+    /// tracks; an FTL that cannot attribute work to channels reports 1
+    /// (the default) and behaves as a single serialized track.
+    fn channels(&self) -> u32 {
+        1
+    }
+
+    /// Monotonic per-channel flash busy time in nanoseconds, written
+    /// into `out` (cleared first).
+    ///
+    /// Implementations backed by a [`uflip_nand::NandArray`] copy the
+    /// array's cumulative busy totals; the queue engine differences the
+    /// counters around a `read`/`write` call to learn which channels an
+    /// IO occupied and for how long — the mechanism that makes channel
+    /// overlap (and its collapse under stride-aligned patterns) an
+    /// emergent property. The buffer-reuse signature keeps the per-IO
+    /// hot path allocation-free. The default leaves `out` empty,
+    /// meaning "no channel attribution available": callers must then
+    /// treat the scalar busy time as occupying one serialized track.
+    fn channel_busy_ns(&self, out: &mut Vec<u64>) {
+        out.clear();
+    }
+
     /// Host-level statistics.
     fn stats(&self) -> FtlStats;
 
@@ -44,7 +69,11 @@ pub trait Ftl {
         }
         let cap = self.capacity_bytes() / crate::addr::SECTOR_BYTES;
         if lba + sectors as u64 > cap {
-            return Err(crate::FtlError::OutOfCapacity { lba, sectors, capacity_sectors: cap });
+            return Err(crate::FtlError::OutOfCapacity {
+                lba,
+                sectors,
+                capacity_sectors: cap,
+            });
         }
         Ok(())
     }
@@ -80,8 +109,14 @@ mod tests {
         let d = Dummy;
         assert!(d.check_request(0, 1024).is_ok());
         assert!(d.check_request(1023, 1).is_ok());
-        assert!(matches!(d.check_request(1024, 1), Err(FtlError::OutOfCapacity { .. })));
-        assert!(matches!(d.check_request(1000, 100), Err(FtlError::OutOfCapacity { .. })));
+        assert!(matches!(
+            d.check_request(1024, 1),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
+        assert!(matches!(
+            d.check_request(1000, 100),
+            Err(FtlError::OutOfCapacity { .. })
+        ));
         assert!(matches!(d.check_request(0, 0), Err(FtlError::ZeroLength)));
     }
 }

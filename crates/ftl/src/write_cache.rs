@@ -33,7 +33,11 @@ pub struct WriteCacheConfig {
 impl WriteCacheConfig {
     /// A disabled cache.
     pub const fn disabled() -> Self {
-        WriteCacheConfig { capacity_pages: 0, dedup: false, destage_batch_pages: 0 }
+        WriteCacheConfig {
+            capacity_pages: 0,
+            dedup: false,
+            destage_batch_pages: 0,
+        }
     }
 
     /// True if the cache holds no pages at all.
@@ -67,7 +71,12 @@ pub struct WriteCache {
 impl WriteCache {
     /// New empty cache.
     pub fn new(cfg: WriteCacheConfig) -> Self {
-        WriteCache { cfg, lru: VecDeque::new(), dirty: HashMap::new(), generation: 0 }
+        WriteCache {
+            cfg,
+            lru: VecDeque::new(),
+            dirty: HashMap::new(),
+            generation: 0,
+        }
     }
 
     /// Configuration.
@@ -112,7 +121,9 @@ impl WriteCache {
         let mut out = Vec::new();
         let batch = self.cfg.destage_batch_pages.max(1);
         while out.len() < batch {
-            let Some((lpn, gen)) = self.lru.pop_front() else { break };
+            let Some((lpn, gen)) = self.lru.pop_front() else {
+                break;
+            };
             // Skip entries superseded by a later write to the same page.
             if self.dirty.get(&lpn) == Some(&gen) {
                 self.dirty.remove(&lpn);
@@ -202,7 +213,11 @@ mod tests {
             c.admit(lpn);
         }
         let out = c.destage();
-        assert_eq!(out, (0..8).collect::<Vec<_>>(), "destage must sort pages ascending");
+        assert_eq!(
+            out,
+            (0..8).collect::<Vec<_>>(),
+            "destage must sort pages ascending"
+        );
     }
 
     #[test]
@@ -219,8 +234,12 @@ mod tests {
     #[test]
     fn disabled_config_flag() {
         assert!(WriteCacheConfig::disabled().is_disabled());
-        assert!(!WriteCacheConfig { capacity_pages: 1, dedup: false, destage_batch_pages: 1 }
-            .is_disabled());
+        assert!(!WriteCacheConfig {
+            capacity_pages: 1,
+            dedup: false,
+            destage_batch_pages: 1
+        }
+        .is_disabled());
     }
 
     #[test]

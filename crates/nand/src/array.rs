@@ -38,7 +38,11 @@ impl NandArrayConfig {
 
     /// Tiny two-chip, two-channel array for tests.
     pub fn tiny() -> Self {
-        NandArrayConfig { chip: ChipConfig::tiny(), chips: 2, channels: 2 }
+        NandArrayConfig {
+            chip: ChipConfig::tiny(),
+            chips: 2,
+            channels: 2,
+        }
     }
 }
 
@@ -79,7 +83,9 @@ impl Batch {
 
 impl FromIterator<NandOp> for Batch {
     fn from_iter<T: IntoIterator<Item = NandOp>>(iter: T) -> Self {
-        Batch { ops: iter.into_iter().collect() }
+        Batch {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -90,6 +96,10 @@ pub struct NandArray {
     chips: Vec<Chip>,
     /// Scratch per-channel busy accumulator reused across batches.
     channel_busy: Vec<u64>,
+    /// Monotonic per-channel busy totals across all executed batches.
+    /// Consumers (the device queue engine) diff these around an FTL
+    /// call to attribute an IO's flash time to channels.
+    busy_totals: Vec<u64>,
 }
 
 impl NandArray {
@@ -103,6 +113,7 @@ impl NandArray {
         NandArray {
             chips: (0..config.chips).map(|_| Chip::new(config.chip)).collect(),
             channel_busy: vec![0; config.channels as usize],
+            busy_totals: vec![0; config.channels as usize],
             config,
         }
     }
@@ -122,11 +133,27 @@ impl NandArray {
         chip % self.config.channels
     }
 
+    /// Number of independent channels.
+    pub fn channels(&self) -> u32 {
+        self.config.channels
+    }
+
+    /// Monotonic per-channel busy time in nanoseconds, accumulated over
+    /// every executed batch. [`NandArray::execute`] adds each channel's
+    /// serialized share; [`NandArray::execute_serial`] charges the whole
+    /// batch to every channel (a non-pipelining controller keeps the
+    /// entire device busy). Differencing these counters around an FTL
+    /// call yields the per-channel cost of one host IO.
+    pub fn busy_totals(&self) -> &[u64] {
+        &self.busy_totals
+    }
+
     /// Immutable access to a chip.
     pub fn chip(&self, i: u32) -> Result<&Chip> {
-        self.chips
-            .get(i as usize)
-            .ok_or(NandError::ChipOutOfRange { chip: i, chips: self.config.chips })
+        self.chips.get(i as usize).ok_or(NandError::ChipOutOfRange {
+            chip: i,
+            chips: self.config.chips,
+        })
     }
 
     /// Mutable access to a chip (for direct protocol-level tests).
@@ -149,7 +176,10 @@ impl NandArray {
     fn execute_one(&mut self, op: NandOp) -> Result<u64> {
         let chip_idx = op.chip();
         if chip_idx >= self.config.chips {
-            return Err(NandError::ChipOutOfRange { chip: chip_idx, chips: self.config.chips });
+            return Err(NandError::ChipOutOfRange {
+                chip: chip_idx,
+                chips: self.config.chips,
+            });
         }
         let chip = &mut self.chips[chip_idx as usize];
         match op {
@@ -167,7 +197,10 @@ impl NandArray {
             }
             NandOp::DualPlaneProgram(a, b) => {
                 if a.chip != b.chip {
-                    return Err(NandError::CrossChipPair { a: a.block_addr(), b: b.block_addr() });
+                    return Err(NandError::CrossChipPair {
+                        a: a.block_addr(),
+                        b: b.block_addr(),
+                    });
                 }
                 chip.dual_plane_program(strip_chip(a), strip_chip(b), None, None)
             }
@@ -201,6 +234,9 @@ impl NandArray {
             // execute_one already validated and returned Err in that case.
             self.channel_busy[ch] += ns;
         }
+        for (total, busy) in self.busy_totals.iter_mut().zip(&self.channel_busy) {
+            *total += busy;
+        }
         Ok(self.channel_busy.iter().copied().max().unwrap_or(0))
     }
 
@@ -214,6 +250,9 @@ impl NandArray {
         let mut total = 0;
         for &op in batch.ops() {
             total += self.execute_one(op)?;
+        }
+        for t in self.busy_totals.iter_mut() {
+            *t += total;
         }
         Ok(total)
     }
@@ -242,8 +281,11 @@ mod tests {
         batch.push(NandOp::ProgramPage(pa(0, 0, 0)));
         batch.push(NandOp::ProgramPage(pa(1, 0, 0)));
         let elapsed = a.execute(&batch).unwrap();
-        let single =
-            a.config().chip.timing.page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
         assert_eq!(elapsed, single, "two chips on two channels run in parallel");
     }
 
@@ -254,8 +296,11 @@ mod tests {
         batch.push(NandOp::ProgramPage(pa(0, 0, 0)));
         batch.push(NandOp::ProgramPage(pa(0, 0, 1)));
         let elapsed = a.execute(&batch).unwrap();
-        let single =
-            a.config().chip.timing.page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
         assert_eq!(elapsed, 2 * single);
     }
 
@@ -269,8 +314,11 @@ mod tests {
         batch.push(NandOp::ProgramPage(pa(0, 0, 0)));
         batch.push(NandOp::ProgramPage(pa(1, 0, 0)));
         let elapsed = a.execute(&batch).unwrap();
-        let single =
-            a.config().chip.timing.page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
         assert_eq!(elapsed, 2 * single, "one channel means no overlap");
     }
 
@@ -281,8 +329,11 @@ mod tests {
         batch.push(NandOp::ProgramPage(pa(0, 0, 0)));
         batch.push(NandOp::ProgramPage(pa(1, 0, 0)));
         let elapsed = a.execute_serial(&batch).unwrap();
-        let single =
-            a.config().chip.timing.page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
         assert_eq!(elapsed, 2 * single);
     }
 
@@ -300,8 +351,14 @@ mod tests {
         batch.push(NandOp::ProgramPage(pa(0, 0, 0)));
         a.execute(&batch).unwrap();
         let mut bad = Batch::new();
-        bad.push(NandOp::CopyBack { src: pa(0, 0, 0), dst: pa(1, 0, 0) });
-        assert!(matches!(a.execute(&bad), Err(NandError::CrossChipPair { .. })));
+        bad.push(NandOp::CopyBack {
+            src: pa(0, 0, 0),
+            dst: pa(1, 0, 0),
+        });
+        assert!(matches!(
+            a.execute(&bad),
+            Err(NandError::CrossChipPair { .. })
+        ));
     }
 
     #[test]
@@ -309,16 +366,21 @@ mod tests {
         let mut a = NandArray::new(NandArrayConfig::tiny());
         let mut batch = Batch::new();
         batch.push(NandOp::ReadPage(pa(7, 0, 0)));
-        assert!(matches!(a.execute(&batch), Err(NandError::ChipOutOfRange { .. })));
+        assert!(matches!(
+            a.execute(&batch),
+            Err(NandError::ChipOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn stats_aggregate_across_chips() {
         let mut a = NandArray::new(NandArrayConfig::tiny());
-        let batch: Batch =
-            [NandOp::ProgramPage(pa(0, 0, 0)), NandOp::ProgramPage(pa(1, 0, 0))]
-                .into_iter()
-                .collect();
+        let batch: Batch = [
+            NandOp::ProgramPage(pa(0, 0, 0)),
+            NandOp::ProgramPage(pa(1, 0, 0)),
+        ]
+        .into_iter()
+        .collect();
         a.execute(&batch).unwrap();
         assert_eq!(a.stats().page_programs, 2);
     }
@@ -332,7 +394,57 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert!(matches!(a.execute(&batch), Err(NandError::ProgramWithoutErase(_))));
+        assert!(matches!(
+            a.execute(&batch),
+            Err(NandError::ProgramWithoutErase(_))
+        ));
+    }
+
+    #[test]
+    fn busy_totals_accumulate_per_channel() {
+        let mut a = NandArray::new(NandArrayConfig::tiny());
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let batch: Batch = [
+            NandOp::ProgramPage(pa(0, 0, 0)),
+            NandOp::ProgramPage(pa(1, 0, 0)),
+        ]
+        .into_iter()
+        .collect();
+        a.execute(&batch).unwrap();
+        assert_eq!(a.busy_totals(), &[single, single]);
+        let second: Batch = [NandOp::ProgramPage(pa(0, 0, 1))].into_iter().collect();
+        a.execute(&second).unwrap();
+        assert_eq!(
+            a.busy_totals(),
+            &[2 * single, single],
+            "totals are monotonic per channel"
+        );
+    }
+
+    #[test]
+    fn serial_execution_charges_every_channel() {
+        let mut a = NandArray::new(NandArrayConfig::tiny());
+        let single = a
+            .config()
+            .chip
+            .timing
+            .page_program_total_ns(a.config().chip.geometry.page_data_bytes);
+        let batch: Batch = [
+            NandOp::ProgramPage(pa(0, 0, 0)),
+            NandOp::ProgramPage(pa(1, 0, 0)),
+        ]
+        .into_iter()
+        .collect();
+        a.execute_serial(&batch).unwrap();
+        assert_eq!(
+            a.busy_totals(),
+            &[2 * single, 2 * single],
+            "a non-pipelining batch keeps the whole device busy"
+        );
     }
 
     #[test]

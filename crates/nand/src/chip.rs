@@ -149,7 +149,10 @@ impl Chip {
         self.check_block(addr.block)?;
         let pages = self.config.geometry.pages_per_block;
         if addr.page >= pages {
-            return Err(NandError::PageOutOfRange { page: addr.page, pages });
+            return Err(NandError::PageOutOfRange {
+                page: addr.page,
+                pages,
+            });
         }
         Ok(())
     }
@@ -180,7 +183,10 @@ impl Chip {
                 None => buf.resize(size, 0xFF),
             }
         }
-        let ns = self.config.timing.page_read_total_ns(self.config.geometry.page_data_bytes);
+        let ns = self
+            .config
+            .timing
+            .page_read_total_ns(self.config.geometry.page_data_bytes);
         self.stats.page_reads += 1;
         self.stats.busy_ns += ns;
         Ok(ns)
@@ -199,12 +205,18 @@ impl Chip {
             ProgramOrder::Any => {}
             ProgramOrder::Ascending => {
                 if addr.page < next {
-                    return Err(NandError::ProgramOrderViolation { addr, expected_next: next });
+                    return Err(NandError::ProgramOrderViolation {
+                        addr,
+                        expected_next: next,
+                    });
                 }
             }
             ProgramOrder::Dense => {
                 if addr.page != next {
-                    return Err(NandError::ProgramOrderViolation { addr, expected_next: next });
+                    return Err(NandError::ProgramOrderViolation {
+                        addr,
+                        expected_next: next,
+                    });
                 }
             }
         }
@@ -215,7 +227,10 @@ impl Chip {
         if let Some(bytes) = data {
             let want = self.config.geometry.page_data_bytes as usize;
             if bytes.len() != want {
-                return Err(NandError::DataSizeMismatch { got: bytes.len(), want });
+                return Err(NandError::DataSizeMismatch {
+                    got: bytes.len(),
+                    want,
+                });
             }
             if self.config.retain_data {
                 self.data.insert(self.flat(addr) as u64, bytes.into());
@@ -232,7 +247,10 @@ impl Chip {
     pub fn program_page(&mut self, addr: PageAddr, data: Option<&[u8]>) -> Result<u64> {
         self.check_programmable(addr)?;
         self.commit_program(addr, data)?;
-        let ns = self.config.timing.page_program_total_ns(self.config.geometry.page_data_bytes);
+        let ns = self
+            .config
+            .timing
+            .page_program_total_ns(self.config.geometry.page_data_bytes);
         self.stats.page_programs += 1;
         self.stats.busy_ns += ns;
         Ok(ns)
@@ -293,7 +311,10 @@ impl Chip {
     ) -> Result<u64> {
         let g = self.config.geometry;
         if g.plane_of_block(a.block) == g.plane_of_block(b.block) {
-            return Err(NandError::PlaneConflict { a: a.block_addr(), b: b.block_addr() });
+            return Err(NandError::PlaneConflict {
+                a: a.block_addr(),
+                b: b.block_addr(),
+            });
         }
         self.check_programmable(a)?;
         self.check_programmable(b)?;
@@ -354,7 +375,11 @@ mod tests {
     use super::*;
 
     fn addr(block: u32, page: u32) -> PageAddr {
-        PageAddr { chip: 0, block, page }
+        PageAddr {
+            chip: 0,
+            block,
+            page,
+        }
     }
 
     fn tiny_chip() -> Chip {
@@ -407,7 +432,13 @@ mod tests {
         let mut c = tiny_chip();
         c.program_page(addr(0, 0), None).unwrap();
         let err = c.program_page(addr(0, 2), None).unwrap_err();
-        assert!(matches!(err, NandError::ProgramOrderViolation { expected_next: 1, .. }));
+        assert!(matches!(
+            err,
+            NandError::ProgramOrderViolation {
+                expected_next: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -418,7 +449,13 @@ mod tests {
         c.program_page(addr(0, 0), None).unwrap();
         c.program_page(addr(0, 3), None).unwrap();
         let err = c.program_page(addr(0, 1), None).unwrap_err();
-        assert!(matches!(err, NandError::ProgramOrderViolation { expected_next: 4, .. }));
+        assert!(matches!(
+            err,
+            NandError::ProgramOrderViolation {
+                expected_next: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -451,7 +488,10 @@ mod tests {
         c.erase_block(2).unwrap();
         let mut out = Vec::new();
         c.read_page(addr(2, 0), Some(&mut out)).unwrap();
-        assert!(out.iter().all(|&b| b == 0xFF), "data must be gone after erase");
+        assert!(
+            out.iter().all(|&b| b == 0xFF),
+            "data must be gone after erase"
+        );
     }
 
     #[test]
@@ -476,8 +516,14 @@ mod tests {
         c.erase_block(0).unwrap();
         c.erase_block(0).unwrap();
         assert!(c.wear().is_bad(0));
-        assert_eq!(c.erase_block(0), Err(NandError::BadBlock(BlockAddr { chip: 0, block: 0 })));
-        assert!(matches!(c.program_page(addr(0, 0), None), Err(NandError::BadBlock(_))));
+        assert_eq!(
+            c.erase_block(0),
+            Err(NandError::BadBlock(BlockAddr { chip: 0, block: 0 }))
+        );
+        assert!(matches!(
+            c.program_page(addr(0, 0), None),
+            Err(NandError::BadBlock(_))
+        ));
     }
 
     #[test]
@@ -487,13 +533,20 @@ mod tests {
         cfg.geometry.blocks_per_plane = 8;
         let mut c = Chip::new(cfg);
         // blocks 0 and 2 are both plane 0
-        let err = c.dual_plane_program(addr(0, 0), addr(2, 0), None, None).unwrap_err();
+        let err = c
+            .dual_plane_program(addr(0, 0), addr(2, 0), None, None)
+            .unwrap_err();
         assert!(matches!(err, NandError::PlaneConflict { .. }));
         // blocks 0 (plane 0) and 1 (plane 1) are fine
-        let ns = c.dual_plane_program(addr(0, 0), addr(1, 0), None, None).unwrap();
+        let ns = c
+            .dual_plane_program(addr(0, 0), addr(1, 0), None, None)
+            .unwrap();
         let t = c.config().timing;
         let single = t.page_program_total_ns(c.geometry().page_data_bytes);
-        assert!(ns < 2 * single, "dual-plane must be cheaper than two programs");
+        assert!(
+            ns < 2 * single,
+            "dual-plane must be cheaper than two programs"
+        );
         assert_eq!(c.stats().dual_plane_programs, 1);
         assert_eq!(c.page_state(addr(0, 0)).unwrap(), PageState::Programmed);
         assert_eq!(c.page_state(addr(1, 0)).unwrap(), PageState::Programmed);

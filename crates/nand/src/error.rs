@@ -83,18 +83,33 @@ impl fmt::Display for NandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NandError::ChipOutOfRange { chip, chips } => {
-                write!(f, "chip index {chip} out of range (array has {chips} chips)")
+                write!(
+                    f,
+                    "chip index {chip} out of range (array has {chips} chips)"
+                )
             }
             NandError::BlockOutOfRange { block, blocks } => {
-                write!(f, "block index {block} out of range (chip has {blocks} blocks)")
+                write!(
+                    f,
+                    "block index {block} out of range (chip has {blocks} blocks)"
+                )
             }
             NandError::PageOutOfRange { page, pages } => {
-                write!(f, "page index {page} out of range (block has {pages} pages)")
+                write!(
+                    f,
+                    "page index {page} out of range (block has {pages} pages)"
+                )
             }
             NandError::ProgramWithoutErase(addr) => {
-                write!(f, "program of non-erased page {addr} (erase-before-program violated)")
+                write!(
+                    f,
+                    "program of non-erased page {addr} (erase-before-program violated)"
+                )
             }
-            NandError::ProgramOrderViolation { addr, expected_next } => write!(
+            NandError::ProgramOrderViolation {
+                addr,
+                expected_next,
+            } => write!(
                 f,
                 "out-of-order program of page {addr}; chip expected next page {expected_next}"
             ),
@@ -109,7 +124,10 @@ impl fmt::Display for NandError {
                 write!(f, "dual-plane pair {a} / {b} lie on different chips")
             }
             NandError::DataSizeMismatch { got, want } => {
-                write!(f, "data buffer of {got} bytes does not match page size {want}")
+                write!(
+                    f,
+                    "data buffer of {got} bytes does not match page size {want}"
+                )
             }
             NandError::EmptyBatch => write!(f, "empty operation batch"),
         }
@@ -126,7 +144,11 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = NandError::ProgramOrderViolation {
-            addr: PageAddr { chip: 0, block: 3, page: 7 },
+            addr: PageAddr {
+                chip: 0,
+                block: 3,
+                page: 7,
+            },
             expected_next: 2,
         };
         let s = e.to_string();
@@ -143,7 +165,10 @@ mod tests {
         );
         assert_ne!(
             NandError::ChipOutOfRange { chip: 1, chips: 1 },
-            NandError::BlockOutOfRange { block: 1, blocks: 1 }
+            NandError::BlockOutOfRange {
+                block: 1,
+                blocks: 1
+            }
         );
     }
 }

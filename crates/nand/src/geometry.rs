@@ -130,7 +130,10 @@ pub struct PageAddr {
 impl PageAddr {
     /// The block containing this page.
     pub const fn block_addr(&self) -> BlockAddr {
-        BlockAddr { chip: self.chip, block: self.block }
+        BlockAddr {
+            chip: self.chip,
+            block: self.block,
+        }
     }
 
     /// Flat page index within its chip, used for sparse data maps.
@@ -154,7 +157,11 @@ mod tests {
         let g = NandGeometry::slc_2kb();
         assert_eq!(g.block_bytes(), 128 * 1024, "64 x 2KB pages = 128KB block");
         assert_eq!(g.blocks_per_chip(), 4096);
-        assert_eq!(g.chip_bytes(), 512 * 1024 * 1024, "4096 x 128KB = 512MB chip");
+        assert_eq!(
+            g.chip_bytes(),
+            512 * 1024 * 1024,
+            "4096 x 128KB = 512MB chip"
+        );
         assert_eq!(g.pages_per_chip(), 4096 * 64);
     }
 
@@ -188,7 +195,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for block in 0..g.blocks_per_chip() {
             for page in 0..g.pages_per_block {
-                let addr = PageAddr { chip: 0, block, page };
+                let addr = PageAddr {
+                    chip: 0,
+                    block,
+                    page,
+                };
                 assert!(seen.insert(addr.flat_index(&g)), "duplicate flat index");
             }
         }
@@ -205,7 +216,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let p = PageAddr { chip: 1, block: 2, page: 3 };
+        let p = PageAddr {
+            chip: 1,
+            block: 2,
+            page: 3,
+        };
         assert_eq!(p.to_string(), "c1b2p3");
         assert_eq!(p.block_addr().to_string(), "c1b2");
     }

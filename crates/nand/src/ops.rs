@@ -58,13 +58,24 @@ mod tests {
     use super::*;
 
     fn p(chip: u32) -> PageAddr {
-        PageAddr { chip, block: 0, page: 0 }
+        PageAddr {
+            chip,
+            block: 0,
+            page: 0,
+        }
     }
 
     #[test]
     fn routing_uses_first_address() {
         assert_eq!(NandOp::ReadPage(p(3)).chip(), 3);
-        assert_eq!(NandOp::CopyBack { src: p(2), dst: p(2) }.chip(), 2);
+        assert_eq!(
+            NandOp::CopyBack {
+                src: p(2),
+                dst: p(2)
+            }
+            .chip(),
+            2
+        );
         assert_eq!(
             NandOp::DualPlaneErase(
                 BlockAddr { chip: 5, block: 0 },

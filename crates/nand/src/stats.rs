@@ -82,8 +82,16 @@ mod tests {
 
     #[test]
     fn merge_and_since_are_inverse() {
-        let a = NandStats { page_reads: 7, busy_ns: 100, ..Default::default() };
-        let mut b = NandStats { page_reads: 3, busy_ns: 40, ..Default::default() };
+        let a = NandStats {
+            page_reads: 7,
+            busy_ns: 100,
+            ..Default::default()
+        };
+        let mut b = NandStats {
+            page_reads: 3,
+            busy_ns: 40,
+            ..Default::default()
+        };
         b.merge(&a);
         assert_eq!(b.page_reads, 10);
         let diff = b.since(&a);

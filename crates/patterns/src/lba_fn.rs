@@ -123,8 +123,15 @@ mod tests {
         let mut r = rng();
         for i in 0..1000 {
             let o = LbaFn::Random.offset(i, 32 * KB, 0, 10 * KB * KB, KB * KB, &mut r);
-            assert!(o >= 10 * KB * KB && o < 11 * KB * KB, "offset {o} outside target window");
-            assert_eq!((o - 10 * KB * KB) % (32 * KB), 0, "offset {o} not IOSize-aligned");
+            assert!(
+                (10 * KB * KB..11 * KB * KB).contains(&o),
+                "offset {o} outside target window"
+            );
+            assert_eq!(
+                (o - 10 * KB * KB) % (32 * KB),
+                0,
+                "offset {o} not IOSize-aligned"
+            );
         }
     }
 
@@ -143,7 +150,10 @@ mod tests {
     #[test]
     fn ordered_one_is_sequential() {
         for i in 0..64 {
-            assert_eq!(off(LbaFn::Ordered { incr: 1 }, i), off(LbaFn::Sequential, i));
+            assert_eq!(
+                off(LbaFn::Ordered { incr: 1 }, i),
+                off(LbaFn::Sequential, i)
+            );
         }
     }
 
@@ -158,8 +168,14 @@ mod tests {
     fn ordered_minus_one_walks_backwards_from_top() {
         // slots = 32; IO 1 at slot 31, IO 2 at slot 30 …
         assert_eq!(off(LbaFn::Ordered { incr: -1 }, 0), 10 * KB * KB);
-        assert_eq!(off(LbaFn::Ordered { incr: -1 }, 1), 10 * KB * KB + 31 * 32 * KB);
-        assert_eq!(off(LbaFn::Ordered { incr: -1 }, 2), 10 * KB * KB + 30 * 32 * KB);
+        assert_eq!(
+            off(LbaFn::Ordered { incr: -1 }, 1),
+            10 * KB * KB + 31 * 32 * KB
+        );
+        assert_eq!(
+            off(LbaFn::Ordered { incr: -1 }, 2),
+            10 * KB * KB + 30 * 32 * KB
+        );
     }
 
     #[test]
@@ -179,7 +195,11 @@ mod tests {
         assert_eq!(off(f, 1), base + ps); // partition 1, offset 0
         assert_eq!(off(f, 2), base + 2 * ps);
         assert_eq!(off(f, 3), base + 3 * ps);
-        assert_eq!(off(f, 4), base + 32 * KB, "second lap: partition 0, next slot");
+        assert_eq!(
+            off(f, 4),
+            base + 32 * KB,
+            "second lap: partition 0, next slot"
+        );
         assert_eq!(off(f, 5), base + ps + 32 * KB);
     }
 
@@ -193,14 +213,7 @@ mod tests {
     #[test]
     fn io_shift_displaces_everything() {
         let aligned = off(LbaFn::Sequential, 3);
-        let shifted = LbaFn::Sequential.offset(
-            3,
-            32 * KB,
-            512,
-            10 * KB * KB,
-            KB * KB,
-            &mut rng(),
-        );
+        let shifted = LbaFn::Sequential.offset(3, 32 * KB, 512, 10 * KB * KB, KB * KB, &mut rng());
         assert_eq!(shifted, aligned + 512);
     }
 

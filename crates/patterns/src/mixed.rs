@@ -39,7 +39,12 @@ impl MixSpec {
         let cycles = io_count.div_ceil(cycle);
         let a = a.with_counts((cycles * u64::from(ratio)).max(1), 0);
         let b = b.with_counts(cycles.max(1), 0);
-        MixSpec { a, b, ratio, io_count }
+        MixSpec {
+            a,
+            b,
+            ratio,
+            io_count,
+        }
     }
 
     /// Name like `4SR/1RW`.
@@ -88,7 +93,11 @@ impl Iterator for MixedPattern {
         }
         let pos_in_cycle = self.i % (self.ratio + 1);
         let from_a = pos_in_cycle < self.ratio;
-        let mut io = if from_a { self.a.next()? } else { self.b.next()? };
+        let mut io = if from_a {
+            self.a.next()?
+        } else {
+            self.b.next()?
+        };
         io.process = u16::from(!from_a);
         io.index = self.i;
         self.i += 1;
@@ -171,6 +180,10 @@ mod tests {
     fn zero_ratio_clamps_to_one() {
         let mix = mk(0, 8);
         let procs: Vec<u16> = mix.iter().map(|io| io.process).collect();
-        assert_eq!(procs, vec![0, 1, 0, 1, 0, 1, 0, 1], "ratio 0 behaves as 1:1");
+        assert_eq!(
+            procs,
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+            "ratio 0 behaves as 1:1"
+        );
     }
 }

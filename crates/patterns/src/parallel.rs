@@ -26,12 +26,29 @@ pub struct ParallelSpec {
     pub base: PatternSpec,
     /// Number of concurrent processes (the paper sweeps 2⁰ … 2⁴).
     pub degree: u32,
+    /// Device command-queue depth (NCQ) to request for the run.
+    /// `None` keeps the device's configured depth (simulated devices
+    /// default to 1, the paper-faithful serial service). Host-side
+    /// concurrency is still bounded by `degree` — each process is
+    /// synchronous — so the effective overlap is
+    /// `min(degree, queue_depth)`.
+    pub queue_depth: Option<u32>,
 }
 
 impl ParallelSpec {
     /// Create a parallel spec.
     pub fn new(base: PatternSpec, degree: u32) -> Self {
-        ParallelSpec { base, degree: degree.max(1) }
+        ParallelSpec {
+            base,
+            degree: degree.max(1),
+            queue_depth: None,
+        }
+    }
+
+    /// Request a specific device queue depth (≥ 1) for the run.
+    pub fn with_queue_depth(mut self, depth: u32) -> Self {
+        self.queue_depth = Some(depth.max(1));
+        self
     }
 
     /// Per-process pattern specs with disjoint target slices. Each
@@ -79,9 +96,12 @@ impl ParallelSpec {
         }
     }
 
-    /// Name like `SW(x4)`.
+    /// Name like `SW(x4)`, or `SW(x4,qd8)` with an explicit queue depth.
     pub fn name(&self) -> String {
-        format!("{}(x{})", self.base.code(), self.degree)
+        match self.queue_depth {
+            Some(d) => format!("{}(x{},qd{})", self.base.code(), self.degree, d),
+            None => format!("{}(x{})", self.base.code(), self.degree),
+        }
     }
 }
 
@@ -115,8 +135,8 @@ impl Iterator for ParallelPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lba_fn::LbaFn;
     use crate::io::Mode;
+    use crate::lba_fn::LbaFn;
 
     const KB: u64 = 1024;
     const MB: u64 = 1024 * 1024;

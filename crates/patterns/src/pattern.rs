@@ -17,7 +17,11 @@ pub struct PatternIter {
 impl PatternIter {
     /// Create an iterator over `spec`'s IOs.
     pub fn new(spec: PatternSpec) -> Self {
-        PatternIter { rng: StdRng::seed_from_u64(spec.seed), spec, i: 0 }
+        PatternIter {
+            rng: StdRng::seed_from_u64(spec.seed),
+            spec,
+            i: 0,
+        }
     }
 
     /// The spec being iterated.

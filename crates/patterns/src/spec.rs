@@ -58,7 +58,13 @@ impl PatternSpec {
 
     /// Sequential-read baseline (SR).
     pub fn baseline_sr(io_size: u64, target_size: u64, io_count: u64) -> Self {
-        Self::baseline(LbaFn::Sequential, Mode::Read, io_size, target_size, io_count)
+        Self::baseline(
+            LbaFn::Sequential,
+            Mode::Read,
+            io_size,
+            target_size,
+            io_count,
+        )
     }
 
     /// Random-read baseline (RR).
@@ -68,7 +74,13 @@ impl PatternSpec {
 
     /// Sequential-write baseline (SW).
     pub fn baseline_sw(io_size: u64, target_size: u64, io_count: u64) -> Self {
-        Self::baseline(LbaFn::Sequential, Mode::Write, io_size, target_size, io_count)
+        Self::baseline(
+            LbaFn::Sequential,
+            Mode::Write,
+            io_size,
+            target_size,
+            io_count,
+        )
     }
 
     /// Random-write baseline (RW).
@@ -206,10 +218,19 @@ mod tests {
         let ok = PatternSpec::baseline_sr(32 << 10, 1 << 20, 64);
         assert!(ok.validate().is_ok());
         assert!(ok.with_io_size(0).validate().is_err());
-        assert!(ok.with_target(0, 1024).validate().is_err(), "target below IO size");
+        assert!(
+            ok.with_target(0, 1024).validate().is_err(),
+            "target below IO size"
+        );
         assert!(ok.with_counts(0, 0).validate().is_err());
-        assert!(ok.with_counts(10, 10).validate().is_err(), "ignore >= count");
-        assert!(ok.with_io_shift(32 << 10).validate().is_err(), "shift >= size");
+        assert!(
+            ok.with_counts(10, 10).validate().is_err(),
+            "ignore >= count"
+        );
+        assert!(
+            ok.with_io_shift(32 << 10).validate().is_err(),
+            "shift >= size"
+        );
         assert!(ok
             .with_lba(LbaFn::Partitioned { partitions: 256 })
             .with_target(0, 32 << 10)

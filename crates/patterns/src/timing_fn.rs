@@ -89,9 +89,11 @@ mod tests {
 
     #[test]
     fn burst_delays_at_group_boundaries() {
-        let f = TimingFn::Burst { pause: MS, burst: 3 };
-        let delays: Vec<bool> =
-            (0..9).map(|i| f.delay_before(i) == MS).collect();
+        let f = TimingFn::Burst {
+            pause: MS,
+            burst: 3,
+        };
+        let delays: Vec<bool> = (0..9).map(|i| f.delay_before(i) == MS).collect();
         assert_eq!(
             delays,
             vec![false, false, false, true, false, false, true, false, false],
@@ -102,16 +104,26 @@ mod tests {
     #[test]
     fn paper_identity_pause_equals_burst_of_one() {
         let pause = TimingFn::Pause(MS);
-        let burst1 = TimingFn::Burst { pause: MS, burst: 1 };
+        let burst1 = TimingFn::Burst {
+            pause: MS,
+            burst: 1,
+        };
         for i in 0..64 {
-            assert_eq!(pause.delay_before(i), burst1.delay_before(i), "pause(p) = burst(1, p)");
+            assert_eq!(
+                pause.delay_before(i),
+                burst1.delay_before(i),
+                "pause(p) = burst(1, p)"
+            );
         }
     }
 
     #[test]
     fn paper_identity_consecutive_equals_zero_pause_burst() {
         let consecutive = TimingFn::Consecutive;
-        let burst0 = TimingFn::Burst { pause: Duration::ZERO, burst: 7 };
+        let burst0 = TimingFn::Burst {
+            pause: Duration::ZERO,
+            burst: 7,
+        };
         for i in 0..64 {
             assert_eq!(consecutive.delay_before(i), burst0.delay_before(i));
         }
@@ -119,7 +131,10 @@ mod tests {
 
     #[test]
     fn zero_burst_is_clamped_to_one() {
-        let f = TimingFn::Burst { pause: MS, burst: 0 };
+        let f = TimingFn::Burst {
+            pause: MS,
+            burst: 0,
+        };
         assert_eq!(f.delay_before(1), MS, "burst clamps to 1 (defensive)");
     }
 }

@@ -20,7 +20,12 @@ pub struct PlotConfig {
 
 impl Default for PlotConfig {
     fn default() -> Self {
-        PlotConfig { width: 72, height: 20, log_x: false, log_y: true }
+        PlotConfig {
+            width: 72,
+            height: 20,
+            log_x: false,
+            log_y: true,
+        }
     }
 }
 
@@ -112,7 +117,11 @@ pub fn plot(title: &str, series: &[(&str, &[(f64, f64)])], cfg: &PlotConfig) -> 
 
 /// Convenience: plot a response-time trace (IO index vs milliseconds).
 pub fn plot_trace(title: &str, rts_ms: &[f64], cfg: &PlotConfig) -> String {
-    let pts: Vec<(f64, f64)> = rts_ms.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+    let pts: Vec<(f64, f64)> = rts_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (i as f64, y))
+        .collect();
     plot(title, &[("rt", &pts)], cfg)
 }
 
@@ -150,8 +159,13 @@ mod tests {
 
     #[test]
     fn trace_plot_has_expected_height() {
-        let rts: Vec<f64> = (0..100).map(|i| if i % 10 == 0 { 50.0 } else { 1.0 }).collect();
-        let cfg = PlotConfig { height: 12, ..Default::default() };
+        let rts: Vec<f64> = (0..100)
+            .map(|i| if i % 10 == 0 { 50.0 } else { 1.0 })
+            .collect();
+        let cfg = PlotConfig {
+            height: 12,
+            ..Default::default()
+        };
         let out = plot_trace("trace", &rts, &cfg);
         let data_lines = out.lines().filter(|l| l.contains('|')).count();
         assert_eq!(data_lines, 12);

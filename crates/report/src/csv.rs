@@ -37,15 +37,20 @@ fn write_row(out: &mut String, fields: impl Iterator<Item = String>) {
 
 /// A `(param, mean_ms)` series as CSV.
 pub fn series_csv(param_name: &str, series: &[(f64, f64)]) -> String {
-    let rows: Vec<Vec<String>> =
-        series.iter().map(|(x, y)| vec![format!("{x}"), format!("{y}")]).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(x, y)| vec![format!("{x}"), format!("{y}")])
+        .collect();
     to_csv(&[param_name, "mean_ms"], &rows)
 }
 
 /// A response-time trace as CSV (io index, rt in ms).
 pub fn trace_csv(rts_ms: &[f64]) -> String {
-    let rows: Vec<Vec<String>> =
-        rts_ms.iter().enumerate().map(|(i, &y)| vec![format!("{i}"), format!("{y}")]).collect();
+    let rows: Vec<Vec<String>> = rts_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| vec![format!("{i}"), format!("{y}")])
+        .collect();
     to_csv(&["io", "rt_ms"], &rows)
 }
 
@@ -63,7 +68,11 @@ mod tests {
     fn quoting_rules() {
         let csv = to_csv(
             &["x"],
-            &[vec!["has,comma".into()], vec!["has\"quote".into()], vec!["plain".into()]],
+            &[
+                vec!["has,comma".into()],
+                vec!["has\"quote".into()],
+                vec!["plain".into()],
+            ],
         );
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));

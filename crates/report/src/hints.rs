@@ -98,8 +98,10 @@ pub fn evaluate_hints(
     });
 
     // Hint 5: sequential writes limited to a few partitions.
-    let limits: Vec<u32> =
-        summaries.iter().filter_map(|s| s.partitions.map(|p| p.partitions)).collect();
+    let limits: Vec<u32> = summaries
+        .iter()
+        .filter_map(|s| s.partitions.map(|p| p.partitions))
+        .collect();
     let h5_ok = !limits.is_empty() && limits.iter().all(|&l| l >= 2);
     out.push(HintReport {
         id: 5,
@@ -168,7 +170,10 @@ mod tests {
                 area_bytes: 8 << 20,
                 max_ratio_vs_sw: 1.0,
             }),
-            partitions: Some(PartitionLimit { partitions, ratio_vs_single: 1.0 }),
+            partitions: Some(PartitionLimit {
+                partitions,
+                ratio_vs_single: 1.0,
+            }),
             reverse_vs_sw: 1.0,
             inplace_vs_sw: 1.0,
             large_incr_vs_rw: 4.0,
@@ -185,7 +190,10 @@ mod tests {
         let sums = vec![summary(true, 8, Some(5.0)), summary(true, 4, None)];
         let hints = evaluate_hints(&sums, &granularity());
         assert_eq!(hints.len(), 7);
-        assert_eq!(hints.iter().map(|h| h.id).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            hints.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6, 7]
+        );
     }
 
     #[test]
@@ -199,7 +207,11 @@ mod tests {
         let sums = vec![summary(true, 8, None), summary(false, 4, None)];
         let hints = evaluate_hints(&sums, &granularity());
         assert!(!hints[3].supported, "1 of 2 devices is not a majority");
-        let sums = vec![summary(true, 8, None), summary(true, 4, None), summary(false, 4, None)];
+        let sums = vec![
+            summary(true, 8, None),
+            summary(true, 4, None),
+            summary(false, 4, None),
+        ];
         let hints = evaluate_hints(&sums, &granularity());
         assert!(hints[3].supported);
     }

@@ -40,9 +40,8 @@ pub fn locality_knee(
         return None;
     }
     let full = full_rw_ms;
-    let is_local = |mean: f64| -> bool {
-        mean <= local_factor * sw_mean_ms || mean <= full / relief_factor
-    };
+    let is_local =
+        |mean: f64| -> bool { mean <= local_factor * sw_mean_ms || mean <= full / relief_factor };
     // Skip the degenerate first points whose window is so small the
     // pattern is effectively in-place (target <= 4 IOs' worth behaves
     // like the Order micro-benchmark, not like locality).
@@ -53,7 +52,10 @@ pub fn locality_knee(
             break;
         }
         max_ratio = max_ratio.max(mean / sw_mean_ms);
-        knee = Some(LocalityKnee { area_bytes: t, max_ratio_vs_sw: max_ratio });
+        knee = Some(LocalityKnee {
+            area_bytes: t,
+            max_ratio_vs_sw: max_ratio,
+        });
     }
     knee
 }
@@ -78,7 +80,10 @@ mod tests {
         ];
         let knee = locality_knee(&series, 0.3, 5.0, 3.0, 3.0).expect("knee exists");
         assert_eq!(knee.area_bytes, 8 * MB);
-        assert!(knee.max_ratio_vs_sw < 1.5, "within the area RW ≈ SW (the '=' cell)");
+        assert!(
+            knee.max_ratio_vs_sw < 1.5,
+            "within the area RW ≈ SW (the '=' cell)"
+        );
     }
 
     /// DTI-like: no benefit at any size.
@@ -118,8 +123,7 @@ mod tests {
 
     #[test]
     fn knee_ratio_is_the_maximum_within_area() {
-        let series: Vec<(u64, f64)> =
-            vec![(MB, 0.5), (2 * MB, 2.0), (4 * MB, 1.0), (8 * MB, 50.0)];
+        let series: Vec<(u64, f64)> = vec![(MB, 0.5), (2 * MB, 2.0), (4 * MB, 1.0), (8 * MB, 50.0)];
         let knee = locality_knee(&series, 1.0, 50.0, 3.0, 3.0).unwrap();
         assert_eq!(knee.area_bytes, 4 * MB);
         assert!((knee.max_ratio_vs_sw - 2.0).abs() < 1e-9);

@@ -32,7 +32,10 @@ pub fn partition_limit(
     if single <= 0.0 || first_p != 1 {
         return None;
     }
-    let mut limit = PartitionLimit { partitions: 1, ratio_vs_single: 1.0 };
+    let mut limit = PartitionLimit {
+        partitions: 1,
+        ratio_vs_single: 1.0,
+    };
     let mut prev = single;
     for &(p, mean) in &series[1..] {
         let stepped = mean > prev * step_factor;
@@ -40,7 +43,10 @@ pub fn partition_limit(
         if stepped || capped {
             break;
         }
-        limit = PartitionLimit { partitions: p, ratio_vs_single: mean / single };
+        limit = PartitionLimit {
+            partitions: p,
+            ratio_vs_single: mean / single,
+        };
         prev = mean;
     }
     Some(limit)
@@ -53,8 +59,14 @@ mod tests {
     /// Memoright-like: flat to 8, cliff at 16.
     #[test]
     fn flat_then_cliff() {
-        let series =
-            vec![(1, 0.3), (2, 0.31), (4, 0.32), (8, 0.35), (16, 3.0), (32, 5.0)];
+        let series = vec![
+            (1, 0.3),
+            (2, 0.31),
+            (4, 0.32),
+            (8, 0.35),
+            (16, 3.0),
+            (32, 5.0),
+        ];
         let l = partition_limit(&series, 3.0, 4.0).unwrap();
         assert_eq!(l.partitions, 8);
         assert!(l.ratio_vs_single < 1.3, "the '=' cell");
@@ -76,7 +88,10 @@ mod tests {
         // than cap_factor × single) stops the creep at ×4.
         let series = vec![(1, 1.0), (2, 2.0), (4, 4.0), (8, 8.0)];
         let l = partition_limit(&series, 3.0, 4.0).unwrap();
-        assert_eq!(l.partitions, 4, "p=4 sits exactly at the ×4 cap (allowed); p=8 exceeds it");
+        assert_eq!(
+            l.partitions, 4,
+            "p=4 sits exactly at the ×4 cap (allowed); p=8 exceeds it"
+        );
         assert!((l.ratio_vs_single - 4.0).abs() < 1e-9);
     }
 

@@ -149,13 +149,22 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
     };
 
     // 2. Baselines. RW first-run trace is phase-analyzed.
-    let sr = execute_run(dev, &spec(LbaFn::Sequential, Mode::Read, r_reads, cfg.io_count))?;
+    let sr = execute_run(
+        dev,
+        &spec(LbaFn::Sequential, Mode::Read, r_reads, cfg.io_count),
+    )?;
     dev.idle(pause);
     let rr = execute_run(dev, &spec(LbaFn::Random, Mode::Read, r_reads, cfg.io_count))?;
     dev.idle(pause);
-    let rw = execute_run(dev, &spec(LbaFn::Random, Mode::Write, r_rand, cfg.io_count_rw))?;
+    let rw = execute_run(
+        dev,
+        &spec(LbaFn::Random, Mode::Write, r_rand, cfg.io_count_rw),
+    )?;
     dev.idle(pause);
-    let sw = execute_run(dev, &spec(LbaFn::Sequential, Mode::Write, r_seq, cfg.io_count))?;
+    let sw = execute_run(
+        dev,
+        &spec(LbaFn::Sequential, Mode::Write, r_seq, cfg.io_count),
+    )?;
     dev.idle(pause);
 
     let phases: Phases = detect_phases(&rw.rts);
@@ -175,7 +184,10 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
             dev.idle(pause);
             let m = mean_ms(&run.rts, phases.start_up.min(run.rts.len() / 4));
             if std::env::var_os("UFLIP_DEBUG").is_some() {
-                eprintln!("  [pause sweep] pause={:.2}ms mean={m:.2}ms sw={sw_ms:.2}", p.as_secs_f64()*1e3);
+                eprintln!(
+                    "  [pause sweep] pause={:.2}ms mean={m:.2}ms sw={sw_ms:.2}",
+                    p.as_secs_f64() * 1e3
+                );
             }
             // "behave like sequential writes" (§5.2): the paced cost
             // must collapse toward the SW mean. We require at least a
@@ -193,8 +205,8 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
     let mut series = Vec::new();
     let mut t = (1024 * 1024u64).max(cfg.io_size);
     while t <= window {
-        let spec_l = spec(LbaFn::Random, Mode::Write, r_sweep, cfg.sweep_count_rw)
-            .with_target(r_sweep, t);
+        let spec_l =
+            spec(LbaFn::Random, Mode::Write, r_sweep, cfg.sweep_count_rw).with_target(r_sweep, t);
         let run = execute_run(dev, &spec_l)?;
         dev.idle(pause);
         series.push((t, mean_ms(&run.rts, phases.start_up.min(run.rts.len() / 4))));
@@ -226,8 +238,8 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
 
     // 6. Order patterns.
     let order_mean = |dev: &mut dyn BlockDevice, incr: i64, count: u64| -> Result<f64> {
-        let spec_o = spec(LbaFn::Sequential, Mode::Write, r_seq, count)
-            .with_lba(LbaFn::Ordered { incr });
+        let spec_o =
+            spec(LbaFn::Sequential, Mode::Write, r_seq, count).with_lba(LbaFn::Ordered { incr });
         let run = execute_run(dev, &spec_o)?;
         dev.idle(pause);
         Ok(mean_ms(&run.rts, 0))

@@ -101,13 +101,8 @@ mod tests {
         let measure = |sequential: bool| -> f64 {
             let mut dev = catalog::samsung().build_sim(5);
             // Age the device first so merges have work to do.
-            uflip_core::methodology::state::enforce_random_state(
-                dev.as_mut(),
-                128 * 1024,
-                1.5,
-                5,
-            )
-            .expect("state");
+            uflip_core::methodology::state::enforce_random_state(dev.as_mut(), 128 * 1024, 1.5, 5)
+                .expect("state");
             let before = WearReport::from_device(&dev);
             let window = 32 * 1024 * 1024u64;
             let spec = if sequential {
@@ -116,7 +111,9 @@ mod tests {
                 uflip_patterns::PatternSpec::baseline_rw(32 * 1024, window, 256)
             };
             uflip_core::executor::execute_run(dev.as_mut(), &spec).expect("run");
-            WearReport::from_device(&dev).delta(&before).write_amplification
+            WearReport::from_device(&dev)
+                .delta(&before)
+                .write_amplification
         };
         let wa_seq = measure(true);
         let wa_rnd = measure(false);

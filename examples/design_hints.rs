@@ -18,7 +18,11 @@ fn main() {
     let mut cfg = CharacterizeConfig::quick();
     cfg.enforce_state = false;
     let mut summaries = Vec::new();
-    for profile in [catalog::memoright(), catalog::samsung(), catalog::kingston_dti()] {
+    for profile in [
+        catalog::memoright(),
+        catalog::samsung(),
+        catalog::kingston_dti(),
+    ] {
         eprintln!("characterizing {} ...", profile.id);
         let mut dev = profile.build_sim(1);
         enforce_random_state(dev.as_mut(), 128 * 1024, 2.0, 1).expect("state");
@@ -40,7 +44,11 @@ fn main() {
             "Hint {}: {}\n  verdict: {}\n  evidence: {}\n",
             h.id,
             h.title,
-            if h.supported { "SUPPORTED" } else { "NOT SUPPORTED" },
+            if h.supported {
+                "SUPPORTED"
+            } else {
+                "NOT SUPPORTED"
+            },
             h.evidence
         );
     }

@@ -21,8 +21,15 @@ fn main() {
     enforce_random_state(dev.as_mut(), 128 * 1024, 2.0, 7).expect("state");
     dev.idle(Duration::from_secs(5));
     let window = 96 * 1024 * 1024u64;
-    println!("External-sort write fan-out on {} ({}):", profile.id, profile.ftl_family());
-    println!("{:>8} {:>12} {:>14}", "fan-out", "mean ms/IO", "vs sequential");
+    println!(
+        "External-sort write fan-out on {} ({}):",
+        profile.id,
+        profile.ftl_family()
+    );
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "fan-out", "mean ms/IO", "vs sequential"
+    );
     let mut single = 0.0f64;
     let mut best = 1u32;
     for fanout in [1u32, 2, 4, 8, 16, 32, 64] {

@@ -41,7 +41,10 @@ fn main() {
     for (name, spec) in [
         ("SR", PatternSpec::baseline_sr(32 * 1024, window, 512)),
         ("RR", PatternSpec::baseline_rr(32 * 1024, window, 512)),
-        ("SW", PatternSpec::baseline_sw(32 * 1024, window, 512).with_target(window, window)),
+        (
+            "SW",
+            PatternSpec::baseline_sw(32 * 1024, window, 512).with_target(window, window),
+        ),
         (
             "RW",
             PatternSpec::baseline_rw(32 * 1024, window, 1024).with_target(2 * window, window),

@@ -42,7 +42,10 @@ fn main() {
         ("SR", PatternSpec::baseline_sr(32 * 1024, window, 256)),
         ("RR", PatternSpec::baseline_rr(32 * 1024, window, 256)),
         ("SW", PatternSpec::baseline_sw(32 * 1024, window, 256)),
-        ("RW", PatternSpec::baseline_rw(32 * 1024, window, 256).with_target(window, window)),
+        (
+            "RW",
+            PatternSpec::baseline_rw(32 * 1024, window, 256).with_target(window, window),
+        ),
     ] {
         let run = execute_run(&mut dev, &spec).expect("run");
         let s = run.summary_all().expect("non-empty");

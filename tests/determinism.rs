@@ -30,14 +30,20 @@ fn different_pattern_seeds_change_write_traces() {
         let spec = PatternSpec::baseline_rw(32 * 1024, 32 << 20, 200).with_seed(seed);
         execute_run(dev.as_mut(), &spec).expect("run").rts
     };
-    assert_ne!(run_with(1), run_with(2), "the LBA stream must depend on the seed");
+    assert_ne!(
+        run_with(1),
+        run_with(2),
+        "the LBA stream must depend on the seed"
+    );
 }
 
 #[test]
 fn state_enforcement_is_seed_stable() {
     let io_count = |seed: u64| {
         let mut dev = catalog::kingston_dti().build_sim(1);
-        enforce_random_state(dev.as_mut(), 128 * 1024, 1.0, seed).expect("state").ios
+        enforce_random_state(dev.as_mut(), 128 * 1024, 1.0, seed)
+            .expect("state")
+            .ios
     };
     assert_eq!(io_count(42), io_count(42));
 }

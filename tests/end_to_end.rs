@@ -61,10 +61,16 @@ fn reads_are_uniform_and_cheap_everywhere() {
     for profile in catalog::representative() {
         let mut dev = prepared(&profile);
         let window = (64 * MB).min(dev.capacity_bytes() / 4);
-        let sr = execute_run(dev.as_mut(), &PatternSpec::baseline_sr(32 * KB, window, 256))
-            .expect("SR");
-        let rr = execute_run(dev.as_mut(), &PatternSpec::baseline_rr(32 * KB, window, 256))
-            .expect("RR");
+        let sr = execute_run(
+            dev.as_mut(),
+            &PatternSpec::baseline_sr(32 * KB, window, 256),
+        )
+        .expect("SR");
+        let rr = execute_run(
+            dev.as_mut(),
+            &PatternSpec::baseline_rr(32 * KB, window, 256),
+        )
+        .expect("RR");
         let ratio = mean_ms(&rr.rts) / mean_ms(&sr.rts);
         assert!(
             (0.5..2.5).contains(&ratio),
@@ -171,7 +177,10 @@ fn dti_in_place_is_pathological() {
     )
     .expect("in-place");
     let ratio = mean_ms(&inplace.rts) / mean_ms(&sw.rts);
-    assert!(ratio > 10.0, "DTI in-place must be pathological (x{ratio:.1})");
+    assert!(
+        ratio > 10.0,
+        "DTI in-place must be pathological (x{ratio:.1})"
+    );
 }
 
 #[test]
@@ -181,13 +190,12 @@ fn pause_effect_only_on_async_reclaim_devices() {
     let check = |profile: &uflip::device::DeviceProfile, expect_effect: bool| {
         let mut dev = prepared(profile);
         let window = (64 * MB).min(dev.capacity_bytes() / 4);
-        let rw_spec =
-            PatternSpec::baseline_rw(32 * KB, window, 512).with_target(window, window);
+        let rw_spec = PatternSpec::baseline_rw(32 * KB, window, 512).with_target(window, window);
         let rw = execute_run(dev.as_mut(), &rw_spec).expect("RW");
         BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
         let rw_ms = mean_ms(&rw.rts[128..]);
-        let paced_spec = rw_spec
-            .with_timing(TimingFn::Pause(Duration::from_secs_f64(2.0 * rw_ms / 1e3)));
+        let paced_spec =
+            rw_spec.with_timing(TimingFn::Pause(Duration::from_secs_f64(2.0 * rw_ms / 1e3)));
         let paced = execute_run(dev.as_mut(), &paced_spec).expect("paced RW");
         let paced_ms = mean_ms(&paced.rts[128..]);
         if expect_effect {
@@ -221,5 +229,8 @@ fn fresh_device_anomaly_matches_section_4_1() {
     let mut aged = prepared(&profile);
     let aged_rw = execute_run(aged.as_mut(), &spec).expect("aged");
     let ratio = mean_ms(&aged_rw.rts) / mean_ms(&fresh_rw.rts);
-    assert!(ratio > 4.0, "aging must degrade random writes strongly (x{ratio:.1})");
+    assert!(
+        ratio > 4.0,
+        "aging must degrade random writes strongly (x{ratio:.1})"
+    );
 }

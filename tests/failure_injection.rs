@@ -40,7 +40,10 @@ fn worn_out_device_fails_cleanly() {
             }
         }
     }
-    assert!(failed, "a 40-cycle endurance device must wear out under churn");
+    assert!(
+        failed,
+        "a 40-cycle endurance device must wear out under churn"
+    );
 }
 
 /// Page-map FTL under the same abuse: also a clean failure.
@@ -87,7 +90,10 @@ fn capacity_edges_are_exact() {
     let mut dev = uflip::device::profiles::catalog::transcend_mlc().build_sim(2);
     let cap = dev.capacity_bytes();
     assert!(dev.write(cap - 512, 512).is_ok(), "last sector writable");
-    assert!(dev.write(cap - 512, 1024).is_err(), "straddling IO rejected");
+    assert!(
+        dev.write(cap - 512, 1024).is_err(),
+        "straddling IO rejected"
+    );
     assert!(dev.read(cap, 512).is_err(), "read past end rejected");
     assert!(dev.write(0, 0).is_err(), "zero-length rejected");
 }
@@ -98,12 +104,33 @@ fn capacity_edges_are_exact() {
 fn bad_blocks_are_refused_with_address() {
     use uflip::nand::{Chip, PageAddr};
     let mut chip = Chip::new(ChipConfig::tiny());
-    chip.program_page(PageAddr { chip: 0, block: 3, page: 0 }, None).expect("healthy");
+    chip.program_page(
+        PageAddr {
+            chip: 0,
+            block: 3,
+            page: 0,
+        },
+        None,
+    )
+    .expect("healthy");
     // Inject the fault via wear-out: erase to the limit.
     let mut cfg = ChipConfig::tiny();
     cfg.wear_limit = 1;
     let mut chip = Chip::new(cfg);
-    chip.erase_block(3).expect("first erase succeeds but wears the block out");
-    let err = chip.program_page(PageAddr { chip: 0, block: 3, page: 0 }, None).unwrap_err();
-    assert!(err.to_string().contains("b3"), "error must name the bad block: {err}");
+    chip.erase_block(3)
+        .expect("first erase succeeds but wears the block out");
+    let err = chip
+        .program_page(
+            PageAddr {
+                chip: 0,
+                block: 3,
+                page: 0,
+            },
+            None,
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("b3"),
+        "error must name the bad block: {err}"
+    );
 }

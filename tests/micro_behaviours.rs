@@ -52,7 +52,10 @@ fn alignment_misalignment_never_helps() {
     BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
     let shifted = aligned.with_io_shift(512).with_seed(9);
     let b = mean_ms(&execute_run(dev.as_mut(), &shifted).expect("shifted").rts);
-    assert!(b >= a * 0.95, "misaligned RW ({b:.2}) must not beat aligned ({a:.2})");
+    assert!(
+        b >= a * 0.95,
+        "misaligned RW ({b:.2}) must not beat aligned ({a:.2})"
+    );
 }
 
 /// Order (5): on the high-end SSD large increments cost several times
@@ -113,7 +116,9 @@ fn pause_is_neutral_without_async_reclaim() {
     let rw = PatternSpec::baseline_rw(32 * KB, w, 256).with_target(w, w);
     let base = mean_ms(&execute_run(dev.as_mut(), &rw).expect("rw").rts[64..]);
     BlockDevice::idle(dev.as_mut(), Duration::from_secs(5));
-    let paced = rw.with_timing(TimingFn::Pause(Duration::from_millis(30))).with_seed(4);
+    let paced = rw
+        .with_timing(TimingFn::Pause(Duration::from_millis(30)))
+        .with_seed(4);
     let paced_ms = mean_ms(&execute_run(dev.as_mut(), &paced).expect("paced").rts[64..]);
     assert!(
         paced_ms > 0.7 * base,
@@ -129,11 +134,16 @@ fn pause_is_neutral_without_async_reclaim() {
 fn bursts_extend_elapsed_not_response() {
     let mut dev = prepared(&catalog::memoright());
     let w = 48 * MB;
-    let burst = PatternSpec::baseline_sr(32 * KB, w, 120)
-        .with_timing(TimingFn::Burst { pause: Duration::from_millis(100), burst: 10 });
+    let burst = PatternSpec::baseline_sr(32 * KB, w, 120).with_timing(TimingFn::Burst {
+        pause: Duration::from_millis(100),
+        burst: 10,
+    });
     let run = execute_run(dev.as_mut(), &burst).expect("burst");
     let s = run.summary_all().expect("non-empty");
-    assert!(s.mean < Duration::from_millis(2), "reads stay sub-2ms inside bursts");
+    assert!(
+        s.mean < Duration::from_millis(2),
+        "reads stay sub-2ms inside bursts"
+    );
     assert!(
         run.elapsed >= Duration::from_millis(100) * 11,
         "11 inter-group pauses must appear in elapsed time ({:?})",

@@ -22,7 +22,8 @@ fn baselines_run_against_a_file() {
         PatternSpec::baseline_sr(32 * 1024, capacity / 2, 32),
         PatternSpec::baseline_rr(32 * 1024, capacity / 2, 32),
         PatternSpec::baseline_sw(32 * 1024, capacity / 2, 32),
-        PatternSpec::baseline_rw(32 * 1024, capacity / 2, 32).with_target(capacity / 2, capacity / 2),
+        PatternSpec::baseline_rw(32 * 1024, capacity / 2, 32)
+            .with_target(capacity / 2, capacity / 2),
     ] {
         let run = execute_run(&mut dev, &spec).expect("run");
         assert_eq!(run.len(), 32);

@@ -4,9 +4,9 @@
 //! packed onto disjoint windows, resets when space runs out).
 
 use std::time::Duration;
+use uflip::core::methodology::plan::BenchmarkPlan;
 use uflip::core::micro::MicroConfig;
 use uflip::core::suite::{full_suite, run_full_suite, SuiteOptions};
-use uflip::core::methodology::plan::BenchmarkPlan;
 use uflip::device::profiles::catalog;
 
 fn tiny_cfg() -> MicroConfig {
@@ -55,7 +55,11 @@ fn plan_packs_sequential_writes_disjointly() {
     for step in &plan.steps {
         match step {
             uflip::core::methodology::plan::PlanStep::ResetState => windows.clear(),
-            uflip::core::methodology::plan::PlanStep::Run { experiment, point, offset } => {
+            uflip::core::methodology::plan::PlanStep::Run {
+                experiment,
+                point,
+                offset,
+            } => {
                 let p = &plan.experiments[*experiment].points[*point];
                 if p.workload.uses_sequential_writes() {
                     let span = p.workload.target_span();

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this repository builds in has no access to crates.io,
+//! so the workspace vendors the *small slice* of the `rand` API the
+//! code actually uses: [`Rng::gen_range`] over integer ranges,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`]. The generator
+//! is SplitMix64 — deterministic, seedable, and statistically more than
+//! adequate for driving simulated IO patterns (nothing cryptographic
+//! rides on it).
+//!
+//! Determinism contract: a given seed always yields the same stream, on
+//! every platform, forever. Pattern replay (`PatternSpec::seed`) and
+//! state-enforcement reproducibility depend on this.
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator interface (the subset uFLIP uses).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`low..high` or `low..=high`).
+    ///
+    /// Panics if the range is empty, matching `rand`'s behaviour.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A generator constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw in `[0, n)` by widening multiply (Lemire's method
+/// without the rejection step; bias is < 2⁻⁶⁴ · n, irrelevant here).
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i32 => u32, i64 => u64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this is *not* a CSPRNG —
+    /// uFLIP only needs reproducible uniform streams.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..16).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn half_open_range_excludes_end() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u64..7);
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[r.gen_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn signed_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-4i64..=256);
+            assert!((-4..=256).contains(&v));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+}
