@@ -10,8 +10,11 @@
 //!
 //! For each device and baseline pattern, runs the parallel pattern at
 //! degree 16 with queue depth 1, 2, …, 32 and reports IOPS plus the
-//! speed-up over depth 1. Output: ASCII table + `qd_sweep.csv`.
+//! speed-up over depth 1. Output: ASCII table (or, with `--json`, a
+//! `uflip_report::json` document on stdout) + `qd_sweep.csv` +
+//! `qd_sweep.json`.
 
+use serde::Serialize;
 use std::time::Duration;
 use uflip_bench::{prepared_device, HarnessOptions};
 use uflip_core::executor::execute_parallel;
@@ -19,6 +22,18 @@ use uflip_core::micro::parallelism::queue_depths;
 use uflip_device::profiles::catalog;
 use uflip_patterns::{LbaFn, Mode, ParallelSpec, PatternSpec};
 use uflip_report::csv::to_csv;
+use uflip_report::json::{to_json, write_json};
+
+/// One sweep point, shared by the JSON and CSV outputs.
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    device: String,
+    pattern: String,
+    queue_depth: u32,
+    elapsed_ms: f64,
+    iops: f64,
+    speedup_vs_qd1: f64,
+}
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -32,19 +47,23 @@ fn main() {
         (LbaFn::Sequential, Mode::Read, "SR"),
         (LbaFn::Random, Mode::Write, "RW"),
     ];
-    let mut rows = Vec::new();
-    println!("Queue-depth sweep: degree 16, {io_size} B IOs, {count} IOs per run");
+    let mut points: Vec<SweepPoint> = Vec::new();
+    if !opts.json {
+        println!("Queue-depth sweep: degree 16, {io_size} B IOs, {count} IOs per run");
+    }
     for profile in devices {
         if let Some(only) = &opts.device {
             if only != profile.id {
                 continue;
             }
         }
-        println!("\n{} ({} channels)", profile.id, sim_channels(&profile));
-        println!(
-            "{:>8} {:>4} {:>12} {:>10} {:>8}",
-            "pattern", "qd", "elapsed", "IOPS", "vs qd1"
-        );
+        if !opts.json {
+            println!("\n{} ({} channels)", profile.id, sim_channels(&profile));
+            println!(
+                "{:>8} {:>4} {:>12} {:>10} {:>8}",
+                "pattern", "qd", "elapsed", "IOPS", "vs qd1"
+            );
+        }
         for (lba, mode, code) in patterns {
             let window = 64 * 1024 * 1024u64;
             let base = PatternSpec::baseline(lba, mode, io_size, window, count);
@@ -68,22 +87,40 @@ fn main() {
                 } else {
                     1.0
                 };
-                println!(
-                    "{code:>8} {depth:>4} {:>12?} {iops:>10.0} {speedup:>7.2}x",
-                    run.elapsed
-                );
-                rows.push(vec![
-                    profile.id.to_string(),
-                    code.to_string(),
-                    depth.to_string(),
-                    format!("{:.6}", secs * 1e3),
-                    format!("{iops:.0}"),
-                    format!("{speedup:.3}"),
-                ]);
+                if !opts.json {
+                    println!(
+                        "{code:>8} {depth:>4} {:>12?} {iops:>10.0} {speedup:>7.2}x",
+                        run.elapsed
+                    );
+                }
+                points.push(SweepPoint {
+                    device: profile.id.to_string(),
+                    pattern: code.to_string(),
+                    queue_depth: depth,
+                    elapsed_ms: secs * 1e3,
+                    iops,
+                    speedup_vs_qd1: speedup,
+                });
             }
         }
     }
+    if opts.json {
+        println!("{}", to_json(&points));
+    }
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.device.clone(),
+                p.pattern.clone(),
+                p.queue_depth.to_string(),
+                format!("{:.6}", p.elapsed_ms),
+                format!("{:.0}", p.iops),
+                format!("{:.3}", p.speedup_vs_qd1),
+            ]
+        })
+        .collect();
     let out = opts.out_dir.join("qd_sweep.csv");
     std::fs::write(
         &out,
@@ -100,7 +137,9 @@ fn main() {
         ),
     )
     .expect("write CSV");
-    eprintln!("\nwrote {}", out.display());
+    let json_out = opts.out_dir.join("qd_sweep.json");
+    write_json(&points, &json_out).expect("write JSON");
+    eprintln!("\nwrote {} and {}", out.display(), json_out.display());
 }
 
 /// Channel count of a profile's NAND array (for the report header).

@@ -19,16 +19,21 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Restrict to one device id (default: the binary's own set).
     pub device: Option<String>,
+    /// Emit machine-readable JSON (via `uflip_report::json`) on stdout
+    /// instead of the human-readable table. Honored by `qd_sweep` and
+    /// `trace_replay`; the figure binaries ignore it.
+    pub json: bool,
 }
 
 impl HarnessOptions {
     /// Parse from `std::env::args` (flags: `--out DIR`, `--quick`,
-    /// `--device ID`).
+    /// `--device ID`, `--json`).
     pub fn from_args() -> Self {
         let mut out = HarnessOptions {
             out_dir: PathBuf::from("results"),
             quick: false,
             device: None,
+            json: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -40,8 +45,12 @@ impl HarnessOptions {
                 }
                 "--quick" => out.quick = true,
                 "--device" => out.device = args.next(),
+                "--json" => out.json = true,
                 "--help" | "-h" => {
-                    eprintln!("flags: --out DIR  --quick  --device ID");
+                    eprintln!(
+                        "flags: --out DIR  --quick  --device ID  \
+                         --json (qd_sweep/trace_replay only)"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown flag {other}"),

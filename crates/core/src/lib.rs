@@ -18,6 +18,9 @@
 //!   Locality, Partitioning, Order, Parallelism, Mix, Pause, Bursts —
 //!   each "a collection of related experiments over the baseline
 //!   patterns" with a single varying parameter.
+//! * [`replay`] — beyond the paper: feed a captured or generated
+//!   [`uflip_trace::Trace`] back through the submit/poll executor,
+//!   timing-faithful or open-loop with a queue-depth sweep.
 //! * [`methodology`] — §4: device-state enforcement (random writes of
 //!   random size over the whole device), start-up/running-phase
 //!   detection and the derivation of `IOIgnore`/`IOCount`, inter-run
@@ -32,12 +35,14 @@ pub mod executor;
 pub mod experiment;
 pub mod methodology;
 pub mod micro;
+pub mod replay;
 pub mod run;
 pub mod stats;
 pub mod suite;
 
 pub use executor::{execute_mixed, execute_parallel, execute_run};
 pub use experiment::{Experiment, ExperimentResult, Workload};
+pub use replay::{replay_trace, ReplayMode};
 pub use run::RunResult;
 pub use stats::RunStats;
 pub use suite::{execute_plan, full_suite, run_full_suite, SuiteOptions, SuiteResult};

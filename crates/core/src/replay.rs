@@ -1,0 +1,345 @@
+//! Trace replay: drive a device with a captured (or generated)
+//! [`Trace`] through the submit/poll executor.
+//!
+//! Two modes answer two different questions:
+//!
+//! * [`ReplayMode::TimingFaithful`] — *"what would this device have
+//!   done under exactly this workload?"* Submissions honor the trace's
+//!   recorded inter-arrival gaps (mapped onto the device's clock), and
+//!   the queue depth is the deepest one the capture observed. Replaying
+//!   a capture on an identical device reproduces the capture — the
+//!   round-trip check that validates both the recorder and the engine.
+//! * [`ReplayMode::OpenLoop`] — *"how fast could this device drain
+//!   this workload?"* Timestamps are ignored; IOs are submitted as fast
+//!   as NCQ admission allows at a chosen queue depth. Sweeping the
+//!   depth turns any trace into a parallelism micro-benchmark: the
+//!   paper's question (Hint 7) asked of a *real* request stream instead
+//!   of a synthetic pattern.
+//!
+//! Both modes go through the device's [`IoQueue`] when it has one
+//! (depth 1 reproduces the synchronous path bit-for-bit — see PR 1's
+//! queue-engine guarantees) and fall back to synchronous issue
+//! otherwise, so every backend — mem, sim, direct — can serve a
+//! replay.
+//!
+//! The recorded response time of each IO is *completion − intended
+//! submission*: queueing delay behind a backlogged device counts, just
+//! as a host thread would measure it.
+
+use crate::run::RunResult;
+use crate::Result;
+use std::time::Duration;
+use uflip_device::{BlockDevice, DeviceError, Token};
+use uflip_patterns::Mode;
+use uflip_trace::Trace;
+
+/// How to schedule a trace's submissions (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Honor recorded inter-arrival gaps; queue depth = the capture's
+    /// deepest observed queue.
+    TimingFaithful,
+    /// Ignore timestamps; submit as fast as admission allows at the
+    /// given queue depth.
+    OpenLoop {
+        /// NCQ depth to request from the device for the run.
+        queue_depth: u32,
+    },
+}
+
+impl ReplayMode {
+    /// Short code used in run labels (`faithful`, `open-qd8`).
+    pub fn code(&self) -> String {
+        match self {
+            ReplayMode::TimingFaithful => "faithful".to_string(),
+            ReplayMode::OpenLoop { queue_depth } => format!("open-qd{queue_depth}"),
+        }
+    }
+}
+
+/// Replay a trace against a device. Records must be in submission
+/// order ([`Trace::is_time_ordered`]); sort first if unsure. Returns
+/// the per-IO response-time trace of the replay (same shape every
+/// executor produces), with `elapsed` spanning first submission to
+/// last completion.
+pub fn replay_trace(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    mode: ReplayMode,
+) -> Result<RunResult> {
+    let label = format!("replay({},{})", trace.label, mode.code());
+    if trace.is_empty() {
+        return Ok(RunResult::new(label, Vec::new(), 0, Duration::ZERO));
+    }
+    assert!(
+        trace.is_time_ordered(),
+        "replay requires submit-ordered records; call Trace::sort_by_submit first"
+    );
+    let queued = dev.io_queue().is_some();
+    match (mode, queued) {
+        (ReplayMode::TimingFaithful, true) => {
+            let depth = trace.max_queue_depth().max(1);
+            replay_queued(dev, trace, label, depth, true)
+        }
+        (ReplayMode::TimingFaithful, false) => replay_faithful_serial(dev, trace, label),
+        (ReplayMode::OpenLoop { queue_depth }, true) => {
+            replay_queued(dev, trace, label, queue_depth.max(1), false)
+        }
+        (ReplayMode::OpenLoop { .. }, false) => replay_open_serial(dev, trace, label),
+    }
+}
+
+/// Queued replay: one event loop serves both modes. In faithful mode
+/// each IO targets its recorded offset from the start of the replay;
+/// in open-loop mode it targets the earliest instant admission
+/// permits. Submissions stay non-decreasing in virtual time — the
+/// queue contract — because record order, completion times and the
+/// running cursor are all monotone.
+fn replay_queued(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    label: String,
+    depth: u32,
+    faithful: bool,
+) -> Result<RunResult> {
+    let base = dev.now();
+    let queue = dev.io_queue().expect("caller verified the queue exists");
+    let device_depth = queue.queue_depth();
+    queue.set_queue_depth(depth);
+    let t0 = trace.records[0].submit_ns;
+    let n = trace.records.len();
+    let mut rts = vec![Duration::ZERO; n];
+    // (token, record index, intended submission time)
+    let mut inflight: Vec<(Token, usize, Duration)> = Vec::new();
+    let mut last_completion = base;
+    // Earliest time the next submission may carry (keeps `at`
+    // monotone once back-pressure pushes past the recorded schedule).
+    let mut cursor = base;
+    for (i, rec) in trace.records.iter().enumerate() {
+        let target = if faithful {
+            base + Duration::from_nanos(rec.submit_ns - t0)
+        } else {
+            cursor
+        };
+        // Retire completions that precede this submission; in faithful
+        // mode they also keep idle-gap accounting exact.
+        while let Some(done) = queue.next_completion() {
+            if done > target {
+                break;
+            }
+            let (token, completion) = queue.poll().expect("peeked completion exists");
+            retire(&mut inflight, &mut rts, token, completion);
+            last_completion = last_completion.max(completion);
+        }
+        let io = rec.io_request(i as u64);
+        let mut at = target.max(cursor);
+        loop {
+            match queue.submit(&io, at) {
+                Ok(token) => {
+                    inflight.push((token, i, target));
+                    cursor = at;
+                    break;
+                }
+                Err(DeviceError::QueueFull { .. }) => {
+                    let (token, completion) = queue
+                        .poll()
+                        .expect("a full queue has in-flight IOs to poll");
+                    retire(&mut inflight, &mut rts, token, completion);
+                    last_completion = last_completion.max(completion);
+                    at = at.max(completion);
+                }
+                Err(e) => {
+                    // Leave the device usable: drain what is in flight
+                    // and restore its own depth before reporting the
+                    // bad record (e.g. a trace captured on a larger
+                    // device replayed past this one's capacity).
+                    while queue.poll().is_some() {}
+                    if queue.queue_depth() != device_depth {
+                        queue.set_queue_depth(device_depth);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+    while let Some((token, completion)) = queue.poll() {
+        retire(&mut inflight, &mut rts, token, completion);
+        last_completion = last_completion.max(completion);
+    }
+    if queue.queue_depth() != device_depth {
+        queue.set_queue_depth(device_depth);
+    }
+    Ok(RunResult::new(label, rts, 0, last_completion - base))
+}
+
+/// Book a queued completion: response time = completion − intended
+/// submission.
+fn retire(
+    inflight: &mut Vec<(Token, usize, Duration)>,
+    rts: &mut [Duration],
+    token: Token,
+    completion: Duration,
+) {
+    let idx = inflight
+        .iter()
+        .position(|(t, _, _)| *t == token)
+        .expect("completed token was submitted");
+    let (_, seq, intended) = inflight.swap_remove(idx);
+    rts[seq] = completion - intended;
+}
+
+/// Faithful replay on a synchronous backend: idle out the recorded
+/// gaps, issue one IO at a time.
+fn replay_faithful_serial(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    label: String,
+) -> Result<RunResult> {
+    let base = dev.now();
+    let t0 = trace.records[0].submit_ns;
+    let mut rts = Vec::with_capacity(trace.len());
+    for (i, rec) in trace.records.iter().enumerate() {
+        let target = base + Duration::from_nanos(rec.submit_ns - t0);
+        let now = dev.now();
+        if now < target {
+            dev.idle(target - now);
+        }
+        let io = rec.io_request(i as u64);
+        issue(dev, io.mode, io.offset, io.size)?;
+        // Completion − intended submission: includes time the device
+        // spent behind schedule, as a host thread would measure.
+        let completion = dev.now();
+        rts.push(completion - target);
+    }
+    Ok(RunResult::new(label, rts, 0, dev.now() - base))
+}
+
+/// Open-loop replay on a synchronous backend: back-to-back issue.
+fn replay_open_serial(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    label: String,
+) -> Result<RunResult> {
+    let base = dev.now();
+    let mut rts = Vec::with_capacity(trace.len());
+    for (i, rec) in trace.records.iter().enumerate() {
+        let io = rec.io_request(i as u64);
+        rts.push(issue(dev, io.mode, io.offset, io.size)?);
+    }
+    Ok(RunResult::new(label, rts, 0, dev.now() - base))
+}
+
+fn issue(dev: &mut dyn BlockDevice, mode: Mode, offset: u64, size: u64) -> Result<Duration> {
+    match mode {
+        Mode::Read => dev.read(offset, size),
+        Mode::Write => dev.write(offset, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_trace::TraceRecord;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn rec(op: Mode, lba: u64, submit: u64) -> TraceRecord {
+        TraceRecord {
+            op,
+            lba,
+            sectors: 4, // 2 KB
+            submit_ns: submit,
+            complete_ns: submit,
+            queue_depth: 1,
+        }
+    }
+
+    fn mem() -> uflip_device::MemDevice {
+        uflip_device::MemDevice::new(64 * MB, Duration::from_micros(100), 0)
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let mut d = mem();
+        let t = Trace::new("mem", "empty");
+        for mode in [
+            ReplayMode::TimingFaithful,
+            ReplayMode::OpenLoop { queue_depth: 4 },
+        ] {
+            let run = replay_trace(&mut d, &t, mode).unwrap();
+            assert!(run.is_empty());
+            assert_eq!(run.elapsed, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn faithful_serial_honors_gaps() {
+        let mut d = mem();
+        let mut t = Trace::new("mem", "gaps");
+        // Three IOs, 1 ms apart — far wider than the 100 µs service.
+        for i in 0..3u64 {
+            t.push(rec(Mode::Read, i * 8, i * 1_000_000));
+        }
+        let run = replay_trace(&mut d, &t, ReplayMode::TimingFaithful).unwrap();
+        assert_eq!(run.len(), 3);
+        // Elapsed = last gap + last service.
+        assert_eq!(run.elapsed, Duration::from_micros(2_000 + 100));
+        assert!(run.rts.iter().all(|&rt| rt == Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn faithful_serial_charges_backlog_to_response_time() {
+        let mut d = mem();
+        let mut t = Trace::new("mem", "burst");
+        // Two IOs submitted simultaneously on a 100 µs serial device:
+        // the second waits behind the first.
+        t.push(rec(Mode::Read, 0, 0));
+        t.push(rec(Mode::Read, 8, 0));
+        let run = replay_trace(&mut d, &t, ReplayMode::TimingFaithful).unwrap();
+        assert_eq!(run.rts[0], Duration::from_micros(100));
+        assert_eq!(
+            run.rts[1],
+            Duration::from_micros(200),
+            "queued behind the first"
+        );
+        assert_eq!(run.elapsed, Duration::from_micros(200));
+    }
+
+    #[test]
+    fn open_loop_serial_ignores_gaps() {
+        let mut d = mem();
+        let mut t = Trace::new("mem", "gaps");
+        for i in 0..4u64 {
+            t.push(rec(Mode::Write, i * 8, i * 10_000_000));
+        }
+        let run = replay_trace(&mut d, &t, ReplayMode::OpenLoop { queue_depth: 1 }).unwrap();
+        assert_eq!(
+            run.elapsed,
+            Duration::from_micros(400),
+            "gaps are not replayed"
+        );
+    }
+
+    #[test]
+    fn unordered_traces_are_rejected() {
+        let mut d = mem();
+        let mut t = Trace::new("mem", "bad");
+        t.push(rec(Mode::Read, 0, 500));
+        t.push(rec(Mode::Read, 8, 0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = replay_trace(&mut d, &t, ReplayMode::TimingFaithful);
+        }));
+        assert!(r.is_err(), "out-of-order records must be rejected loudly");
+    }
+
+    #[test]
+    fn mode_codes_label_runs() {
+        assert_eq!(ReplayMode::TimingFaithful.code(), "faithful");
+        assert_eq!(ReplayMode::OpenLoop { queue_depth: 16 }.code(), "open-qd16");
+        let mut d = mem();
+        let mut t = Trace::new("mem", "RR");
+        t.push(rec(Mode::Read, 0, 0));
+        let run = replay_trace(&mut d, &t, ReplayMode::OpenLoop { queue_depth: 2 }).unwrap();
+        assert_eq!(run.label, "replay(RR,open-qd2)");
+    }
+}

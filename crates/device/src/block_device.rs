@@ -45,6 +45,16 @@ pub trait BlockDevice {
         None
     }
 
+    /// Shared (read-only) view of the same queue. Decorators such as
+    /// [`crate::TracingDevice`] need it to answer the `&self` queue
+    /// questions (`queue_depth`, `in_flight`, `next_completion`)
+    /// without exclusive access; implementations that override
+    /// [`BlockDevice::io_queue`] must override this too, returning the
+    /// same object.
+    fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
+        None
+    }
+
     /// Validate alignment and bounds (shared helper).
     fn check(&self, offset: u64, len: u64) -> Result<()> {
         if len == 0 {

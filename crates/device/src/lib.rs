@@ -16,6 +16,9 @@
 //!   module): simulated devices schedule in-flight IOs onto per-channel
 //!   busy tracks, making channel overlap — and its collapse under
 //!   stride-aligned patterns — emergent rather than scripted;
+//! * [`TracingDevice`] — a transparent decorator that records every IO
+//!   issued to any backend (sync and queued paths) as a
+//!   [`uflip_trace::Trace`] for later replay;
 //! * [`DirectIoFile`] — a real-hardware backend using `O_DIRECT` +
 //!   `O_SYNC` (bypassing the host file system and IO scheduler, exactly
 //!   as the paper's FlashIO tool did — §4.3) with wall-clock timing;
@@ -35,6 +38,7 @@ pub mod mem_device;
 pub mod profiles;
 pub mod queue;
 pub mod sim_device;
+pub mod tracing_device;
 
 pub use block_device::BlockDevice;
 pub use direct_io::DirectIoFile;
@@ -43,6 +47,7 @@ pub use mem_device::MemDevice;
 pub use profiles::{DeviceKind, DeviceProfile};
 pub use queue::{IoQueue, Token};
 pub use sim_device::{ControllerConfig, SimDevice, StrideQuirk};
+pub use tracing_device::TracingDevice;
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, DeviceError>;

@@ -280,6 +280,10 @@ impl BlockDevice for SimDevice {
     fn io_queue(&mut self) -> Option<&mut dyn crate::queue::IoQueue> {
         Some(self)
     }
+
+    fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
+        Some(self)
+    }
 }
 
 impl SimDevice {

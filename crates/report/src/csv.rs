@@ -44,6 +44,32 @@ pub fn series_csv(param_name: &str, series: &[(f64, f64)]) -> String {
     to_csv(&[param_name, "mean_ms"], &rows)
 }
 
+/// A full IO-trace dump as CSV: one row per [`uflip_trace::Trace`]
+/// record with its location, size and measured timing — the
+/// machine-readable companion of a capture, written by the
+/// `trace_replay` binary next to the JSONL trace itself.
+pub fn trace_records_csv(trace: &uflip_trace::Trace) -> String {
+    let rows: Vec<Vec<String>> = trace
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                i.to_string(),
+                r.op.letter().to_string(),
+                r.lba.to_string(),
+                r.sectors.to_string(),
+                r.submit_ns.to_string(),
+                r.latency_ns().to_string(),
+            ]
+        })
+        .collect();
+    to_csv(
+        &["index", "op", "lba", "sectors", "submit_ns", "latency_ns"],
+        &rows,
+    )
+}
+
 /// A response-time trace as CSV (io index, rt in ms).
 pub fn trace_csv(rts_ms: &[f64]) -> String {
     let rows: Vec<Vec<String>> = rts_ms
@@ -85,6 +111,24 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "IOSize,mean_ms");
         assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn trace_records_shape() {
+        use uflip_patterns::Mode;
+        let mut t = uflip_trace::Trace::new("sim", "RW");
+        t.push(uflip_trace::TraceRecord {
+            op: Mode::Write,
+            lba: 64,
+            sectors: 4,
+            submit_ns: 1_000,
+            complete_ns: 3_000,
+            queue_depth: 1,
+        });
+        let csv = trace_records_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "index,op,lba,sectors,submit_ns,latency_ns");
+        assert_eq!(lines[1], "0,W,64,4,1000,2000");
     }
 
     #[test]

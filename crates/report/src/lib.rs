@@ -9,6 +9,8 @@
 //!   parameter sweeps (Figure 8 and the Partitioning column);
 //! * [`hints`] — the seven design hints of §5.3, each evaluated against
 //!   measured data rather than asserted;
+//! * [`trace`] — workload features of captured/generated IO traces
+//!   (mix, inter-arrival pacing, queue-depth distribution, locality);
 //! * [`ascii_plot`] — terminal scatter/line plots used by the bench
 //!   binaries to render Figures 3–8;
 //! * [`csv`] / [`json`] — machine-readable outputs (the uflip.org site
@@ -24,10 +26,12 @@ pub mod json;
 pub mod locality;
 pub mod partition;
 pub mod summary;
+pub mod trace;
 pub mod wear;
 
 pub use hints::{evaluate_hints, HintReport};
 pub use locality::locality_knee;
 pub use partition::partition_limit;
 pub use summary::{characterize, CharacterizeConfig, DeviceSummary};
+pub use trace::{profile_trace, TraceProfile};
 pub use wear::WearReport;

@@ -1,0 +1,228 @@
+//! Workload analysis of IO traces: what *shape* is this request
+//! stream?
+//!
+//! uFLIP's design hints map device behaviour to pattern features —
+//! read/write mix, locality, inter-arrival pacing, concurrency. To
+//! apply the hints to a captured or generated [`Trace`], those same
+//! features must be extracted from the stream itself; [`profile_trace`]
+//! computes them, and the `trace_replay` binary prints them next to
+//! each replay so "why is this device fast/slow on this workload?" has
+//! data behind it.
+
+use serde::Serialize;
+use uflip_trace::Trace;
+
+/// Byte window within which a jump from the previous IO still counts
+/// as "local" (matches the 4–16 MB locality areas of Table 3).
+pub const LOCALITY_WINDOW_BYTES: u64 = 8 * 1024 * 1024;
+
+/// One bucket of the inter-arrival histogram: gaps `g` with
+/// `g <= upper_ns` (and above the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct InterArrivalBucket {
+    /// Inclusive upper bound of the bucket, nanoseconds.
+    pub upper_ns: u64,
+    /// Number of gaps in the bucket.
+    pub count: u64,
+}
+
+/// The workload features of a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceProfile {
+    /// Device the trace came from.
+    pub device: String,
+    /// Workload label.
+    pub label: String,
+    /// Record count.
+    pub records: usize,
+    /// Read count.
+    pub reads: usize,
+    /// Write count.
+    pub writes: usize,
+    /// Reads ÷ records (0 for an empty trace).
+    pub read_fraction: f64,
+    /// Total bytes transferred.
+    pub total_bytes: u64,
+    /// First submission → last completion, milliseconds.
+    pub duration_ms: f64,
+    /// Mean measured latency over records that have one, milliseconds
+    /// (0 for generated traces).
+    pub mean_latency_ms: f64,
+    /// Fraction of IOs that start exactly where the previous one ended
+    /// (strict sequentiality).
+    pub sequential_fraction: f64,
+    /// Fraction of IOs landing within [`LOCALITY_WINDOW_BYTES`] of the
+    /// previous IO's location (includes the sequential ones).
+    pub locality_score: f64,
+    /// Deepest queue observed at any submission.
+    pub max_queue_depth: u32,
+    /// `(queue depth, submissions at that depth)`, ascending.
+    pub queue_depth_distribution: Vec<(u32, u64)>,
+    /// Power-of-two histogram of submission gaps, from 1 µs up.
+    pub inter_arrival_histogram: Vec<InterArrivalBucket>,
+}
+
+/// Extract the workload features of a trace.
+pub fn profile_trace(trace: &Trace) -> TraceProfile {
+    let n = trace.len();
+    let reads = trace.reads();
+    let latencies: Vec<u64> = trace
+        .records
+        .iter()
+        .map(|r| r.latency_ns())
+        .filter(|&l| l > 0)
+        .collect();
+    let mean_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64 / 1e6
+    };
+    let mut sequential = 0u64;
+    let mut local = 0u64;
+    for w in trace.records.windows(2) {
+        let (prev, cur) = (&w[0], &w[1]);
+        if cur.offset_bytes() == prev.offset_bytes() + prev.size_bytes() {
+            sequential += 1;
+        }
+        if cur.offset_bytes().abs_diff(prev.offset_bytes()) <= LOCALITY_WINDOW_BYTES {
+            local += 1;
+        }
+    }
+    let pairs = n.saturating_sub(1) as u64;
+    let frac = |count: u64| {
+        if pairs == 0 {
+            0.0
+        } else {
+            count as f64 / pairs as f64
+        }
+    };
+    let mut depth_counts = std::collections::BTreeMap::new();
+    for r in &trace.records {
+        *depth_counts.entry(r.queue_depth).or_insert(0u64) += 1;
+    }
+    TraceProfile {
+        device: trace.device.clone(),
+        label: trace.label.clone(),
+        records: n,
+        reads,
+        writes: trace.writes(),
+        read_fraction: if n == 0 { 0.0 } else { reads as f64 / n as f64 },
+        total_bytes: trace.total_bytes(),
+        duration_ms: trace.duration_ns() as f64 / 1e6,
+        mean_latency_ms,
+        sequential_fraction: frac(sequential),
+        locality_score: frac(local),
+        max_queue_depth: trace.max_queue_depth(),
+        queue_depth_distribution: depth_counts.into_iter().collect(),
+        inter_arrival_histogram: inter_arrival_histogram(trace),
+    }
+}
+
+/// Histogram of submission gaps in power-of-two ns buckets starting at
+/// 1 µs (gaps of 0 land in the first bucket). Empty for traces with
+/// fewer than two records.
+fn inter_arrival_histogram(trace: &Trace) -> Vec<InterArrivalBucket> {
+    let gaps: Vec<u64> = trace
+        .records
+        .windows(2)
+        .map(|w| w[1].submit_ns - w[0].submit_ns)
+        .collect();
+    let Some(&max_gap) = gaps.iter().max() else {
+        return Vec::new();
+    };
+    let mut bounds = vec![1_000u64];
+    while *bounds.last().expect("non-empty") < max_gap {
+        let next = bounds.last().expect("non-empty").saturating_mul(2);
+        bounds.push(next);
+        if next == u64::MAX {
+            break;
+        }
+    }
+    let mut buckets: Vec<InterArrivalBucket> = bounds
+        .into_iter()
+        .map(|upper_ns| InterArrivalBucket { upper_ns, count: 0 })
+        .collect();
+    for g in gaps {
+        let slot = buckets
+            .iter_mut()
+            .find(|b| g <= b.upper_ns)
+            .expect("last bound covers the max gap");
+        slot.count += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_patterns::Mode;
+    use uflip_trace::TraceRecord;
+
+    fn rec(op: Mode, lba: u64, submit: u64, complete: u64, depth: u32) -> TraceRecord {
+        TraceRecord {
+            op,
+            lba,
+            sectors: 4,
+            submit_ns: submit,
+            complete_ns: complete,
+            queue_depth: depth,
+        }
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_zeros() {
+        let p = profile_trace(&Trace::new("d", "l"));
+        assert_eq!(p.records, 0);
+        assert_eq!(p.read_fraction, 0.0);
+        assert!(p.inter_arrival_histogram.is_empty());
+        assert!(p.queue_depth_distribution.is_empty());
+    }
+
+    #[test]
+    fn mix_locality_and_depths() {
+        let mut t = Trace::new("sim", "mix");
+        // Sequential pair, then a far jump, at depths 1,2,2.
+        t.push(rec(Mode::Read, 0, 0, 100_000, 1));
+        t.push(rec(Mode::Write, 4, 50_000, 150_000, 2));
+        t.push(rec(Mode::Read, 1 << 20, 2_050_000, 2_100_000, 2));
+        let p = profile_trace(&t);
+        assert_eq!((p.records, p.reads, p.writes), (3, 2, 1));
+        assert!((p.read_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p.sequential_fraction - 0.5).abs() < 1e-9);
+        assert!(
+            (p.locality_score - 0.5).abs() < 1e-9,
+            "512 MB jump is non-local"
+        );
+        assert_eq!(p.max_queue_depth, 2);
+        assert_eq!(p.queue_depth_distribution, vec![(1, 1), (2, 2)]);
+        assert!((p.duration_ms - 2.1).abs() < 1e-9);
+        // Gaps: 50 µs and 2 ms → first lands in the 65_536 bucket
+        // range, second in the ≥ 2 ms one; total counted = 2.
+        let counted: u64 = p.inter_arrival_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(counted, 2);
+        assert!(p.inter_arrival_histogram.len() >= 2);
+    }
+
+    #[test]
+    fn generated_traces_have_zero_latency_profile() {
+        let t = uflip_trace::BtreeMixConfig::oltp(0, 32 << 20, 64, 3).generate();
+        let p = profile_trace(&t);
+        assert_eq!(p.mean_latency_ms, 0.0);
+        assert!(p.reads > 0);
+        assert_eq!(p.max_queue_depth, 0);
+        assert!(
+            p.locality_score > 0.0,
+            "index pages cluster within the region"
+        );
+    }
+
+    #[test]
+    fn profile_serializes_to_json() {
+        let mut t = Trace::new("sim", "j");
+        t.push(rec(Mode::Read, 0, 0, 1000, 1));
+        t.push(rec(Mode::Read, 4, 1000, 2000, 1));
+        let json = crate::json::to_json(&profile_trace(&t));
+        assert!(json.contains("\"read_fraction\": 1.0"));
+        assert!(json.contains("\"queue_depth_distribution\""));
+    }
+}

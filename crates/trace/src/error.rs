@@ -1,0 +1,60 @@
+//! Trace (de)serialization errors.
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying file IO failed.
+    Io(std::io::Error),
+    /// The bytes/text do not form a valid trace.
+    Format(String),
+}
+
+impl TraceError {
+    /// Construct a format error.
+    pub fn format(msg: impl Into<String>) -> Self {
+        TraceError::Format(msg.into())
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::Format(msg) => write!(f, "trace format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Format(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = TraceError::format("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+        let io = TraceError::from(std::io::Error::other("gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Synthetic trace generators for database-shaped workloads.
+//!
+//! uFLIP's closed-form patterns probe one dimension at a time; real
+//! request streams mix them. Roh et al. showed that B+-tree request
+//! streams are the workload that decides whether an SSD's internal
+//! parallelism pays off, and page-logging designs (log-append plus
+//! periodic in-place updates) are the other canonical DB write shape.
+//! These generators synthesize both as [`Trace`]s, so the replay
+//! engine always has DB-shaped workloads available even when no
+//! capture exists.
+//!
+//! Generated records carry `complete_ns == submit_ns` and
+//! `queue_depth == 0` — they describe *demand*, not service; replay
+//! fills in the service side.
+
+use crate::record::TraceRecord;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uflip_patterns::Mode;
+
+/// B+-tree index workload: a search/insert mix over a node region.
+///
+/// The region is treated as an array of `page_bytes` nodes: one cached
+/// root (never read), `total / fanout` internal nodes, the rest
+/// leaves. A *search* walks internal → leaf (two random reads); an
+/// *insert* walks the same path then rewrites the leaf, and every
+/// `fanout`-th insert splits — an extra sibling-leaf write plus a
+/// parent (internal) write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtreeMixConfig {
+    /// Byte base of the index region (512-aligned).
+    pub region_offset: u64,
+    /// Byte size of the index region.
+    pub region_size: u64,
+    /// Node page size in bytes (multiple of 512).
+    pub page_bytes: u64,
+    /// Children per internal node; also the split period.
+    pub fanout: u64,
+    /// Percentage of operations that are searches (0–100); the rest
+    /// are inserts.
+    pub search_pct: u32,
+    /// Number of tree operations (each expands to 2–5 IOs).
+    pub ops: u64,
+    /// Host think time between consecutive IOs, nanoseconds.
+    pub inter_arrival_ns: u64,
+    /// Random seed (the generator is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl BtreeMixConfig {
+    /// An OLTP-ish default: 8 KB nodes, fanout 64, 80 % searches,
+    /// 50 µs think time.
+    pub fn oltp(region_offset: u64, region_size: u64, ops: u64, seed: u64) -> Self {
+        BtreeMixConfig {
+            region_offset,
+            region_size,
+            page_bytes: 8 * 1024,
+            fanout: 64,
+            search_pct: 80,
+            ops,
+            inter_arrival_ns: 50_000,
+            seed,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_region(
+            "btree",
+            self.region_offset,
+            self.region_size,
+            self.page_bytes,
+        )?;
+        if self.fanout < 2 {
+            return Err(format!("fanout {} must be at least 2", self.fanout));
+        }
+        if self.search_pct > 100 {
+            return Err(format!("search_pct {} must be 0..=100", self.search_pct));
+        }
+        if self.ops == 0 {
+            return Err("ops must be positive".into());
+        }
+        if self.region_size / self.page_bytes < 4 {
+            return Err("region must hold at least 4 node pages".into());
+        }
+        Ok(())
+    }
+
+    /// Synthesize the trace.
+    pub fn generate(&self) -> Trace {
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid config: {:?}",
+            self.validate()
+        );
+        let total_pages = self.region_size / self.page_bytes;
+        // Page 0 is the RAM-cached root; a slice of the rest is the
+        // internal level, the remainder the leaf level.
+        let internal_pages = (total_pages / self.fanout).clamp(1, total_pages - 2);
+        let leaf_base = 1 + internal_pages;
+        let leaf_pages = total_pages - leaf_base;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = Trace::new("generated", format!("btree-mix({}%S)", self.search_pct));
+        let mut clock = 0u64;
+        let mut inserts = 0u64;
+        for _ in 0..self.ops {
+            let internal = 1 + rng.gen_range(0..internal_pages);
+            let leaf = leaf_base + rng.gen_range(0..leaf_pages);
+            self.emit(&mut t, &mut clock, Mode::Read, internal);
+            self.emit(&mut t, &mut clock, Mode::Read, leaf);
+            if rng.gen_range(0u32..100) >= self.search_pct {
+                // Insert: rewrite the leaf; every `fanout`-th insert
+                // splits it — a sibling-leaf write plus a parent write.
+                self.emit(&mut t, &mut clock, Mode::Write, leaf);
+                inserts += 1;
+                if inserts.is_multiple_of(self.fanout) {
+                    let sibling = leaf_base + rng.gen_range(0..leaf_pages);
+                    self.emit(&mut t, &mut clock, Mode::Write, sibling);
+                    self.emit(&mut t, &mut clock, Mode::Write, internal);
+                }
+            }
+        }
+        t
+    }
+
+    fn emit(&self, t: &mut Trace, clock: &mut u64, op: Mode, page: u64) {
+        t.push(page_record(
+            op,
+            self.region_offset + page * self.page_bytes,
+            self.page_bytes,
+            clock,
+            self.inter_arrival_ns,
+        ));
+    }
+}
+
+/// Page-logging workload: sequential log appends mixed with in-place
+/// page updates (read-modify-write) in a data region — the write shape
+/// of a DBMS that journals to a log segment while checkpointing pages
+/// in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoggingConfig {
+    /// Byte base of the log segment (512-aligned).
+    pub log_offset: u64,
+    /// Byte size of the log segment (appends wrap around).
+    pub log_size: u64,
+    /// Byte base of the data region (512-aligned).
+    pub data_offset: u64,
+    /// Byte size of the data region.
+    pub data_size: u64,
+    /// IO size in bytes for both appends and page updates (multiple
+    /// of 512).
+    pub io_bytes: u64,
+    /// Percentage of operations that are in-place updates (0–100); the
+    /// rest are log appends.
+    pub update_pct: u32,
+    /// Number of operations (updates expand to a read + a write).
+    pub ops: u64,
+    /// Host think time between consecutive IOs, nanoseconds.
+    pub inter_arrival_ns: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl PageLoggingConfig {
+    /// A checkpointing default: 8 KB IOs, 25 % in-place updates, 50 µs
+    /// think time.
+    pub fn checkpointing(
+        log_offset: u64,
+        log_size: u64,
+        data_offset: u64,
+        data_size: u64,
+        ops: u64,
+        seed: u64,
+    ) -> Self {
+        PageLoggingConfig {
+            log_offset,
+            log_size,
+            data_offset,
+            data_size,
+            io_bytes: 8 * 1024,
+            update_pct: 25,
+            ops,
+            inter_arrival_ns: 50_000,
+            seed,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_region("log", self.log_offset, self.log_size, self.io_bytes)?;
+        validate_region("data", self.data_offset, self.data_size, self.io_bytes)?;
+        if self.update_pct > 100 {
+            return Err(format!("update_pct {} must be 0..=100", self.update_pct));
+        }
+        if self.ops == 0 {
+            return Err("ops must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Synthesize the trace.
+    pub fn generate(&self) -> Trace {
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid config: {:?}",
+            self.validate()
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let data_pages = self.data_size / self.io_bytes;
+        let log_slots = self.log_size / self.io_bytes;
+        let mut t = Trace::new("generated", format!("page-log({}%U)", self.update_pct));
+        let mut clock = 0u64;
+        let mut log_cursor = 0u64;
+        for _ in 0..self.ops {
+            if rng.gen_range(0u32..100) < self.update_pct {
+                // In-place update: read the page, write it back.
+                let page = rng.gen_range(0..data_pages);
+                let offset = self.data_offset + page * self.io_bytes;
+                t.push(page_record(
+                    Mode::Read,
+                    offset,
+                    self.io_bytes,
+                    &mut clock,
+                    self.inter_arrival_ns,
+                ));
+                t.push(page_record(
+                    Mode::Write,
+                    offset,
+                    self.io_bytes,
+                    &mut clock,
+                    self.inter_arrival_ns,
+                ));
+            } else {
+                // Log append: strictly sequential, wrapping.
+                let offset = self.log_offset + log_cursor * self.io_bytes;
+                log_cursor = (log_cursor + 1) % log_slots;
+                t.push(page_record(
+                    Mode::Write,
+                    offset,
+                    self.io_bytes,
+                    &mut clock,
+                    self.inter_arrival_ns,
+                ));
+            }
+        }
+        t
+    }
+}
+
+/// Build one generated record at `*clock`, then advance the clock by
+/// the inter-arrival gap.
+fn page_record(op: Mode, offset: u64, bytes: u64, clock: &mut u64, gap_ns: u64) -> TraceRecord {
+    let r = TraceRecord {
+        op,
+        lba: offset / 512,
+        sectors: (bytes / 512) as u32,
+        submit_ns: *clock,
+        complete_ns: *clock,
+        queue_depth: 0,
+    };
+    *clock += gap_ns;
+    r
+}
+
+fn validate_region(name: &str, offset: u64, size: u64, io_bytes: u64) -> Result<(), String> {
+    if io_bytes == 0 || !io_bytes.is_multiple_of(512) {
+        return Err(format!(
+            "{name}: IO size {io_bytes} must be a positive multiple of 512"
+        ));
+    }
+    if !offset.is_multiple_of(512) {
+        return Err(format!("{name}: offset {offset} must be 512-aligned"));
+    }
+    if size < io_bytes {
+        return Err(format!(
+            "{name}: region of {size} bytes cannot hold {io_bytes}-byte IOs"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn btree() -> BtreeMixConfig {
+        BtreeMixConfig::oltp(4 * MB, 32 * MB, 200, 7)
+    }
+
+    fn pagelog() -> PageLoggingConfig {
+        PageLoggingConfig::checkpointing(0, 8 * MB, 16 * MB, 32 * MB, 200, 7)
+    }
+
+    #[test]
+    fn btree_trace_stays_in_region_and_is_aligned() {
+        let cfg = btree();
+        assert!(cfg.validate().is_ok());
+        let t = cfg.generate();
+        assert!(t.len() >= 2 * cfg.ops as usize, "≥ 2 IOs per operation");
+        assert!(t.is_time_ordered());
+        for r in &t.records {
+            assert!(r.offset_bytes() >= cfg.region_offset);
+            assert!(r.offset_bytes() + r.size_bytes() <= cfg.region_offset + cfg.region_size);
+            assert_eq!(r.size_bytes(), cfg.page_bytes);
+            assert_eq!(r.queue_depth, 0);
+            assert_eq!(r.latency_ns(), 0, "generated traces carry no service times");
+        }
+    }
+
+    #[test]
+    fn btree_mix_tracks_search_pct() {
+        let mostly_search = BtreeMixConfig {
+            search_pct: 90,
+            ..btree()
+        }
+        .generate();
+        let mostly_insert = BtreeMixConfig {
+            search_pct: 10,
+            ..btree()
+        }
+        .generate();
+        assert!(mostly_search.writes() < mostly_insert.writes());
+        assert!(mostly_search.reads() > 0 && mostly_search.writes() > 0);
+        // A pure-search mix never writes.
+        let pure = BtreeMixConfig {
+            search_pct: 100,
+            ..btree()
+        }
+        .generate();
+        assert_eq!(pure.writes(), 0);
+    }
+
+    #[test]
+    fn btree_splits_write_the_parent_level() {
+        // All inserts: after `fanout` inserts a split must touch an
+        // internal page (below the leaf base) with a write.
+        let cfg = BtreeMixConfig {
+            search_pct: 0,
+            fanout: 8,
+            ..btree()
+        };
+        let t = cfg.generate();
+        let total_pages = cfg.region_size / cfg.page_bytes;
+        let internal_pages = (total_pages / cfg.fanout).clamp(1, total_pages - 2);
+        let leaf_base_byte = cfg.region_offset + (1 + internal_pages) * cfg.page_bytes;
+        assert!(
+            t.records
+                .iter()
+                .any(|r| r.op == Mode::Write && r.offset_bytes() < leaf_base_byte),
+            "splits must write internal nodes"
+        );
+    }
+
+    #[test]
+    fn pagelog_appends_are_sequential_and_updates_are_rmw() {
+        let cfg = pagelog();
+        assert!(cfg.validate().is_ok());
+        let t = cfg.generate();
+        assert!(t.is_time_ordered());
+        let log_end = cfg.log_offset + cfg.log_size;
+        let mut last_log: Option<u64> = None;
+        for (i, r) in t.records.iter().enumerate() {
+            let in_log = r.offset_bytes() < log_end;
+            if in_log {
+                assert_eq!(r.op, Mode::Write, "log segment only sees appends");
+                if let Some(prev) = last_log {
+                    let next =
+                        cfg.log_offset + (prev - cfg.log_offset + cfg.io_bytes) % cfg.log_size;
+                    assert_eq!(r.offset_bytes(), next, "appends advance sequentially");
+                }
+                last_log = Some(r.offset_bytes());
+            } else if r.op == Mode::Write {
+                // Every data write is preceded by a read of the same page.
+                let prev = &t.records[i - 1];
+                assert_eq!(prev.op, Mode::Read);
+                assert_eq!(
+                    prev.lba, r.lba,
+                    "in-place update reads then writes one page"
+                );
+            }
+        }
+        assert!(
+            t.writes() > t.reads(),
+            "append-heavy mix writes more than it reads"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(btree().generate(), btree().generate());
+        assert_eq!(pagelog().generate(), pagelog().generate());
+        assert_ne!(
+            BtreeMixConfig { seed: 8, ..btree() }.generate(),
+            btree().generate()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(BtreeMixConfig {
+            page_bytes: 100,
+            ..btree()
+        }
+        .validate()
+        .is_err());
+        assert!(BtreeMixConfig {
+            fanout: 1,
+            ..btree()
+        }
+        .validate()
+        .is_err());
+        assert!(BtreeMixConfig {
+            search_pct: 101,
+            ..btree()
+        }
+        .validate()
+        .is_err());
+        assert!(BtreeMixConfig { ops: 0, ..btree() }.validate().is_err());
+        assert!(BtreeMixConfig {
+            region_size: 16 * 1024,
+            ..btree()
+        }
+        .validate()
+        .is_err());
+        assert!(PageLoggingConfig {
+            log_offset: 3,
+            ..pagelog()
+        }
+        .validate()
+        .is_err());
+        assert!(PageLoggingConfig {
+            update_pct: 200,
+            ..pagelog()
+        }
+        .validate()
+        .is_err());
+        assert!(PageLoggingConfig {
+            data_size: 512,
+            ..pagelog()
+        }
+        .validate()
+        .is_err());
+    }
+}

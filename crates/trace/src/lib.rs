@@ -1,0 +1,45 @@
+//! # uflip-trace — IO trace capture, serialization and replay input
+//!
+//! uFLIP characterizes devices with *synthetic* micro-patterns; their
+//! design hints only matter if they predict behaviour under *real*
+//! request streams. Flashmon V2 (Olivier et al.) demonstrated the value
+//! of recording raw flash IO request streams, and Roh et al.'s
+//! B+-tree/SSD work showed that database-shaped streams are the
+//! workloads worth replaying against a device's internal parallelism.
+//! This crate is the workload side of that story:
+//!
+//! * [`TraceRecord`] / [`Trace`] — the trace model: one record per IO
+//!   (op kind, LBA, sector count, submit/complete timestamps on the
+//!   device's virtual clock, queue depth at submit);
+//! * [`Trace::to_jsonl`] / [`Trace::from_jsonl`] — line-oriented JSON
+//!   text, one record per line behind a small header (greppable,
+//!   diffable, streams well);
+//! * [`Trace::to_binary`] / [`Trace::from_binary`] — a compact
+//!   fixed-width little-endian encoding for large captures;
+//! * [`generate`] — synthetic *generators* for DB-shaped workloads
+//!   (B+-tree index search/insert mix, log-append + in-place-update
+//!   "page logging" mix), so scenario diversity does not depend on
+//!   having captured traces at hand.
+//!
+//! Capture happens in `uflip-device` (`TracingDevice`); replay happens
+//! in `uflip-core` (`replay`); analysis happens in `uflip-report`.
+//! This crate deliberately depends only on `uflip-patterns`, so every
+//! layer above can speak traces without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod error;
+pub mod generate;
+pub mod jsonl;
+pub mod record;
+pub mod trace;
+
+pub use error::TraceError;
+pub use generate::{BtreeMixConfig, PageLoggingConfig};
+pub use record::TraceRecord;
+pub use trace::Trace;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, TraceError>;

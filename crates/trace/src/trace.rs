@@ -1,0 +1,146 @@
+//! The [`Trace`] container: an ordered IO request stream plus capture
+//! metadata.
+
+use crate::record::TraceRecord;
+use uflip_patterns::Mode;
+
+/// A captured (or generated) IO request stream.
+///
+/// Records are kept in submission order; the (de)serializers and the
+/// replay engine rely on `submit_ns` being non-decreasing, which holds
+/// by construction for captures (devices receive IOs in virtual-time
+/// order) and for the generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Name of the device the trace was captured on (or the generator
+    /// that synthesized it).
+    pub device: String,
+    /// Workload label (pattern code, generator name, …).
+    pub label: String,
+    /// The IOs, in submission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new(device: impl Into<String>, label: impl Into<String>) -> Self {
+        Trace {
+            device: device.into(),
+            label: label.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of read records.
+    pub fn reads(&self) -> usize {
+        self.records.iter().filter(|r| r.op == Mode::Read).count()
+    }
+
+    /// Number of write records.
+    pub fn writes(&self) -> usize {
+        self.records.iter().filter(|r| r.op == Mode::Write).count()
+    }
+
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(TraceRecord::size_bytes)
+            .fold(0, u64::saturating_add)
+    }
+
+    /// Span from the first submission to the latest completion, in
+    /// nanoseconds — the capture's total elapsed time.
+    pub fn duration_ns(&self) -> u64 {
+        let Some(first) = self.records.first() else {
+            return 0;
+        };
+        let end = self
+            .records
+            .iter()
+            .map(|r| r.complete_ns.max(r.submit_ns))
+            .max()
+            .expect("non-empty");
+        end - first.submit_ns
+    }
+
+    /// Deepest queue observed at any submission (0 for generated
+    /// traces that never touched a device).
+    pub fn max_queue_depth(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| r.queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when `submit_ns` is non-decreasing over the records — the
+    /// order the replay engine requires.
+    pub fn is_time_ordered(&self) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| w[0].submit_ns <= w[1].submit_ns)
+    }
+
+    /// Sort records by submission time (stable, so simultaneous
+    /// submissions keep their capture order).
+    pub fn sort_by_submit(&mut self) {
+        self.records.sort_by_key(|r| r.submit_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: Mode, lba: u64, submit: u64, complete: u64) -> TraceRecord {
+        TraceRecord {
+            op,
+            lba,
+            sectors: 4,
+            submit_ns: submit,
+            complete_ns: complete,
+            queue_depth: 1,
+        }
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut t = Trace::new("sim", "RW");
+        assert!(t.is_empty());
+        assert_eq!(t.duration_ns(), 0);
+        t.push(rec(Mode::Write, 0, 100, 300));
+        t.push(rec(Mode::Read, 8, 300, 450));
+        assert_eq!((t.len(), t.reads(), t.writes()), (2, 1, 1));
+        assert_eq!(t.total_bytes(), 2 * 2048);
+        assert_eq!(t.duration_ns(), 350);
+        assert_eq!(t.max_queue_depth(), 1);
+        assert!(t.is_time_ordered());
+    }
+
+    #[test]
+    fn sorting_restores_time_order() {
+        let mut t = Trace::new("sim", "x");
+        t.push(rec(Mode::Read, 0, 500, 600));
+        t.push(rec(Mode::Read, 8, 100, 200));
+        assert!(!t.is_time_ordered());
+        t.sort_by_submit();
+        assert!(t.is_time_ordered());
+        assert_eq!(t.records[0].lba, 8);
+    }
+}

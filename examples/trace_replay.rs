@@ -1,0 +1,73 @@
+//! Capture & replay quickstart: record a uFLIP baseline as an IO
+//! trace, round-trip it through JSONL, and replay it open-loop at two
+//! queue depths; then replay a synthesized B+-tree workload.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use uflip::core::executor::execute_run;
+use uflip::core::replay::{replay_trace, ReplayMode};
+use uflip::device::profiles::catalog;
+use uflip::device::TracingDevice;
+use uflip::patterns::PatternSpec;
+use uflip::report::trace::profile_trace;
+use uflip::trace::{BtreeMixConfig, Trace};
+
+const MB: u64 = 1024 * 1024;
+
+fn main() {
+    // 1. Capture: wrap any device in the tracing decorator and run a
+    //    workload against it as usual.
+    let profile = catalog::memoright();
+    let mut traced = TracingDevice::new(*profile.build_sim(42)).with_label("RR");
+    let spec = PatternSpec::baseline_rr(2 * 1024, 64 * MB, 256);
+    let capture = execute_run(&mut traced, &spec).expect("capture run");
+    let (_, trace) = traced.into_parts();
+    println!(
+        "captured {} IOs on {} ({:?} elapsed)",
+        trace.len(),
+        trace.device,
+        capture.elapsed
+    );
+
+    // 2. Serialize and reload — the JSONL text is greppable; a compact
+    //    binary encoding exists for bulk captures (`to_binary`).
+    let jsonl = trace.to_jsonl();
+    let trace = Trace::from_jsonl(&jsonl).expect("round trip");
+    let shape = profile_trace(&trace);
+    println!(
+        "workload shape: {:.0}% reads, locality {:.2}, mean latency {:.3} ms",
+        shape.read_fraction * 100.0,
+        shape.locality_score,
+        shape.mean_latency_ms
+    );
+
+    // 3. Replay: timing-faithful reproduces the capture; open-loop
+    //    asks how fast the device could drain the same stream.
+    for mode in [
+        ReplayMode::TimingFaithful,
+        ReplayMode::OpenLoop { queue_depth: 1 },
+        ReplayMode::OpenLoop { queue_depth: 16 },
+    ] {
+        let mut dev = profile.build_sim(42);
+        let run = replay_trace(dev.as_mut(), &trace, mode).expect("replay");
+        println!("{:>28}: {:?}", run.label, run.elapsed);
+    }
+
+    // 4. No capture at hand? Generate a DB-shaped workload instead.
+    let btree = BtreeMixConfig::oltp(0, 32 * MB, 128, 7).generate();
+    let mut dev = profile.build_sim(42);
+    let run = replay_trace(
+        dev.as_mut(),
+        &btree,
+        ReplayMode::OpenLoop { queue_depth: 16 },
+    )
+    .expect("replay");
+    println!(
+        "\nB+-tree mix ({} IOs) drained open-loop at qd16 in {:?}",
+        btree.len(),
+        run.elapsed
+    );
+    println!("16 channels only pay off when the queue is deep enough to feed them.");
+}

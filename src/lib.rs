@@ -18,7 +18,9 @@
 //!   enforcement, start-up/running phase analysis, pause calibration,
 //!   benchmark plans);
 //! * [`report`] — trace analysis, summaries (Table 3), design hints,
-//!   ASCII plots and serialization.
+//!   ASCII plots and serialization;
+//! * [`trace`] — IO trace capture/serialization and synthetic
+//!   DB-shaped workload generators, replayed via [`core::replay`].
 //!
 //! ## Quickstart
 //!
@@ -41,3 +43,4 @@ pub use uflip_ftl as ftl;
 pub use uflip_nand as nand;
 pub use uflip_patterns as patterns;
 pub use uflip_report as report;
+pub use uflip_trace as trace;

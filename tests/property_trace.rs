@@ -1,0 +1,79 @@
+//! Property tests for trace serialization (ISSUE 2 satellite): an
+//! arbitrary `Trace` survives both the binary and the JSONL round trip
+//! unchanged — including hostile metadata strings and full-range
+//! timestamps.
+
+use proptest::prelude::*;
+use uflip::patterns::Mode;
+use uflip::trace::{Trace, TraceRecord};
+
+/// SplitMix64 step — a self-contained deterministic stream so one
+/// sampled seed expands into a whole trace.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Metadata strings that stress the escapers: quotes, commas,
+/// newlines, tabs, control characters, non-ASCII, emptiness.
+const NASTY: &[&str] = &[
+    "memoright",
+    "",
+    "dev \"quoted\"",
+    "comma,separated",
+    "line\nbreak\ttab",
+    "unicode-ünï-\u{1F4BE}",
+    "back\\slash",
+];
+
+/// Deterministically expand a seed into a trace of `len` records with
+/// full-range field values.
+fn arbitrary_trace(seed: u64, len: usize) -> Trace {
+    let mut s = seed;
+    let mut t = Trace::new(
+        NASTY[(mix(&mut s) % NASTY.len() as u64) as usize],
+        NASTY[(mix(&mut s) % NASTY.len() as u64) as usize],
+    );
+    for _ in 0..len {
+        t.push(TraceRecord {
+            op: if mix(&mut s) & 1 == 0 {
+                Mode::Read
+            } else {
+                Mode::Write
+            },
+            lba: mix(&mut s),
+            sectors: mix(&mut s) as u32,
+            submit_ns: mix(&mut s),
+            complete_ns: mix(&mut s),
+            queue_depth: mix(&mut s) as u32,
+        });
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip_is_identity(seed in any::<u64>(), len in 0usize..48) {
+        let trace = arbitrary_trace(seed, len);
+        let decoded = Trace::from_binary(&trace.to_binary()).expect("own encoding parses");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_identity(seed in any::<u64>(), len in 0usize..48) {
+        let trace = arbitrary_trace(seed, len);
+        let decoded = Trace::from_jsonl(&trace.to_jsonl()).expect("own rendering parses");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn formats_agree_with_each_other(seed in any::<u64>(), len in 0usize..32) {
+        let trace = arbitrary_trace(seed, len);
+        let via_jsonl = Trace::from_jsonl(&trace.to_jsonl()).expect("jsonl parses");
+        let via_binary = Trace::from_binary(&via_jsonl.to_binary()).expect("binary parses");
+        prop_assert_eq!(via_binary, trace);
+    }
+}

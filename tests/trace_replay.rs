@@ -1,0 +1,265 @@
+//! Integration tests for the trace subsystem (ISSUE 2): transparent
+//! capture through `TracingDevice`, and replay through the queue-aware
+//! engine — timing-faithful reproduction and open-loop queue-depth
+//! speed-up (the acceptance criteria).
+
+use std::time::Duration;
+use uflip::core::executor::execute_run;
+use uflip::core::replay::{replay_trace, ReplayMode};
+use uflip::device::profiles::catalog;
+use uflip::device::{BlockDevice, MemDevice, SimDevice, TracingDevice};
+use uflip::patterns::{LbaFn, Mode, ParallelSpec, PatternSpec};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn channel_busy(dev: &SimDevice) -> Vec<u64> {
+    let mut out = Vec::new();
+    dev.ftl().channel_busy_ns(&mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Capture equivalence.
+// ---------------------------------------------------------------------
+
+/// Tracing must be invisible: a pattern run against
+/// `TracingDevice<SimDevice>` produces bit-identical latencies to the
+/// bare `SimDevice`, and replaying the captured trace at the same
+/// queue depth reproduces the per-channel busy totals.
+#[test]
+fn capture_is_transparent_and_replay_reproduces_busy_totals() {
+    let spec = PatternSpec::baseline(LbaFn::Random, Mode::Write, 32 * KB, 64 * MB, 128);
+    let mut bare = *catalog::memoright().build_sim(3);
+    let mut traced = TracingDevice::new(*catalog::memoright().build_sim(3));
+    let run_bare = execute_run(&mut bare, &spec).unwrap();
+    let run_traced = execute_run(&mut traced, &spec).unwrap();
+    assert_eq!(
+        run_bare.rts, run_traced.rts,
+        "the decorator must not perturb a single response time"
+    );
+    let (capture_dev, trace) = traced.into_parts();
+    assert_eq!(trace.len(), run_bare.len());
+    let captured_latencies: Vec<Duration> = trace
+        .records
+        .iter()
+        .map(|r| Duration::from_nanos(r.latency_ns()))
+        .collect();
+    assert_eq!(
+        captured_latencies, run_bare.rts,
+        "recorded latencies are the measured response times"
+    );
+    assert!(trace.is_time_ordered());
+    assert!(trace.records.iter().all(|r| r.queue_depth == 1));
+
+    // Replay the capture on a fresh identical device at the same
+    // (recorded) queue depth: the FTL must do exactly the same flash
+    // work on exactly the same channels.
+    let mut replay_dev = *catalog::memoright().build_sim(3);
+    let replay = replay_trace(&mut replay_dev, &trace, ReplayMode::TimingFaithful).unwrap();
+    assert_eq!(
+        replay.rts, run_bare.rts,
+        "timing-faithful replay reproduces every response time"
+    );
+    assert_eq!(
+        channel_busy(&replay_dev),
+        channel_busy(&capture_dev),
+        "replay reproduces the per-channel busy totals"
+    );
+}
+
+/// The queued capture path: a parallel pattern driven through the
+/// decorator's `IoQueue` records every IO with its completion filled
+/// in and the deeper queue observed.
+#[test]
+fn queued_capture_records_depth_and_completions() {
+    use uflip::core::executor::execute_parallel;
+    let base = PatternSpec::baseline(LbaFn::Random, Mode::Read, 2 * KB, 64 * MB, 128);
+    let par = ParallelSpec::new(base, 8).with_queue_depth(8);
+    let mut traced = TracingDevice::new(*catalog::memoright().build_sim(5)).with_label("RR(x8)");
+    let run = execute_parallel(&mut traced, &par).unwrap();
+    let (_, trace) = traced.into_parts();
+    assert_eq!(trace.len(), run.len());
+    assert!(trace.is_time_ordered());
+    assert!(
+        trace.max_queue_depth() > 1,
+        "an 8-deep run must record overlapping submissions"
+    );
+    assert!(
+        trace.records.iter().all(|r| r.complete_ns > r.submit_ns),
+        "every queued record gets its completion from poll"
+    );
+    // The queued run is bit-identical to the same run on a bare device.
+    let mut bare = catalog::memoright().build_sim(5);
+    let run_bare = execute_parallel(bare.as_mut(), &par).unwrap();
+    assert_eq!(run.rts, run_bare.rts);
+}
+
+/// The decorator forwards queue reconfiguration and keeps working on
+/// queueless backends.
+#[test]
+fn decorator_queue_surface_is_forwarded() {
+    let mut traced = TracingDevice::new(*catalog::mtron().build_sim(1));
+    let q = traced.io_queue().expect("sim backends expose a queue");
+    assert_eq!(q.queue_depth(), 1);
+    q.set_queue_depth(4);
+    assert_eq!(q.queue_depth(), 4);
+    assert_eq!(
+        traced.inner().io_queue_ref().unwrap().queue_depth(),
+        4,
+        "depth reached the backend"
+    );
+    let mut mem = TracingDevice::new(MemDevice::new(4 * MB, Duration::from_micros(50), 0));
+    assert!(mem.io_queue().is_none());
+    mem.write(0, 512).unwrap();
+    assert_eq!(mem.trace().len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance criteria: open-loop speed-up and timing-faithful elapsed.
+// ---------------------------------------------------------------------
+
+/// A trace captured from a uFLIP baseline on the Memoright profile
+/// replays open-loop at queue depth 16 with ≥ 4× speed-up over depth 1,
+/// and timing-faithful replay reproduces the capture's total elapsed
+/// time within 1 %.
+#[test]
+fn memoright_capture_replays_with_speedup_and_faithful_timing() {
+    // One-page random reads: the regime where queue depth, not IO
+    // striping, provides the channel overlap.
+    let spec = PatternSpec::baseline_rr(2 * KB, 64 * MB, 256);
+    let mut traced = TracingDevice::new(*catalog::memoright().build_sim(11)).with_label("RR");
+    let capture = execute_run(&mut traced, &spec).unwrap();
+    let (_, trace) = traced.into_parts();
+    assert_eq!(
+        Duration::from_nanos(trace.duration_ns()),
+        capture.elapsed,
+        "the trace spans the capture"
+    );
+
+    let replay_at = |mode: ReplayMode| {
+        let mut dev = catalog::memoright().build_sim(11);
+        replay_trace(dev.as_mut(), &trace, mode).unwrap()
+    };
+    let d1 = replay_at(ReplayMode::OpenLoop { queue_depth: 1 }).elapsed;
+    let d16 = replay_at(ReplayMode::OpenLoop { queue_depth: 16 }).elapsed;
+    println!("open-loop replay: qd1 = {d1:?}, qd16 = {d16:?}");
+    assert!(
+        d16 * 4 <= d1,
+        "depth 16 on the 16-channel Memoright must beat depth 1 by ≥ 4×: {d16:?} vs {d1:?}"
+    );
+
+    let faithful = replay_at(ReplayMode::TimingFaithful);
+    let target = capture.elapsed.as_secs_f64();
+    let got = faithful.elapsed.as_secs_f64();
+    println!(
+        "faithful replay: capture = {:?}, replay = {:?}",
+        capture.elapsed, faithful.elapsed
+    );
+    assert!(
+        (got - target).abs() <= target * 0.01,
+        "timing-faithful replay must match the capture's elapsed time within 1%: \
+         {got:.6}s vs {target:.6}s"
+    );
+}
+
+/// Serialization survives the full pipeline: capture → JSONL → binary
+/// → replay gives the same result as replaying the in-memory trace.
+#[test]
+fn serialized_traces_replay_identically() {
+    let spec = PatternSpec::baseline_rr(2 * KB, 32 * MB, 64);
+    let mut traced = TracingDevice::new(*catalog::samsung().build_sim(9)).with_label("RR");
+    execute_run(&mut traced, &spec).unwrap();
+    let (_, trace) = traced.into_parts();
+    let via_jsonl = uflip::trace::Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+    let via_binary = uflip::trace::Trace::from_binary(&via_jsonl.to_binary()).unwrap();
+    assert_eq!(via_binary, trace);
+    let mut a = catalog::samsung().build_sim(9);
+    let mut b = catalog::samsung().build_sim(9);
+    let mode = ReplayMode::OpenLoop { queue_depth: 8 };
+    let run_a = replay_trace(a.as_mut(), &trace, mode).unwrap();
+    let run_b = replay_trace(b.as_mut(), &via_binary, mode).unwrap();
+    assert_eq!(run_a.rts, run_b.rts);
+    assert_eq!(run_a.elapsed, run_b.elapsed);
+}
+
+/// A replay that fails mid-stream (e.g. a trace captured on a larger
+/// device) must leave the device usable: queue drained, depth
+/// restored, later runs unaffected.
+#[test]
+fn failed_replay_leaves_the_device_usable() {
+    let mut dev = *catalog::memoright().build_sim(13);
+    let capacity = dev.capacity_bytes();
+    let mut bad = uflip::trace::Trace::new("bigger-dev", "RR");
+    for i in 0..8u64 {
+        bad.push(uflip::trace::TraceRecord {
+            op: Mode::Read,
+            lba: i * 64,
+            sectors: 64,
+            submit_ns: i,
+            complete_ns: i,
+            queue_depth: 1,
+        });
+    }
+    // The last record lands beyond this device's capacity.
+    bad.push(uflip::trace::TraceRecord {
+        op: Mode::Read,
+        lba: capacity / 512,
+        sectors: 64,
+        submit_ns: 8,
+        complete_ns: 8,
+        queue_depth: 1,
+    });
+    let err = replay_trace(&mut dev, &bad, ReplayMode::OpenLoop { queue_depth: 8 });
+    assert!(err.is_err(), "out-of-range record must fail the replay");
+    let q = dev.io_queue().expect("sim device queues");
+    assert_eq!(q.in_flight(), 0, "failed replay drains its in-flight IOs");
+    assert_eq!(
+        q.queue_depth(),
+        1,
+        "failed replay restores the device depth"
+    );
+    // The device still serves a normal run.
+    let spec = PatternSpec::baseline_rr(2 * KB, 32 * MB, 16);
+    assert!(execute_run(&mut dev, &spec).is_ok());
+}
+
+/// Generated DB workloads replay on every representative profile, and
+/// the multi-channel SSD drains the B+-tree mix faster open-loop at
+/// depth 16 than at depth 1.
+#[test]
+fn generated_db_workloads_replay_everywhere() {
+    let btree = uflip::trace::BtreeMixConfig::oltp(0, 32 * MB, 64, 7).generate();
+    let pagelog =
+        uflip::trace::PageLoggingConfig::checkpointing(0, 8 * MB, 16 * MB, 32 * MB, 64, 7)
+            .generate();
+    for workload in [&btree, &pagelog] {
+        for profile in catalog::representative() {
+            let mut dev = profile.build_sim(7);
+            let run = replay_trace(
+                dev.as_mut(),
+                workload,
+                ReplayMode::OpenLoop { queue_depth: 4 },
+            )
+            .unwrap();
+            assert_eq!(run.len(), workload.len(), "{}: every IO served", profile.id);
+            assert!(run.elapsed > Duration::ZERO);
+        }
+    }
+    let elapsed_at = |depth: u32| {
+        let mut dev = catalog::memoright().build_sim(7);
+        replay_trace(
+            dev.as_mut(),
+            &btree,
+            ReplayMode::OpenLoop { queue_depth: depth },
+        )
+        .unwrap()
+        .elapsed
+    };
+    let d1 = elapsed_at(1);
+    let d16 = elapsed_at(16);
+    assert!(
+        d16 < d1,
+        "a 16-channel SSD must drain the B+-tree mix faster at depth 16 ({d16:?} vs {d1:?})"
+    );
+}
