@@ -8,10 +8,17 @@
 //! flashio baselines   --device samsung
 //! flashio micro       --device mtron --bench locality [--quick]
 //! flashio suite       --device kingston-dti --quick
+//! flashio suite       --device all --quick       # every representative profile, in parallel
 //! flashio pattern     --device memoright --pattern RW --io-size 32768 --count 1024
 //! flashio wear        --device samsung
 //! flashio suite       --file /dev/sdX --size-mb 1024        # real hardware!
 //! ```
+//!
+//! Simulated suites run with snapshot-served state resets and their
+//! reset-delimited plan segments sharded across worker threads
+//! (`--threads N`, 0 = one per CPU); results are bit-identical to the
+//! serial paper-literal path. `--device all` additionally fans the
+//! representative profiles out across threads, one suite per device.
 
 use std::time::Duration;
 use uflip_bench::mean_ms;
@@ -21,7 +28,7 @@ use uflip_core::micro::{
     alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
     MicroConfig,
 };
-use uflip_core::suite::{run_full_suite, SuiteOptions};
+use uflip_core::suite::{run_full_suite_sharded, SuiteOptions, SuiteResult};
 use uflip_core::Experiment;
 use uflip_device::profiles::catalog;
 use uflip_device::{BlockDevice, DirectIoFile};
@@ -39,6 +46,7 @@ struct Cli {
     io_size: u64,
     count: u64,
     quick: bool,
+    threads: usize,
     out_dir: std::path::PathBuf,
 }
 
@@ -53,6 +61,7 @@ fn parse() -> Cli {
         io_size: 32 * 1024,
         count: 512,
         quick: false,
+        threads: 0,
         out_dir: "results".into(),
     };
     let mut args = std::env::args().skip(1);
@@ -67,6 +76,9 @@ fn parse() -> Cli {
             "--io-size" => cli.io_size = args.next().and_then(|s| s.parse().ok()).unwrap_or(32768),
             "--count" => cli.count = args.next().and_then(|s| s.parse().ok()).unwrap_or(512),
             "--quick" => cli.quick = true,
+            "--threads" => {
+                cli.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+            }
             "--out" => {
                 if let Some(d) = args.next() {
                     cli.out_dir = d.into();
@@ -110,6 +122,44 @@ fn micro_experiments(name: &str, cfg: &MicroConfig) -> Option<Vec<Experiment>> {
         "bursts" => bursts::experiments(cfg),
         _ => return None,
     })
+}
+
+/// Suite configuration clamped to the device's capacity.
+fn suite_cfg(quick: bool, capacity: u64) -> MicroConfig {
+    let mut cfg = if quick {
+        MicroConfig::quick()
+    } else {
+        MicroConfig::paper_ssd()
+    };
+    cfg.target_size = cfg.target_size.min(capacity / 8);
+    if quick {
+        cfg.io_count = 48;
+        cfg.io_count_rw = 96;
+    }
+    cfg
+}
+
+/// Write one suite's point summaries as CSV into the output directory.
+fn write_suite_csv(cli: &Cli, result: &SuiteResult, file: &str) {
+    let mut rows = Vec::new();
+    for p in &result.points {
+        if let Some(s) = p.stats {
+            rows.push(vec![
+                p.experiment.clone(),
+                p.param_label.clone(),
+                format!("{:.4}", s.mean_ms()),
+                format!("{:.4}", s.max.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
+    let out = cli.out_dir.join(file);
+    std::fs::write(
+        &out,
+        to_csv(&["experiment", "param", "mean_ms", "max_ms"], &rows),
+    )
+    .expect("write CSV");
+    println!("wrote {} ({} points)", out.display(), rows.len());
 }
 
 fn prepare(dev: &mut dyn BlockDevice, quick: bool) {
@@ -197,44 +247,69 @@ fn main() {
             eprintln!("wrote {}", out.display());
         }
         "suite" => {
-            let mut cfg = if cli.quick {
-                MicroConfig::quick()
-            } else {
-                MicroConfig::paper_ssd()
-            };
-            let mut dev = open_device(&cli);
-            cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 8);
-            if cli.quick {
-                cfg.io_count = 48;
-                cfg.io_count_rw = 96;
-            }
-            let opts = SuiteOptions::default();
-            let (plan, result) = run_full_suite(dev.as_mut(), &cfg, &opts).expect("suite");
-            println!(
-                "plan: {} runs, {} state resets; device time {:.1} s",
-                plan.run_count(),
-                result.resets,
-                result.device_time.as_secs_f64()
-            );
-            let mut rows = Vec::new();
-            for p in &result.points {
-                if let Some(s) = p.stats {
-                    rows.push(vec![
-                        p.experiment.clone(),
-                        p.param_label.clone(),
-                        format!("{:.4}", s.mean_ms()),
-                        format!("{:.4}", s.max.as_secs_f64() * 1e3),
-                    ]);
+            if cli.device.as_deref() == Some("all") && cli.file.is_none() {
+                // Fan out across the representative profiles: one
+                // suite per device, each on its own worker thread.
+                // The sharding budget is divided across the profile
+                // threads so the two levels of parallelism together
+                // match the requested (or available) thread count
+                // instead of multiplying it.
+                let profiles = catalog::representative();
+                let budget = if cli.threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    cli.threads
+                };
+                let inner_threads = (budget / profiles.len()).max(1);
+                let results: Vec<(
+                    &str,
+                    uflip_core::methodology::plan::BenchmarkPlan,
+                    SuiteResult,
+                )> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = profiles
+                        .iter()
+                        .map(|profile| {
+                            let threads = inner_threads;
+                            let quick = cli.quick;
+                            scope.spawn(move || {
+                                let mut dev = profile.build_sim(0xF11B);
+                                let cfg = suite_cfg(quick, dev.capacity_bytes());
+                                let opts = SuiteOptions::default();
+                                let (plan, result) =
+                                    run_full_suite_sharded(dev.as_mut(), &cfg, &opts, threads)
+                                        .expect("suite");
+                                (profile.id, plan, result)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("suite threads do not panic"))
+                        .collect()
+                });
+                for (id, plan, result) in &results {
+                    println!(
+                        "{id}: {} runs, {} state resets; device time {:.1} s",
+                        plan.run_count(),
+                        result.resets,
+                        result.device_time.as_secs_f64()
+                    );
+                    write_suite_csv(&cli, result, &format!("suite_{id}.csv"));
                 }
+            } else {
+                let mut dev = open_device(&cli);
+                let cfg = suite_cfg(cli.quick, dev.capacity_bytes());
+                let opts = SuiteOptions::default();
+                let (plan, result) =
+                    run_full_suite_sharded(dev.as_mut(), &cfg, &opts, cli.threads).expect("suite");
+                println!(
+                    "plan: {} runs, {} state resets; device time {:.1} s",
+                    plan.run_count(),
+                    result.resets,
+                    result.device_time.as_secs_f64()
+                );
+                write_suite_csv(&cli, &result, "suite.csv");
             }
-            std::fs::create_dir_all(&cli.out_dir).expect("mkdir");
-            let out = cli.out_dir.join("suite.csv");
-            std::fs::write(
-                &out,
-                to_csv(&["experiment", "param", "mean_ms", "max_ms"], &rows),
-            )
-            .expect("write CSV");
-            println!("wrote {} ({} points)", out.display(), rows.len());
         }
         "pattern" => {
             let mut dev = open_device(&cli);
@@ -288,8 +363,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
-                 [--device ID | --file PATH --size-mb N] [--bench NAME] \
-                 [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] [--quick] [--out DIR]"
+                 [--device ID|all | --file PATH --size-mb N] [--bench NAME] \
+                 [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] [--quick] \
+                 [--threads N] [--out DIR]"
             );
         }
     }

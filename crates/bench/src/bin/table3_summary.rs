@@ -24,23 +24,39 @@ fn main() {
     // device; keep characterize's own enforcement on (single pass).
     cfg.enforce_state = false;
 
-    let devices = catalog::representative();
+    let devices: Vec<_> = catalog::representative()
+        .into_iter()
+        .filter(|p| opts.device.as_deref().is_none_or(|only| only == p.id))
+        .collect();
     println!("Table 3: Result summary (simulated devices; paper values in EXPERIMENTS.md)");
     println!("{}", DeviceSummary::table3_header());
-    let mut summaries = Vec::new();
-    for profile in devices {
-        if let Some(only) = &opts.device {
-            if only != profile.id {
-                continue;
-            }
-        }
-        let mut dev = profile.build_sim(0xF11B);
-        enforce_random_state(dev.as_mut(), 128 * 1024, cfg.state_coverage, cfg.seed)
-            .expect("state enforcement");
-        uflip_device::BlockDevice::idle(dev.as_mut(), std::time::Duration::from_secs(5));
-        let summary = characterize(dev.as_mut(), &cfg).expect("characterization");
+    // Each profile characterizes on its own device instance, so the
+    // devices fan out across worker threads; rows print in catalogue
+    // order once every thread has joined.
+    let summaries: Vec<DeviceSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .map(|profile| {
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let mut dev = profile.build_sim(0xF11B);
+                    enforce_random_state(dev.as_mut(), 128 * 1024, cfg.state_coverage, cfg.seed)
+                        .expect("state enforcement");
+                    uflip_device::BlockDevice::idle(
+                        dev.as_mut(),
+                        std::time::Duration::from_secs(5),
+                    );
+                    characterize(dev.as_mut(), cfg).expect("characterization")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("characterization threads do not panic"))
+            .collect()
+    });
+    for summary in &summaries {
         println!("{}", summary.table3_row());
-        summaries.push(summary);
     }
     let out = opts.out_dir.join("table3_summary.json");
     write_json(&summaries, &out).expect("write summary JSON");

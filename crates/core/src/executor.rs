@@ -141,7 +141,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
     // Token bookkeeping: submission order index and times per in-flight
     // IO, so completions can be turned into response times and traced
     // back to their process.
-    let mut inflight: Vec<(Token, usize, Duration, usize)> = Vec::new(); // (token, proc, submit, seq)
+    let mut inflight = InflightSlab::new();
     let mut rts: Vec<Duration> = Vec::new();
     let mut seq = 0usize;
     let mut last_completion = base;
@@ -193,7 +193,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
         let io = pending[p].take().expect("candidate has an IO");
         match queue.submit(&io, submit) {
             Ok(token) => {
-                inflight.push((token, p, submit, seq));
+                inflight.insert(token, p, submit, seq);
                 seq += 1;
                 rts.push(Duration::ZERO); // placeholder until completion
                 blocked[p] = true;
@@ -224,21 +224,63 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
     Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
 }
 
+/// In-flight IO bookkeeping, indexed directly by token.
+///
+/// [`Token`]s issued by one queue count up from 0 in submission order
+/// (see [`Token::raw`]), so `raw − base` — where `base` is the first
+/// token this run observed — is a dense slab index. Insert and remove
+/// are O(1); the old linear `Vec::position` scan made every retire
+/// O(in-flight), turning deep-queue replays quadratic.
+#[derive(Debug, Default)]
+struct InflightSlab {
+    /// Raw value of the run's first token (tokens are device-global,
+    /// so a run rarely starts at 0).
+    base: Option<u64>,
+    /// `(process, submit time, submission index)` per open token.
+    slots: Vec<Option<(usize, Duration, usize)>>,
+}
+
+impl InflightSlab {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(&self, token: Token) -> usize {
+        let base = self.base.expect("insert fixes the base first");
+        usize::try_from(token.raw() - base).expect("token offsets fit a slab index")
+    }
+
+    fn insert(&mut self, token: Token, proc: usize, submit: Duration, seq: usize) {
+        if self.base.is_none() {
+            self.base = Some(token.raw());
+        }
+        let idx = self.index(token);
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "token reused while in flight");
+        self.slots[idx] = Some((proc, submit, seq));
+    }
+
+    fn remove(&mut self, token: Token) -> (usize, Duration, usize) {
+        let idx = self.index(token);
+        self.slots[idx]
+            .take()
+            .expect("completed token was submitted")
+    }
+}
+
 /// Book a completed IO: compute its response time into `rts` (indexed
 /// by submission order) and unblock its process.
 fn retire(
-    inflight: &mut Vec<(Token, usize, Duration, usize)>,
+    inflight: &mut InflightSlab,
     blocked: &mut [bool],
     ready: &mut [Duration],
     rts: &mut [Duration],
     token: Token,
     completion: Duration,
 ) {
-    let idx = inflight
-        .iter()
-        .position(|(t, _, _, _)| *t == token)
-        .expect("completed token was submitted");
-    let (_, p, submit, seq) = inflight.swap_remove(idx);
+    let (p, submit, seq) = inflight.remove(token);
     rts[seq] = completion - submit;
     blocked[p] = false;
     ready[p] = completion;
@@ -288,15 +330,16 @@ where
     F: Fn(u32) -> Result<Box<dyn BlockDevice + Send>> + Sync,
 {
     let specs = par.process_specs();
-    let per_process: Vec<Result<Vec<Duration>>> = std::thread::scope(|scope| {
+    let per_process: Vec<Result<(Vec<Duration>, Duration)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = specs
             .iter()
             .enumerate()
             .map(|(p, spec)| {
                 let make_dev = &make_dev;
                 let spec = *spec;
-                scope.spawn(move || -> Result<Vec<Duration>> {
+                scope.spawn(move || -> Result<(Vec<Duration>, Duration)> {
                     let mut dev = make_dev(p as u32)?;
+                    let start = dev.now();
                     let mut rts = Vec::with_capacity(spec.io_count as usize);
                     for io in spec.iter() {
                         if io.submit_delay > Duration::ZERO {
@@ -304,7 +347,8 @@ where
                         }
                         rts.push(issue(dev.as_mut(), &io)?);
                     }
-                    Ok(rts)
+                    let elapsed = dev.now() - start;
+                    Ok((rts, elapsed))
                 })
             })
             .collect();
@@ -313,12 +357,17 @@ where
             .map(|h| h.join().expect("benchmark threads do not panic"))
             .collect()
     });
+    // The processes ran concurrently: the run's elapsed time is the
+    // slowest thread's wall-clock, not the sum of every response time.
+    // Response times stay grouped per process, in each process's
+    // submission order, so per-process analyses remain possible.
     let mut all = Vec::new();
+    let mut elapsed = Duration::ZERO;
     for run in per_process {
-        all.extend(run?);
+        let (rts, thread_elapsed) = run?;
+        all.extend(rts);
+        elapsed = elapsed.max(thread_elapsed);
     }
-    all.sort_unstable();
-    let elapsed = all.iter().sum();
     Ok(RunResult::new(par.name(), all, 0, elapsed))
 }
 

@@ -45,7 +45,10 @@ pub use experiment::{Experiment, ExperimentResult, Workload};
 pub use replay::{replay_trace, ReplayMode};
 pub use run::RunResult;
 pub use stats::RunStats;
-pub use suite::{execute_plan, full_suite, run_full_suite, SuiteOptions, SuiteResult};
+pub use suite::{
+    execute_plan, execute_plan_sharded, full_suite, run_full_suite, run_full_suite_sharded,
+    SuiteOptions, SuiteResult,
+};
 
 /// Result alias shared with the device layer.
 pub type Result<T> = std::result::Result<T, uflip_device::DeviceError>;

@@ -52,6 +52,21 @@ pub struct SuiteOptions {
     pub state_coverage: f64,
     /// Seed for state enforcement.
     pub seed: u64,
+    /// Serve [`PlanStep::ResetState`] by restoring a snapshot of the
+    /// enforced state instead of re-simulating the enforcement.
+    ///
+    /// The enforced state is a pure function of (device, seed,
+    /// coverage, max IO size), so it is memoized once — captured via
+    /// [`uflip_device::BlockDevice::snapshot_state`] right after the
+    /// initial enforcement — and every reset becomes a deep copy
+    /// (milliseconds) instead of a re-run of coverage × capacity of
+    /// random writes through the full FTL (the dominant cost of
+    /// `execute_plan` on simulated devices; 5 hours to 35 days on the
+    /// paper's hardware). Devices without snapshot support fall back
+    /// to re-enforcement. Also a precondition for
+    /// [`execute_plan_sharded`]: restored resets make the plan's
+    /// reset-delimited segments independent.
+    pub snapshot_resets: bool,
 }
 
 impl Default for SuiteOptions {
@@ -61,12 +76,13 @@ impl Default for SuiteOptions {
             enforce_state: true,
             state_coverage: 2.0,
             seed: 0xF11B,
+            snapshot_resets: true,
         }
     }
 }
 
 /// One executed plan step's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuitePointResult {
     /// Experiment name (e.g. `locality/RW`).
     pub experiment: String,
@@ -83,7 +99,7 @@ pub struct SuitePointResult {
 }
 
 /// The outcome of running a whole plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// Per-point results in execution order.
     pub points: Vec<SuitePointResult>,
@@ -114,29 +130,33 @@ impl SuiteResult {
     }
 }
 
-/// Execute a benchmark plan against a device, honouring resets and
-/// pauses. Workloads are relocated to the offsets the plan allocated.
-pub fn execute_plan(
+/// The §4.1 state-enforcement IO-size ceiling (the flash block size,
+/// 128 KB in the paper) — shared by every reset path so a memoized
+/// snapshot and a re-enforcement are interchangeable.
+const ENFORCE_MAX_IO: u64 = 128 * 1024;
+
+/// Enforce the random state and settle with the inter-run pause.
+fn enforce_and_settle(dev: &mut dyn BlockDevice, opts: &SuiteOptions) -> Result<()> {
+    enforce_random_state(dev, ENFORCE_MAX_IO, opts.state_coverage, opts.seed)?;
+    dev.idle(opts.inter_run_pause);
+    Ok(())
+}
+
+/// Execute one contiguous slice of plan steps (no [`PlanStep::
+/// ResetState`] inside) — the shared inner loop of the serial and
+/// sharded executors.
+fn execute_steps(
     dev: &mut dyn BlockDevice,
     plan: &BenchmarkPlan,
     opts: &SuiteOptions,
-) -> Result<SuiteResult> {
-    let t0 = dev.now();
-    if opts.enforce_state {
-        enforce_random_state(dev, 128 * 1024, opts.state_coverage, opts.seed)?;
-        dev.idle(opts.inter_run_pause);
-    }
-    let mut points = Vec::new();
-    let mut resets = 0;
-    for step in &plan.steps {
+    steps: &[PlanStep],
+    points: &mut Vec<SuitePointResult>,
+) -> Result<()> {
+    for step in steps {
         match step {
             PlanStep::Pause => dev.idle(opts.inter_run_pause),
             PlanStep::ResetState => {
-                if opts.enforce_state {
-                    enforce_random_state(dev, 128 * 1024, opts.state_coverage, opts.seed)?;
-                    dev.idle(opts.inter_run_pause);
-                }
-                resets += 1;
+                unreachable!("segments are split at ResetState boundaries")
             }
             PlanStep::Run {
                 experiment,
@@ -158,10 +178,185 @@ pub fn execute_plan(
             }
         }
     }
+    Ok(())
+}
+
+/// The plan's reset-delimited segments: step ranges separated by (and
+/// excluding) every [`PlanStep::ResetState`]. With resets served by
+/// snapshot restore, each segment starts from the *same* device state,
+/// so segments are mutually independent — the unit of sharding.
+fn plan_segments(plan: &BenchmarkPlan) -> Vec<std::ops::Range<usize>> {
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    for (i, step) in plan.steps.iter().enumerate() {
+        if matches!(step, PlanStep::ResetState) {
+            segments.push(start..i);
+            start = i + 1;
+        }
+    }
+    segments.push(start..plan.steps.len());
+    segments
+}
+
+/// Execute a benchmark plan against a device, honouring resets and
+/// pauses. Workloads are relocated to the offsets the plan allocated.
+///
+/// With [`SuiteOptions::snapshot_resets`] on (the default) and a
+/// snapshot-capable device, the enforced state is captured once and
+/// every [`PlanStep::ResetState`] restores it in O(memcpy) — including
+/// the virtual clock, so [`SuiteResult::device_time`] sums the
+/// enforcement and the per-segment device time. Devices without
+/// snapshot support (and runs with `snapshot_resets` off) re-simulate
+/// the enforcement at every reset, the paper-literal behaviour.
+pub fn execute_plan(
+    dev: &mut dyn BlockDevice,
+    plan: &BenchmarkPlan,
+    opts: &SuiteOptions,
+) -> Result<SuiteResult> {
+    let t0 = dev.now();
+    if opts.enforce_state {
+        enforce_and_settle(dev, opts)?;
+    }
+    // Memoize the enforced state (it depends only on the device,
+    // seed, coverage and IO ceiling — all fixed for this plan) the
+    // first time a reset will need it.
+    let snapshot = if opts.enforce_state
+        && opts.snapshot_resets
+        && dev.snapshot_capable()
+        && plan.steps.iter().any(|s| matches!(s, PlanStep::ResetState))
+    {
+        dev.snapshot_state()
+    } else {
+        None
+    };
+    let mut points = Vec::new();
+    let mut resets = 0;
+    let mut device_time = Duration::ZERO;
+    let mut seg_start = t0;
+    let mut cursor = 0usize;
+    for (i, step) in plan.steps.iter().enumerate() {
+        if !matches!(step, PlanStep::ResetState) {
+            continue;
+        }
+        execute_steps(dev, plan, opts, &plan.steps[cursor..i], &mut points)?;
+        cursor = i + 1;
+        resets += 1;
+        match &snapshot {
+            Some(state) => {
+                // Restoring rewinds the clock to the snapshot instant;
+                // bank this segment's device time first.
+                device_time += dev.now() - seg_start;
+                dev.restore_state(state.as_ref())?;
+                seg_start = dev.now();
+            }
+            None => {
+                if opts.enforce_state {
+                    enforce_and_settle(dev, opts)?;
+                }
+            }
+        }
+    }
+    execute_steps(dev, plan, opts, &plan.steps[cursor..], &mut points)?;
+    device_time += dev.now() - seg_start;
     Ok(SuiteResult {
         points,
         resets,
-        device_time: dev.now() - t0,
+        device_time,
+    })
+}
+
+/// Execute a benchmark plan with its reset-delimited segments sharded
+/// across OS threads, each running on an independent clone of the
+/// enforced device state.
+///
+/// Requires state enforcement with snapshot resets on a device that
+/// supports [`uflip_device::BlockDevice::snapshot_state`] and
+/// [`uflip_device::BlockDevice::fork`]; every other case (including a
+/// plan without resets, which is a single segment) falls back to the
+/// serial [`execute_plan`], so this is always safe to call.
+///
+/// Virtual time makes the decomposition exact: each segment starts
+/// from the same restored snapshot a serial execution would restore,
+/// so the merged [`SuiteResult`] — points in plan order, reset count,
+/// summed device time — is **bit-identical** to the serial path's
+/// (asserted in `tests/snapshot_parallel.rs`). `threads` caps the
+/// worker count; 0 means one per available CPU. The device itself is
+/// left in the post-enforcement state.
+pub fn execute_plan_sharded(
+    dev: &mut dyn BlockDevice,
+    plan: &BenchmarkPlan,
+    opts: &SuiteOptions,
+    threads: usize,
+) -> Result<SuiteResult> {
+    let segments = plan_segments(plan);
+    let shardable =
+        opts.enforce_state && opts.snapshot_resets && segments.len() > 1 && dev.snapshot_capable();
+    if !shardable {
+        return execute_plan(dev, plan, opts);
+    }
+    let t0 = dev.now();
+    enforce_and_settle(dev, opts)?;
+    let base = dev.now();
+    let snapshot = dev
+        .snapshot_state()
+        .expect("snapshot_capable devices return a snapshot");
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .clamp(1, segments.len());
+    // Round-robin segment assignment; results are keyed by segment
+    // index, so the merge order never depends on thread scheduling.
+    type SegmentOutcome = (usize, Vec<SuitePointResult>, Duration);
+    let per_worker: Vec<Result<Vec<SegmentOutcome>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut fork = dev.fork().expect("snapshot_capable devices support fork");
+                let state = snapshot.clone();
+                let segments = &segments;
+                let assigned: Vec<usize> = (w..segments.len()).step_by(workers).collect();
+                scope.spawn(move || -> Result<Vec<SegmentOutcome>> {
+                    let mut out = Vec::with_capacity(assigned.len());
+                    for seg in assigned {
+                        fork.restore_state(state.as_ref())?;
+                        let mut points = Vec::new();
+                        execute_steps(
+                            fork.as_mut(),
+                            plan,
+                            opts,
+                            &plan.steps[segments[seg].clone()],
+                            &mut points,
+                        )?;
+                        out.push((seg, points, fork.now() - base));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("plan segment threads do not panic"))
+            .collect()
+    });
+    let mut by_segment: Vec<Option<(Vec<SuitePointResult>, Duration)>> =
+        (0..segments.len()).map(|_| None).collect();
+    for worker in per_worker {
+        for (seg, points, elapsed) in worker? {
+            by_segment[seg] = Some((points, elapsed));
+        }
+    }
+    let mut points = Vec::new();
+    let mut device_time = base - t0;
+    for seg in by_segment {
+        let (p, elapsed) = seg.expect("every segment was assigned to a worker");
+        points.extend(p);
+        device_time += elapsed;
+    }
+    Ok(SuiteResult {
+        points,
+        resets: segments.len() - 1,
+        device_time,
     })
 }
 
@@ -173,6 +368,20 @@ pub fn run_full_suite(
 ) -> Result<(BenchmarkPlan, SuiteResult)> {
     let plan = BenchmarkPlan::build(full_suite(cfg), dev.capacity_bytes());
     let result = execute_plan(dev, &plan, opts)?;
+    Ok((plan, result))
+}
+
+/// Convenience: build the plan for a device and run the full suite
+/// with reset-delimited segments sharded across `threads` workers
+/// (0 = one per CPU). See [`execute_plan_sharded`].
+pub fn run_full_suite_sharded(
+    dev: &mut dyn BlockDevice,
+    cfg: &MicroConfig,
+    opts: &SuiteOptions,
+    threads: usize,
+) -> Result<(BenchmarkPlan, SuiteResult)> {
+    let plan = BenchmarkPlan::build(full_suite(cfg), dev.capacity_bytes());
+    let result = execute_plan_sharded(dev, &plan, opts, threads)?;
     Ok((plan, result))
 }
 
@@ -255,6 +464,7 @@ mod tests {
             enforce_state: true,
             state_coverage: 0.5,
             seed: 3,
+            ..Default::default()
         };
         let before = dev.writes();
         let _ = run_full_suite(&mut dev, &cfg, &opts).expect("suite");

@@ -55,6 +55,49 @@ pub trait BlockDevice {
         None
     }
 
+    /// Whether this device supports the full snapshot capability:
+    /// [`BlockDevice::snapshot_state`] returns `Some`,
+    /// [`BlockDevice::restore_state`] accepts that state, and
+    /// [`BlockDevice::fork`] returns `Some`. A cheap probe — callers
+    /// (e.g. the sharded plan executor) check this instead of
+    /// materializing and discarding a deep copy just to learn the
+    /// answer. The default is `false`; implementations that return
+    /// `true` must implement all three hooks.
+    fn snapshot_capable(&self) -> bool {
+        false
+    }
+
+    /// Capture the device's complete state — FTL mapping tables, NAND
+    /// array (wear, page states, statistics), virtual clock, quirk
+    /// detectors and queue engine — as an opaque deep copy, or `None`
+    /// when the device cannot snapshot (the default; real hardware
+    /// backends have no way to copy a flash chip).
+    ///
+    /// See [`crate::snapshot`] for why this exists: it turns uFLIP's
+    /// expensive §4.1 state enforcement into a one-time cost.
+    fn snapshot_state(&self) -> Option<Box<dyn crate::snapshot::DeviceState>> {
+        None
+    }
+
+    /// Restore a state previously captured by
+    /// [`BlockDevice::snapshot_state`] **on the same concrete device
+    /// type**. Rewinds everything the snapshot covers, including the
+    /// virtual clock. Errors with
+    /// [`crate::DeviceError::SnapshotUnsupported`] (default) or
+    /// [`crate::DeviceError::SnapshotMismatch`] (wrong device type).
+    fn restore_state(&mut self, state: &dyn crate::snapshot::DeviceState) -> Result<()> {
+        let _ = state;
+        Err(crate::DeviceError::SnapshotUnsupported)
+    }
+
+    /// Deep-copy the whole device into an independent boxed instance
+    /// (state *and* configuration), or `None` when the device cannot
+    /// be duplicated (the default). Forks are what lets a plan
+    /// executor run independent plan segments on worker threads.
+    fn fork(&self) -> Option<Box<dyn BlockDevice + Send>> {
+        None
+    }
+
     /// Validate alignment and bounds (shared helper).
     fn check(&self, offset: u64, len: u64) -> Result<()> {
         if len == 0 {

@@ -31,6 +31,15 @@ pub enum DeviceError {
         /// Configured queue depth.
         depth: u32,
     },
+    /// The device cannot capture or restore state snapshots (real
+    /// hardware backends, trivial test devices).
+    SnapshotUnsupported,
+    /// A state snapshot was offered to a device of a different
+    /// concrete type than the one that captured it.
+    SnapshotMismatch {
+        /// Concrete device type that refused the snapshot.
+        device: &'static str,
+    },
     /// Error from the simulated FTL.
     Ftl(FtlError),
     /// IO error from a real backend.
@@ -56,6 +65,12 @@ impl fmt::Display for DeviceError {
             DeviceError::ZeroLength => write!(f, "zero-length IO"),
             DeviceError::QueueFull { depth } => {
                 write!(f, "submission queue full ({depth} IOs in flight)")
+            }
+            DeviceError::SnapshotUnsupported => {
+                write!(f, "device does not support state snapshots")
+            }
+            DeviceError::SnapshotMismatch { device } => {
+                write!(f, "snapshot was not captured by a {device}")
             }
             DeviceError::Ftl(e) => write!(f, "FTL error: {e}"),
             DeviceError::Io(e) => write!(f, "backend IO error: {e}"),

@@ -38,6 +38,7 @@ pub mod mem_device;
 pub mod profiles;
 pub mod queue;
 pub mod sim_device;
+pub mod snapshot;
 pub mod tracing_device;
 
 pub use block_device::BlockDevice;
@@ -46,7 +47,8 @@ pub use error::DeviceError;
 pub use mem_device::MemDevice;
 pub use profiles::{DeviceKind, DeviceProfile};
 pub use queue::{IoQueue, Token};
-pub use sim_device::{ControllerConfig, SimDevice, StrideQuirk};
+pub use sim_device::{ControllerConfig, SimDevice, SimSnapshot, StrideQuirk};
+pub use snapshot::DeviceState;
 pub use tracing_device::TracingDevice;
 
 /// Crate-local result alias.

@@ -78,6 +78,40 @@ impl BlockDevice for MemDevice {
     fn now(&self) -> Duration {
         self.clock
     }
+
+    fn snapshot_capable(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Box<dyn crate::snapshot::DeviceState>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_state(&mut self, state: &dyn crate::snapshot::DeviceState) -> Result<()> {
+        let snap = state.as_any().downcast_ref::<MemDevice>().ok_or(
+            crate::DeviceError::SnapshotMismatch {
+                device: "MemDevice",
+            },
+        )?;
+        *self = snap.clone();
+        Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn BlockDevice + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// A `MemDevice`'s state is simply a copy of itself (the cost model is
+/// configuration; clock and counters are the whole mutable state).
+impl crate::snapshot::DeviceState for MemDevice {
+    fn clone_state(&self) -> Box<dyn crate::snapshot::DeviceState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -109,13 +109,15 @@ pub struct StrideQuirk {
     pub factor: f64,
 }
 
-/// A simulated flash device: FTL + controller + virtual clock + NCQ
-/// submission queue.
-pub struct SimDevice {
-    name: String,
-    ftl: Box<dyn Ftl + Send>,
-    controller: ControllerConfig,
-    stride_quirk: Option<StrideQuirk>,
+/// The mutable state of a [`SimDevice`] minus the FTL: virtual clock,
+/// stride-quirk detector and queue engine. One `#[derive(Clone)]`
+/// struct on purpose — `Clone for SimDevice`, [`SimSnapshot`],
+/// [`SimDevice::snapshot`] and [`SimDevice::restore`] all copy it as a
+/// unit, so a future field cannot be cloned in one place and silently
+/// forgotten in another (the bit-identical restore guarantee depends
+/// on completeness).
+#[derive(Debug, Clone)]
+struct SimState {
     clock_ns: u64,
     last_write_offset: Option<u64>,
     last_gap: Option<i128>,
@@ -135,18 +137,87 @@ pub struct SimDevice {
     /// the earliest in-service IO completes. This is what makes depth 1
     /// reproduce the synchronous path exactly.
     slots: BinaryHeap<Reverse<u64>>,
+}
+
+/// A simulated flash device: FTL + controller + virtual clock + NCQ
+/// submission queue.
+pub struct SimDevice {
+    name: String,
+    ftl: Box<dyn Ftl + Send>,
+    controller: ControllerConfig,
+    stride_quirk: Option<StrideQuirk>,
+    state: SimState,
     /// Scratch buffers for per-channel busy accounting (hot path:
-    /// reused across queued IOs so submission never allocates).
+    /// reused across queued IOs so submission never allocates). Not
+    /// semantic state: filled and consumed within one queued IO.
     busy_before: Vec<u64>,
     busy_after: Vec<u64>,
     busy_delta: Vec<u64>,
+}
+
+/// A complete deep copy of a [`SimDevice`]'s state: the FTL (mapping
+/// tables, free pools, log blocks, write cache and the NAND array's
+/// page states, wear and statistics), the virtual clock, the stride-
+/// quirk detector and the queue engine (channel tracks, in-flight
+/// heap, service slots, token counter).
+///
+/// Captured by [`SimDevice::snapshot`] / `BlockDevice::snapshot_state`
+/// and consumed by [`SimDevice::restore`] / `BlockDevice::
+/// restore_state`. Restoring rewinds the device bit-for-bit to the
+/// captured instant — including the clock — which is what makes plan
+/// executions from a restored state exactly reproducible.
+pub struct SimSnapshot {
+    ftl: Box<dyn Ftl + Send>,
+    state: SimState,
+}
+
+impl Clone for SimSnapshot {
+    fn clone(&self) -> Self {
+        SimSnapshot {
+            ftl: self.ftl.clone_box(),
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("clock_ns", &self.state.clock_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl crate::snapshot::DeviceState for SimSnapshot {
+    fn clone_state(&self) -> Box<dyn crate::snapshot::DeviceState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl Clone for SimDevice {
+    fn clone(&self) -> Self {
+        SimDevice {
+            name: self.name.clone(),
+            ftl: self.ftl.clone_box(),
+            controller: self.controller,
+            stride_quirk: self.stride_quirk,
+            state: self.state.clone(),
+            busy_before: Vec::new(),
+            busy_after: Vec::new(),
+            busy_delta: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Debug for SimDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimDevice")
             .field("name", &self.name)
-            .field("clock_ns", &self.clock_ns)
+            .field("clock_ns", &self.state.clock_ns)
             .finish_non_exhaustive()
     }
 }
@@ -165,16 +236,18 @@ impl SimDevice {
             ftl,
             controller,
             stride_quirk,
-            clock_ns: 0,
-            last_write_offset: None,
-            last_gap: None,
-            equal_gap_run: 0,
-            queue_depth: 1,
-            tracks: ChannelTracks::new(channels),
-            inflight: BinaryHeap::new(),
-            next_token: 0,
-            queue_busy_end_ns: 0,
-            slots: BinaryHeap::new(),
+            state: SimState {
+                clock_ns: 0,
+                last_write_offset: None,
+                last_gap: None,
+                equal_gap_run: 0,
+                queue_depth: 1,
+                tracks: ChannelTracks::new(channels),
+                inflight: BinaryHeap::new(),
+                next_token: 0,
+                queue_busy_end_ns: 0,
+                slots: BinaryHeap::new(),
+            },
             busy_before: Vec::new(),
             busy_after: Vec::new(),
             busy_delta: Vec::new(),
@@ -184,7 +257,7 @@ impl SimDevice {
     /// Set the NCQ queue depth at construction time. The default of 1
     /// keeps the queue path equivalent to the synchronous path.
     pub fn with_queue_depth(mut self, depth: u32) -> Self {
-        self.queue_depth = depth.max(1);
+        self.state.queue_depth = depth.max(1);
         self
     }
 
@@ -195,7 +268,7 @@ impl SimDevice {
 
     /// Number of flash channels the queue engine schedules over.
     pub fn channels(&self) -> u32 {
-        self.tracks.channels() as u32
+        self.state.tracks.channels() as u32
     }
 
     fn compose(&self, flash_ns: u64, len: u64) -> u64 {
@@ -208,25 +281,43 @@ impl SimDevice {
         }
     }
 
+    /// Capture the device's complete state (see [`SimSnapshot`]).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            ftl: self.ftl.clone_box(),
+            state: self.state.clone(),
+        }
+    }
+
+    /// Rewind the device to a previously captured [`SimSnapshot`] —
+    /// FTL, NAND array, clock, quirk detector and queue engine. The
+    /// snapshot is left intact and can be restored any number of
+    /// times, on this device or on any [`Clone`] of it.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.ftl = snap.ftl.clone_box();
+        self.state = snap.state.clone();
+        self.busy_delta.clear();
+    }
+
     /// Update stride detection; returns the flash-time multiplier for
     /// this write.
     fn stride_factor(&mut self, offset: u64) -> f64 {
         let Some(q) = self.stride_quirk else {
             return 1.0;
         };
-        let gap = match self.last_write_offset {
+        let gap = match self.state.last_write_offset {
             Some(prev) => offset as i128 - prev as i128,
             None => 0,
         };
-        self.last_write_offset = Some(offset);
+        self.state.last_write_offset = Some(offset);
         let strided = gap.unsigned_abs() as u64 >= q.min_stride;
-        if strided && self.last_gap == Some(gap) {
-            self.equal_gap_run = self.equal_gap_run.saturating_add(1);
+        if strided && self.state.last_gap == Some(gap) {
+            self.state.equal_gap_run = self.state.equal_gap_run.saturating_add(1);
         } else {
-            self.equal_gap_run = 0;
+            self.state.equal_gap_run = 0;
         }
-        self.last_gap = Some(gap);
-        if strided && self.equal_gap_run >= q.trigger_after {
+        self.state.last_gap = Some(gap);
+        if strided && self.state.equal_gap_run >= q.trigger_after {
             q.factor
         } else {
             1.0
@@ -247,8 +338,8 @@ impl BlockDevice for SimDevice {
         self.check(offset, len)?;
         let flash = self.ftl.read(offset / 512, (len / 512) as u32)?;
         let rt = self.compose(flash, len);
-        self.clock_ns += rt;
-        self.queue_busy_end_ns = self.queue_busy_end_ns.max(self.clock_ns);
+        self.state.clock_ns += rt;
+        self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
         Ok(Duration::from_nanos(rt))
     }
 
@@ -258,23 +349,23 @@ impl BlockDevice for SimDevice {
         let flash = self.ftl.write(offset / 512, (len / 512) as u32)?;
         let flash = (flash as f64 * factor) as u64;
         let rt = self.compose(flash, len);
-        self.clock_ns += rt;
-        self.queue_busy_end_ns = self.queue_busy_end_ns.max(self.clock_ns);
+        self.state.clock_ns += rt;
+        self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
         Ok(Duration::from_nanos(rt))
     }
 
     fn idle(&mut self, d: Duration) {
         let ns = d.as_nanos() as u64;
         self.ftl.on_idle(ns);
-        self.clock_ns += ns;
+        self.state.clock_ns += ns;
         // Keep the queue engine's idle-gap reference in step so a later
         // queued submission does not re-credit this (already credited)
         // idle time to background reclamation.
-        self.queue_busy_end_ns = self.queue_busy_end_ns.max(self.clock_ns);
+        self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
     }
 
     fn now(&self) -> Duration {
-        Duration::from_nanos(self.clock_ns)
+        Duration::from_nanos(self.state.clock_ns)
     }
 
     fn io_queue(&mut self) -> Option<&mut dyn crate::queue::IoQueue> {
@@ -283,6 +374,28 @@ impl BlockDevice for SimDevice {
 
     fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
         Some(self)
+    }
+
+    fn snapshot_capable(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<Box<dyn crate::snapshot::DeviceState>> {
+        Some(Box::new(self.snapshot()))
+    }
+
+    fn restore_state(&mut self, state: &dyn crate::snapshot::DeviceState) -> Result<()> {
+        let snap = state.as_any().downcast_ref::<SimSnapshot>().ok_or(
+            crate::DeviceError::SnapshotMismatch {
+                device: "SimDevice",
+            },
+        )?;
+        self.restore(snap);
+        Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn BlockDevice + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -338,65 +451,67 @@ impl SimDevice {
 
 impl IoQueue for SimDevice {
     fn queue_depth(&self) -> u32 {
-        self.queue_depth
+        self.state.queue_depth
     }
 
     fn set_queue_depth(&mut self, depth: u32) {
         assert!(
-            self.inflight.is_empty(),
+            self.state.inflight.is_empty(),
             "cannot change queue depth with {} IOs in flight",
-            self.inflight.len()
+            self.state.inflight.len()
         );
-        self.queue_depth = depth.max(1);
+        self.state.queue_depth = depth.max(1);
     }
 
     fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.state.inflight.len()
     }
 
     fn submit(&mut self, io: &IoRequest, at: Duration) -> Result<Token> {
-        if self.inflight.len() >= self.queue_depth as usize {
+        if self.state.inflight.len() >= self.state.queue_depth as usize {
             return Err(crate::DeviceError::QueueFull {
-                depth: self.queue_depth,
+                depth: self.state.queue_depth,
             });
         }
         self.check(io.offset, io.size)?;
         let t_sub = at.as_nanos() as u64;
         // A fully drained queue sitting idle lets background
         // reclamation run, exactly as `idle` does on the sync path.
-        if self.inflight.is_empty() && t_sub > self.queue_busy_end_ns {
-            self.ftl.on_idle(t_sub - self.queue_busy_end_ns);
+        if self.state.inflight.is_empty() && t_sub > self.state.queue_busy_end_ns {
+            self.ftl.on_idle(t_sub - self.state.queue_busy_end_ns);
         }
         let flash = self.queued_flash_op(io)?;
         // NCQ admission: service begins once a queue slot is free.
         let mut admit = t_sub;
-        while self.slots.len() >= self.queue_depth as usize {
-            let Reverse(freed) = self.slots.pop().expect("len checked");
+        while self.state.slots.len() >= self.state.queue_depth as usize {
+            let Reverse(freed) = self.state.slots.pop().expect("len checked");
             admit = admit.max(freed);
         }
         let busy = std::mem::take(&mut self.busy_delta);
-        let start = self.tracks.start_ns(admit, &busy);
-        self.tracks.occupy(start, &busy);
+        let start = self.state.tracks.start_ns(admit, &busy);
+        self.state.tracks.occupy(start, &busy);
         self.busy_delta = busy;
         let rt = self.compose(flash, io.size);
         let completion = start + rt;
-        self.slots.push(Reverse(completion));
-        self.queue_busy_end_ns = self.queue_busy_end_ns.max(completion);
-        self.clock_ns = self.clock_ns.max(completion);
-        let token = Token::from_raw(self.next_token);
-        self.next_token += 1;
-        self.inflight.push(Reverse((completion, token.raw())));
+        self.state.slots.push(Reverse(completion));
+        self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(completion);
+        self.state.clock_ns = self.state.clock_ns.max(completion);
+        let token = Token::from_raw(self.state.next_token);
+        self.state.next_token += 1;
+        self.state.inflight.push(Reverse((completion, token.raw())));
         Ok(token)
     }
 
     fn next_completion(&self) -> Option<Duration> {
-        self.inflight
+        self.state
+            .inflight
             .peek()
             .map(|Reverse((ns, _))| Duration::from_nanos(*ns))
     }
 
     fn poll(&mut self) -> Option<(Token, Duration)> {
-        self.inflight
+        self.state
+            .inflight
             .pop()
             .map(|Reverse((ns, tok))| (Token::from_raw(tok), Duration::from_nanos(ns)))
     }

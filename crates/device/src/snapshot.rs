@@ -1,0 +1,70 @@
+//! Device state snapshots: capture, restore, fork.
+//!
+//! uFLIP §4.1 enforces a random device state before every measurement —
+//! on the paper's hardware that cost 5 hours (Memoright) to 35 days
+//! (Corsair). The simulator pays the equivalent price in simulated
+//! FTL work: re-enforcing the state at every plan reset re-executes
+//! tens of thousands of IOs through the full FTL. A snapshot taken
+//! once, right after enforcement, turns every later reset into a deep
+//! copy — O(memcpy) of the mapping tables instead of O(capacity) of
+//! simulated flash traffic — and `fork` gives plan executors
+//! independent device clones to run reset-delimited plan segments on
+//! in parallel (see `uflip_core::suite`).
+//!
+//! The interface is object-safe on purpose: the executors drive
+//! `&mut dyn BlockDevice`, so the capability is exposed as three
+//! defaulted hooks on [`crate::BlockDevice`] ([`snapshot_state`],
+//! [`restore_state`], [`fork`]) plus this opaque [`DeviceState`]
+//! carrier. Devices that cannot snapshot (real hardware backends)
+//! keep the defaults and callers fall back to re-enforcement.
+//!
+//! [`snapshot_state`]: crate::BlockDevice::snapshot_state
+//! [`restore_state`]: crate::BlockDevice::restore_state
+//! [`fork`]: crate::BlockDevice::fork
+
+use std::any::Any;
+
+/// An opaque, deep-copied device state.
+///
+/// Produced by [`crate::BlockDevice::snapshot_state`] and consumed by
+/// [`crate::BlockDevice::restore_state`], which downcasts via
+/// [`DeviceState::as_any`]. Restoring a state into a device of a
+/// different concrete type fails with
+/// [`crate::DeviceError::SnapshotMismatch`].
+pub trait DeviceState: Send {
+    /// Deep-copy this state (snapshots are restored many times; each
+    /// restore consumes a copy).
+    fn clone_state(&self) -> Box<dyn DeviceState>;
+
+    /// Downcasting access for the owning device type.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl Clone for Box<dyn DeviceState> {
+    fn clone(&self) -> Self {
+        self.clone_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Fake(u32);
+    impl DeviceState for Fake {
+        fn clone_state(&self) -> Box<dyn DeviceState> {
+            Box::new(self.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn boxed_states_clone_and_downcast() {
+        let b: Box<dyn DeviceState> = Box::new(Fake(7));
+        let c = b.clone();
+        assert_eq!(c.as_any().downcast_ref::<Fake>(), Some(&Fake(7)));
+    }
+}

@@ -150,6 +150,15 @@ impl<D: BlockDevice> BlockDevice for TracingDevice<D> {
             None
         }
     }
+
+    // Snapshots are deliberately NOT forwarded to the backend (the
+    // defaults report "unsupported"): restoring would rewind the
+    // inner device's virtual clock mid-capture, producing a trace
+    // whose timestamps go backwards — a workload that corresponds to
+    // no real capture and that the submit-ordered replay engine
+    // rejects. A traced plan execution therefore falls back to
+    // re-enforcing state at resets, which records honestly. Snapshot
+    // the bare device (`inner()`) before wrapping if both are needed.
 }
 
 /// The queued capture path: every call forwards to the backend's own

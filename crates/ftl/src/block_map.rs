@@ -143,7 +143,7 @@ struct OpenAu {
 }
 
 /// Block-mapped FTL with allocation units (low-end devices).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlockMapFtl {
     cfg: BlockMapConfig,
     layout: LogicalLayout,
@@ -650,6 +650,10 @@ impl Ftl for BlockMapFtl {
         self.stats.host_writes += 1;
         self.stats.sectors_written += sectors as u64;
         Ok(ns)
+    }
+
+    fn clone_box(&self) -> Box<dyn Ftl + Send> {
+        Box::new(self.clone())
     }
 
     fn stats(&self) -> FtlStats {

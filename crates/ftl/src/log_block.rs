@@ -165,7 +165,7 @@ struct SeqLog {
 }
 
 /// Hybrid log-block FTL (BAST/FAST-style).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HybridLogFtl {
     cfg: HybridLogConfig,
     layout: LogicalLayout,
@@ -998,6 +998,10 @@ impl Ftl for HybridLogFtl {
 
     fn on_idle(&mut self, ns: u64) {
         self.background_work(ns);
+    }
+
+    fn clone_box(&self) -> Box<dyn Ftl + Send> {
+        Box::new(self.clone())
     }
 
     fn stats(&self) -> FtlStats {

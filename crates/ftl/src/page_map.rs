@@ -116,7 +116,7 @@ struct ActiveBlock {
 }
 
 /// Page-mapped FTL with greedy GC and optional asynchronous reclamation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PageMapFtl {
     cfg: PageMapConfig,
     layout: LogicalLayout,
@@ -485,6 +485,10 @@ impl Ftl for PageMapFtl {
 
     fn on_idle(&mut self, ns: u64) {
         self.background_work(ns);
+    }
+
+    fn clone_box(&self) -> Box<dyn Ftl + Send> {
+        Box::new(self.clone())
     }
 
     fn stats(&self) -> FtlStats {

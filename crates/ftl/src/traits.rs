@@ -55,6 +55,20 @@ pub trait Ftl {
         out.clear();
     }
 
+    /// Deep-clone the complete FTL state — mapping tables, free pools,
+    /// log blocks, write cache, and the backing NAND array (page
+    /// states, wear, timing, statistics) — into an independent boxed
+    /// instance.
+    ///
+    /// This is the snapshot capability uFLIP §4.1 makes valuable: on
+    /// real hardware, enforcing the random device state costs hours to
+    /// weeks; on the simulator it is thousands of simulated IOs. A
+    /// clone taken right after enforcement turns every later
+    /// re-enforcement into a memcpy, and lets plan executors run
+    /// reset-delimited segments on independent device clones in
+    /// parallel (see `uflip_core::suite`).
+    fn clone_box(&self) -> Box<dyn Ftl + Send>;
+
     /// Host-level statistics.
     fn stats(&self) -> FtlStats;
 
@@ -85,10 +99,14 @@ mod tests {
     use crate::FtlError;
 
     /// Minimal trait object to exercise the default `check_request`.
+    #[derive(Clone)]
     struct Dummy;
     impl Ftl for Dummy {
         fn capacity_bytes(&self) -> u64 {
             1024 * 512
+        }
+        fn clone_box(&self) -> Box<dyn Ftl + Send> {
+            Box::new(self.clone())
         }
         fn read(&mut self, _lba: u64, _sectors: u32) -> Result<u64> {
             Ok(0)

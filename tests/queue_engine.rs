@@ -19,6 +19,7 @@ const MB: u64 = 1024 * 1024;
 /// every IO costs a fixed flash time on exactly one channel, and the
 /// per-channel busy counters are exact. With this FTL the queue
 /// engine's behaviour is fully predictable.
+#[derive(Clone)]
 struct StripedFtl {
     capacity: u64,
     channels: u32,
@@ -58,6 +59,10 @@ impl Ftl for StripedFtl {
     fn write(&mut self, lba: u64, sectors: u32) -> uflip::ftl::Result<u64> {
         self.check_request(lba, sectors)?;
         Ok(self.charge(lba))
+    }
+
+    fn clone_box(&self) -> Box<dyn Ftl + Send> {
+        Box::new(self.clone())
     }
 
     fn stats(&self) -> FtlStats {

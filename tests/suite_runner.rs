@@ -25,6 +25,7 @@ fn full_suite_runs_on_a_simulated_device() {
         enforce_state: true,
         state_coverage: 1.0,
         seed: 3,
+        ..Default::default()
     };
     let (plan, result) = run_full_suite(dev.as_mut(), &tiny_cfg(), &opts).expect("suite");
     assert_eq!(result.points.len(), plan.run_count());
