@@ -12,7 +12,16 @@
 //! flashio pattern     --device memoright --pattern RW --io-size 32768 --count 1024
 //! flashio wear        --device samsung
 //! flashio suite       --file /dev/sdX --size-mb 1024        # real hardware!
+//! flashio baselines   --device file:/tmp/scratch.bin:256M   # same, spec syntax
+//! flashio pattern     --device direct:/dev/sdX:4G --pattern RR
 //! ```
+//!
+//! Real targets are named with the shared `--device` spec syntax
+//! (`file:PATH[:SIZE]` auto-detects O_DIRECT support; `direct:` and
+//! `buffered:` force the open mode) or the older `--file PATH
+//! --size-mb N` pair; both reach the same `DirectIoFile` backend,
+//! whose threaded queue now serves parallel patterns with real
+//! overlapping IO.
 //!
 //! Simulated suites run with snapshot-served state resets and their
 //! reset-delimited plan segments sharded across worker threads
@@ -21,7 +30,7 @@
 //! representative profiles out across threads, one suite per device.
 
 use std::time::Duration;
-use uflip_bench::mean_ms;
+use uflip_bench::{mean_ms, RealDeviceSpec, RealOpenMode};
 use uflip_core::executor::execute_run;
 use uflip_core::methodology::state::enforce_random_state;
 use uflip_core::micro::{
@@ -31,7 +40,7 @@ use uflip_core::micro::{
 use uflip_core::suite::{run_full_suite_sharded, SuiteOptions, SuiteResult};
 use uflip_core::Experiment;
 use uflip_device::profiles::catalog;
-use uflip_device::{BlockDevice, DirectIoFile};
+use uflip_device::BlockDevice;
 use uflip_patterns::PatternSpec;
 use uflip_report::csv::to_csv;
 use uflip_report::wear::WearReport;
@@ -92,21 +101,25 @@ fn parse() -> Cli {
 
 fn open_device(cli: &Cli) -> Box<dyn BlockDevice> {
     if let Some(path) = &cli.file {
-        let dev = DirectIoFile::open(std::path::Path::new(path), cli.size_mb * 1024 * 1024)
-            .unwrap_or_else(|e| {
-                eprintln!("O_DIRECT open failed ({e}); using buffered IO");
-                DirectIoFile::open_buffered(std::path::Path::new(path), cli.size_mb * 1024 * 1024)
-                    .expect("buffered open")
-            });
-        Box::new(dev)
-    } else {
-        let id = cli.device.as_deref().unwrap_or("samsung");
-        let profile = catalog::by_id(id).unwrap_or_else(|| {
-            eprintln!("unknown device '{id}', using samsung");
-            catalog::samsung()
-        });
-        profile.build_sim(0xF11B)
+        let spec = RealDeviceSpec {
+            path: path.into(),
+            capacity: cli.size_mb * 1024 * 1024,
+            mode: RealOpenMode::Auto,
+        };
+        return Box::new(spec.open().expect("open real device"));
     }
+    let id = cli.device.as_deref().unwrap_or("samsung");
+    if let Some(spec) = RealDeviceSpec::parse_or_exit(id) {
+        return Box::new(spec.open().unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", spec.path.display());
+            std::process::exit(2);
+        }));
+    }
+    let profile = catalog::by_id(id).unwrap_or_else(|| {
+        eprintln!("unknown device '{id}', using samsung");
+        catalog::samsung()
+    });
+    profile.build_sim(0xF11B)
 }
 
 fn micro_experiments(name: &str, cfg: &MicroConfig) -> Option<Vec<Experiment>> {
@@ -162,6 +175,17 @@ fn write_suite_csv(cli: &Cli, result: &SuiteResult, file: &str) {
     println!("wrote {} ({} points)", out.display(), rows.len());
 }
 
+/// Queued backends park asynchronous IO errors (failures in the final
+/// in-flight window have no poll-side error channel); surface them
+/// right after the run they belong to instead of letting them blame
+/// the next one.
+fn check_async_error(dev: &mut dyn BlockDevice, what: &str) {
+    if let Some(e) = dev.take_async_error() {
+        eprintln!("asynchronous IO error during {what}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn prepare(dev: &mut dyn BlockDevice, quick: bool) {
     let coverage = if quick { 1.5 } else { 2.0 };
     enforce_random_state(dev, 128 * 1024, coverage, 0xF11B).expect("state enforcement");
@@ -204,6 +228,7 @@ fn main() {
                 ),
             ] {
                 let run = execute_run(dev.as_mut(), &spec).expect("run");
+                check_async_error(dev.as_mut(), name);
                 dev.idle(Duration::from_secs(5));
                 println!(
                     "{name}: mean {:.3} ms over {} IOs",
@@ -231,6 +256,7 @@ fn main() {
                 let result = e
                     .run(dev.as_mut(), Duration::from_secs(5))
                     .expect("experiment");
+                check_async_error(dev.as_mut(), &result.name);
                 for (param, mean) in result.mean_series() {
                     println!("{:<24} {:>14} {:>10.3} ms", result.name, param, mean);
                     rows.push(vec![
@@ -302,6 +328,7 @@ fn main() {
                 let opts = SuiteOptions::default();
                 let (plan, result) =
                     run_full_suite_sharded(dev.as_mut(), &cfg, &opts, cli.threads).expect("suite");
+                check_async_error(dev.as_mut(), "suite");
                 println!(
                     "plan: {} runs, {} state resets; device time {:.1} s",
                     plan.run_count(),
@@ -326,6 +353,7 @@ fn main() {
                 }
             };
             let run = execute_run(dev.as_mut(), &spec).expect("run");
+            check_async_error(dev.as_mut(), &cli.pattern);
             let s = run.summary_all().expect("non-empty");
             println!(
                 "{}: mean {:.3} ms  min {:.3}  median {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
@@ -363,9 +391,12 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
-                 [--device ID|all | --file PATH --size-mb N] [--bench NAME] \
-                 [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] [--quick] \
-                 [--threads N] [--out DIR]"
+                 [--device ID|all|file:PATH[:SIZE] | --file PATH --size-mb N] \
+                 [--bench NAME] [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] \
+                 [--quick] [--threads N] [--out DIR]\n\
+                 real targets: --device file:PATH[:SIZE] (auto O_DIRECT), \
+                 direct:PATH[:SIZE], buffered:PATH[:SIZE]; SIZE takes K/M/G \
+                 suffixes. Write patterns are DESTRUCTIVE on block devices."
             );
         }
     }

@@ -13,13 +13,21 @@
 //! speed-up over depth 1. Output: ASCII table (or, with `--json`, a
 //! `uflip_report::json` document on stdout) + `qd_sweep.csv` +
 //! `qd_sweep.json`.
+//!
+//! With `--device file:PATH[:SIZE]` (or `direct:`/`buffered:`) the
+//! sweep runs against a **real** file or block device through the
+//! wall-clock [`uflip_device::ThreadedIoQueue`]: elapsed times are
+//! then actual wall time, and the depth sweep measures how much IO
+//! overlap the OS + hardware genuinely deliver. **Write patterns are
+//! destructive on the target.**
 
 use serde::Serialize;
 use std::time::Duration;
-use uflip_bench::{prepared_device, HarnessOptions};
+use uflip_bench::{prefill_real_device, prepared_device, HarnessOptions, RealDeviceSpec};
 use uflip_core::executor::execute_parallel;
 use uflip_core::micro::parallelism::queue_depths;
 use uflip_device::profiles::catalog;
+use uflip_device::BlockDevice;
 use uflip_patterns::{LbaFn, Mode, ParallelSpec, PatternSpec};
 use uflip_report::csv::to_csv;
 use uflip_report::json::{to_json, write_json};
@@ -35,19 +43,95 @@ struct SweepPoint {
     speedup_vs_qd1: f64,
 }
 
+const PATTERNS: [(LbaFn, Mode, &str); 3] = [
+    (LbaFn::Random, Mode::Read, "RR"),
+    (LbaFn::Sequential, Mode::Read, "SR"),
+    (LbaFn::Random, Mode::Write, "RW"),
+];
+
+/// Sweep a real file/block device through its wall-clock queue. One
+/// open for the whole sweep (the queue's worker pool warms up once);
+/// the window is pre-written so reads are not served from holes.
+fn sweep_real(spec: &RealDeviceSpec, opts: &HarnessOptions, points: &mut Vec<SweepPoint>) {
+    let count = if opts.quick { 256 } else { 1024 };
+    let io_size = 16 * 1024u64;
+    let mut dev = spec.open().unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", spec.path.display());
+        std::process::exit(2);
+    });
+    let window = (dev.capacity_bytes() / 2).min(64 * 1024 * 1024);
+    prefill_real_device(&mut dev, window).expect("prefill");
+    let name = dev.name().to_string();
+    if !opts.json {
+        println!(
+            "Queue-depth sweep on {name}: degree 16, {io_size} B IOs, {count} IOs per run \
+             (wall clock)"
+        );
+        println!(
+            "{:>8} {:>4} {:>12} {:>10} {:>8}",
+            "pattern", "qd", "elapsed", "IOPS", "vs qd1"
+        );
+    }
+    for (lba, mode, code) in PATTERNS {
+        let base = PatternSpec::baseline(lba, mode, io_size, window, count);
+        let mut base_iops = 0.0;
+        for depth in queue_depths() {
+            let par = ParallelSpec::new(base, 16).with_queue_depth(depth);
+            let run = execute_parallel(&mut dev, &par).expect("sweep point");
+            if let Some(e) = dev.take_async_error() {
+                eprintln!("asynchronous IO error during {code} qd{depth}: {e}");
+                std::process::exit(1);
+            }
+            let secs = run.elapsed.as_secs_f64();
+            let iops = if secs > 0.0 {
+                run.len() as f64 / secs
+            } else {
+                f64::INFINITY
+            };
+            if depth == 1 {
+                base_iops = iops;
+            }
+            let speedup = if base_iops > 0.0 {
+                iops / base_iops
+            } else {
+                1.0
+            };
+            if !opts.json {
+                println!(
+                    "{code:>8} {depth:>4} {:>12?} {iops:>10.0} {speedup:>7.2}x",
+                    run.elapsed
+                );
+            }
+            points.push(SweepPoint {
+                device: name.clone(),
+                pattern: code.to_string(),
+                queue_depth: depth,
+                elapsed_ms: secs * 1e3,
+                iops,
+                speedup_vs_qd1: speedup,
+            });
+        }
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let real = opts
+        .device
+        .as_deref()
+        .and_then(RealDeviceSpec::parse_or_exit);
+    if let Some(spec) = &real {
+        sweep_real(spec, &opts, &mut points);
+        write_outputs(&opts, &points);
+        return;
+    }
     let devices = [catalog::memoright(), catalog::mtron(), catalog::samsung()];
     let count = if opts.quick { 256 } else { 1024 };
     // One-page reads/writes so a single IO occupies a single channel —
     // the regime where queue depth, not IO striping, provides overlap.
     let io_size = 2 * 1024u64;
-    let patterns = [
-        (LbaFn::Random, Mode::Read, "RR"),
-        (LbaFn::Sequential, Mode::Read, "SR"),
-        (LbaFn::Random, Mode::Write, "RW"),
-    ];
-    let mut points: Vec<SweepPoint> = Vec::new();
+    let patterns = PATTERNS;
     if !opts.json {
         println!("Queue-depth sweep: degree 16, {io_size} B IOs, {count} IOs per run");
     }
@@ -104,6 +188,11 @@ fn main() {
             }
         }
     }
+    write_outputs(&opts, &points);
+}
+
+/// Shared tail: JSON-on-stdout mode plus the CSV/JSON artifacts.
+fn write_outputs(opts: &HarnessOptions, points: &[SweepPoint]) {
     if opts.json {
         println!("{}", to_json(&points));
     }

@@ -23,13 +23,19 @@
 //! Output: ASCII tables + `trace_rr.{jsonl,bin}`,
 //! `trace_rr_records.csv`, `trace_replay.csv`, `trace_replay.json`.
 
+//! With `--device file:PATH[:SIZE]` (or `direct:`/`buffered:`) the
+//! whole pipeline runs against a **real** file or block device: the
+//! capture happens on it (wall-clock timestamps), and the replays
+//! drive its threaded wall-clock queue instead of the simulated
+//! profiles. **Write workloads are destructive on the target.**
+
 use serde::Serialize;
-use uflip_bench::HarnessOptions;
+use uflip_bench::{prefill_real_device, HarnessOptions, RealDeviceSpec};
 use uflip_core::executor::execute_run;
 use uflip_core::replay::{replay_trace, ReplayMode};
 use uflip_core::RunResult;
 use uflip_device::profiles::catalog;
-use uflip_device::TracingDevice;
+use uflip_device::{BlockDevice, TracingDevice};
 use uflip_patterns::PatternSpec;
 use uflip_report::csv::{to_csv, trace_records_csv};
 use uflip_report::json::{to_json, write_json};
@@ -51,8 +57,133 @@ struct ReplayPoint {
     speedup_vs_qd1: Option<f64>,
 }
 
+/// Capture + replay against a real file/block device: the same three
+/// sections as the simulated pipeline, all on one wall-clock target.
+fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions) {
+    let count = if opts.quick { 128 } else { 512 };
+    let ops = if opts.quick { 64 } else { 256 };
+    let seed = 0xF11B;
+    let mut dev = spec.open().unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", spec.path.display());
+        std::process::exit(2);
+    });
+    let window = (dev.capacity_bytes() / 2).min(64 * MB);
+    prefill_real_device(&mut dev, window).expect("prefill");
+
+    // --- 1. Capture -------------------------------------------------
+    let pattern = PatternSpec::baseline_rr(16 * 1024, window, count);
+    let mut traced = TracingDevice::new(dev).with_label("RR");
+    let capture = execute_run(&mut traced, &pattern).expect("capture run");
+    let (mut dev, trace) = traced.into_parts();
+    let profile = profile_trace(&trace);
+    if opts.json {
+        println!("{}", to_json(&profile));
+    } else {
+        println!(
+            "captured {} on {}: {} IOs, {:.1} ms elapsed, mean latency {:.3} ms",
+            trace.label,
+            trace.device,
+            profile.records,
+            capture.elapsed.as_secs_f64() * 1e3,
+            profile.mean_latency_ms,
+        );
+    }
+
+    // --- 2. Replay everything on the same target --------------------
+    let mut points: Vec<ReplayPoint> = Vec::new();
+    let workloads: Vec<(String, Trace)> = vec![
+        (trace.label.clone(), trace.clone()),
+        (
+            "btree-mix".to_string(),
+            BtreeMixConfig::oltp(0, window / 2, ops, seed).generate(),
+        ),
+        (
+            "page-log".to_string(),
+            PageLoggingConfig::checkpointing(0, window / 8, window / 4, window / 2, ops, seed)
+                .generate(),
+        ),
+    ];
+    if !opts.json {
+        println!(
+            "\nreplays on {} (wall clock):\n{:>12} {:>14} {:>12} {:>12} {:>12} {:>8}",
+            dev.name(),
+            "workload",
+            "faithful",
+            "open qd1",
+            "open qd4",
+            "open qd16",
+            "qd16/qd1"
+        );
+    }
+    for (name, workload) in &workloads {
+        let mut run_mode = |mode: ReplayMode| -> RunResult {
+            let run = replay_trace(&mut dev, workload, mode).expect("replay");
+            if let Some(e) = dev.take_async_error() {
+                eprintln!("asynchronous IO error replaying {name}: {e}");
+                std::process::exit(1);
+            }
+            run
+        };
+        let faithful = run_mode(ReplayMode::TimingFaithful);
+        let mut open = Vec::new();
+        for depth in [1u32, 4, 16] {
+            open.push((depth, run_mode(ReplayMode::OpenLoop { queue_depth: depth })));
+        }
+        let qd1_ms = open[0].1.elapsed.as_secs_f64() * 1e3;
+        let mut record = |mode: &str, run: &RunResult, open_loop: bool| {
+            let ms = run.elapsed.as_secs_f64() * 1e3;
+            points.push(ReplayPoint {
+                workload: name.clone(),
+                device: dev.name().to_string(),
+                mode: mode.to_string(),
+                elapsed_ms: ms,
+                iops: if ms > 0.0 {
+                    run.len() as f64 / (ms / 1e3)
+                } else {
+                    f64::INFINITY
+                },
+                speedup_vs_qd1: if !open_loop {
+                    None
+                } else if ms > 0.0 {
+                    Some(qd1_ms / ms)
+                } else {
+                    Some(1.0)
+                },
+            });
+        };
+        record("faithful", &faithful, false);
+        for (depth, run) in &open {
+            record(&format!("open-qd{depth}"), run, true);
+        }
+        if !opts.json {
+            let ms = |r: &RunResult| r.elapsed.as_secs_f64() * 1e3;
+            println!(
+                "{:>12} {:>12.1}ms {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>7.2}x",
+                name,
+                ms(&faithful),
+                ms(&open[0].1),
+                ms(&open[1].1),
+                ms(&open[2].1),
+                qd1_ms / ms(&open[2].1),
+            );
+        }
+    }
+    if opts.json {
+        println!("{}", to_json(&points));
+    }
+    write_artifacts(opts, &trace, &points);
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
+    if let Some(spec) = opts
+        .device
+        .as_deref()
+        .and_then(RealDeviceSpec::parse_or_exit)
+    {
+        main_real(&spec, &opts);
+        return;
+    }
     let capture_profile = match opts.device.as_deref() {
         None => catalog::memoright(),
         Some(id) => catalog::by_id(id).unwrap_or_else(|| {
@@ -168,8 +299,12 @@ fn main() {
     if opts.json {
         println!("{}", to_json(&points));
     }
+    write_artifacts(&opts, &trace, &points);
+}
 
-    // --- 3. Artifacts -----------------------------------------------
+/// Section 3, shared by the simulated and real pipelines: persist the
+/// captured trace and the replay measurements.
+fn write_artifacts(opts: &HarnessOptions, trace: &Trace, points: &[ReplayPoint]) {
     std::fs::create_dir_all(&opts.out_dir).expect("mkdir results");
     trace
         .save_jsonl(&opts.out_dir.join("trace_rr.jsonl"))
@@ -179,7 +314,7 @@ fn main() {
         .expect("write binary trace");
     std::fs::write(
         opts.out_dir.join("trace_rr_records.csv"),
-        trace_records_csv(&trace),
+        trace_records_csv(trace),
     )
     .expect("write records CSV");
     let rows: Vec<Vec<String>> = points

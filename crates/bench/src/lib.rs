@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 use uflip_core::methodology::state::enforce_random_state;
-use uflip_device::{BlockDevice, DeviceProfile};
+use uflip_device::{BlockDevice, DeviceProfile, DirectIoFile};
 
 /// Common CLI options for the figure/table binaries.
 #[derive(Debug, Clone)]
@@ -17,12 +17,127 @@ pub struct HarnessOptions {
     pub out_dir: PathBuf,
     /// Quick mode: reduced IO counts for smoke runs.
     pub quick: bool,
-    /// Restrict to one device id (default: the binary's own set).
+    /// Restrict to one device id (default: the binary's own set), or
+    /// target a real file/block device (`file:PATH[:SIZE]` — see
+    /// [`RealDeviceSpec::parse`]).
     pub device: Option<String>,
     /// Emit machine-readable JSON (via `uflip_report::json`) on stdout
     /// instead of the human-readable table. Honored by `qd_sweep` and
     /// `trace_replay`; the figure binaries ignore it.
     pub json: bool,
+}
+
+/// How to open a real target (see [`RealDeviceSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealOpenMode {
+    /// Try `O_DIRECT` first, fall back to buffered with a warning —
+    /// the right default for scratch files on arbitrary filesystems.
+    Auto,
+    /// Require `O_DIRECT` (`DirectIoFile::open`); fail if refused.
+    Direct,
+    /// Page-cached IO (`DirectIoFile::open_buffered`).
+    Buffered,
+}
+
+/// A parsed `--device file:PATH[:SIZE]` argument (also `direct:` /
+/// `buffered:` for an explicit open mode). `SIZE` accepts `K`/`M`/`G`
+/// suffixes or plain bytes and defaults to 256 MiB; regular files are
+/// extended to it, block devices are probed and must be at least it.
+#[derive(Debug, Clone)]
+pub struct RealDeviceSpec {
+    /// Target path (regular file or block device).
+    pub path: PathBuf,
+    /// Exposed capacity in bytes.
+    pub capacity: u64,
+    /// Open mode.
+    pub mode: RealOpenMode,
+}
+
+/// Default capacity for real targets when the spec names none.
+pub const REAL_DEVICE_DEFAULT_CAPACITY: u64 = 256 * 1024 * 1024;
+
+impl RealDeviceSpec {
+    /// Parse a device argument. Returns `None` when `arg` is not a
+    /// real-device spec (i.e. it is a simulated-profile id), and
+    /// `Some(Err(…))` when it *is* one but the `SIZE` suffix is
+    /// malformed — a typo like `:1GB` must not silently become part
+    /// of the path and benchmark a wrongly-named file at the default
+    /// capacity.
+    pub fn parse(arg: &str) -> Option<Result<RealDeviceSpec, String>> {
+        let (mode, rest) = if let Some(r) = arg.strip_prefix("file:") {
+            (RealOpenMode::Auto, r)
+        } else if let Some(r) = arg.strip_prefix("direct:") {
+            (RealOpenMode::Direct, r)
+        } else if let Some(r) = arg.strip_prefix("buffered:") {
+            (RealOpenMode::Buffered, r)
+        } else {
+            return None;
+        };
+        // An optional trailing `:SIZE` — split from the right so paths
+        // containing `:` still work. A suffix starting with a digit is
+        // a size attempt and must parse; anything else is path.
+        let (path, capacity) = match rest.rsplit_once(':') {
+            Some((p, suffix)) if suffix.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                match parse_size(suffix) {
+                    Some(0) => {
+                        return Some(Err(format!("SIZE must be > 0 in device spec `{arg}`")))
+                    }
+                    Some(bytes) => (p, bytes),
+                    None => {
+                        return Some(Err(format!(
+                            "bad SIZE `{suffix}` in device spec `{arg}` \
+                             (expected bytes or a K/M/G suffix, e.g. 4096, 64K, 256M, 2G)"
+                        )))
+                    }
+                }
+            }
+            _ => (rest, REAL_DEVICE_DEFAULT_CAPACITY),
+        };
+        Some(Ok(RealDeviceSpec {
+            path: PathBuf::from(path),
+            capacity,
+            mode,
+        }))
+    }
+
+    /// [`RealDeviceSpec::parse`] with the shared harness-binary
+    /// behavior for malformed specs: print the message and exit 2.
+    pub fn parse_or_exit(arg: &str) -> Option<RealDeviceSpec> {
+        match Self::parse(arg)? {
+            Ok(spec) => Some(spec),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Open the target. `Auto` tries `O_DIRECT` and falls back to
+    /// buffered with a note on stderr (CI filesystems — tmpfs,
+    /// overlayfs — commonly refuse direct IO).
+    pub fn open(&self) -> uflip_device::Result<DirectIoFile> {
+        match self.mode {
+            RealOpenMode::Direct => DirectIoFile::open(&self.path, self.capacity),
+            RealOpenMode::Buffered => DirectIoFile::open_buffered(&self.path, self.capacity),
+            RealOpenMode::Auto => DirectIoFile::open(&self.path, self.capacity).or_else(|e| {
+                eprintln!("O_DIRECT open failed ({e}); using buffered IO");
+                DirectIoFile::open_buffered(&self.path, self.capacity)
+            }),
+        }
+    }
+}
+
+/// Parse `4096`, `64K`, `256M`, `2G` (case-insensitive) into bytes.
+/// `None` for malformed or unrepresentable (overflowing) sizes.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1024u64),
+        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
 }
 
 impl HarnessOptions {
@@ -74,6 +189,22 @@ pub fn prepared_device(profile: &DeviceProfile, quick: bool) -> Box<dyn BlockDev
     dev
 }
 
+/// Light preparation for a real target: sequentially pre-write the
+/// first `window` bytes so later reads hit allocated data instead of
+/// sparse holes. Real flash state enforcement (§4.1 random writes over
+/// the whole device) is the caller's decision — it is destructive and
+/// slow on hardware, and meaningless on a scratch file.
+pub fn prefill_real_device(dev: &mut dyn BlockDevice, window: u64) -> uflip_device::Result<()> {
+    let chunk = 256 * 1024u64;
+    let mut off = 0;
+    while off < window {
+        let len = chunk.min(window - off);
+        dev.write(off, len)?;
+        off += len;
+    }
+    Ok(())
+}
+
 /// Mean in milliseconds over a slice of response times.
 pub fn mean_ms(rts: &[Duration]) -> f64 {
     if rts.is_empty() {
@@ -96,6 +227,67 @@ mod tests {
         let rts = vec![Duration::from_millis(2), Duration::from_millis(4)];
         assert!((mean_ms(&rts) - 3.0).abs() < 1e-9);
         assert_eq!(mean_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn real_device_specs_parse() {
+        assert!(RealDeviceSpec::parse("samsung").is_none());
+        let s = RealDeviceSpec::parse("file:/tmp/x").unwrap().unwrap();
+        assert_eq!(s.path, PathBuf::from("/tmp/x"));
+        assert_eq!(s.capacity, REAL_DEVICE_DEFAULT_CAPACITY);
+        assert_eq!(s.mode, RealOpenMode::Auto);
+        let s = RealDeviceSpec::parse("direct:/dev/sdx:2G")
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.path, PathBuf::from("/dev/sdx"));
+        assert_eq!(s.capacity, 2 * 1024 * 1024 * 1024);
+        assert_eq!(s.mode, RealOpenMode::Direct);
+        let s = RealDeviceSpec::parse("buffered:/tmp/scratch.bin:64m")
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.capacity, 64 * 1024 * 1024);
+        assert_eq!(s.mode, RealOpenMode::Buffered);
+        let s = RealDeviceSpec::parse("file:/tmp/with:colon")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            s.path,
+            PathBuf::from("/tmp/with:colon"),
+            "non-size suffix stays in the path"
+        );
+        assert_eq!(
+            RealDeviceSpec::parse("file:/tmp/x:4096")
+                .unwrap()
+                .unwrap()
+                .capacity,
+            4096
+        );
+    }
+
+    #[test]
+    fn malformed_sizes_are_errors_not_paths() {
+        // A digit-leading suffix is a size attempt: a typo must error,
+        // not silently benchmark a file literally named `…:1GB`.
+        assert!(RealDeviceSpec::parse("file:/tmp/x:1GB").unwrap().is_err());
+        assert!(RealDeviceSpec::parse("file:/tmp/x:0").unwrap().is_err());
+        assert!(RealDeviceSpec::parse("direct:/dev/sdx:12moo")
+            .unwrap()
+            .is_err());
+        // Overflowing sizes are rejected, not wrapped.
+        assert!(RealDeviceSpec::parse("file:/tmp/x:20000000000G")
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("64K"), Some(64 * 1024));
+        assert_eq!(parse_size("3m"), Some(3 * 1024 * 1024));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("20000000000G"), None, "overflow rejected");
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! End-to-end smoke of the real-device harness path: the `qd_sweep`
+//! binary against a buffered temp file must complete, emit valid JSON,
+//! and show depth 16 genuinely overlapping IOs (the PR's acceptance
+//! bar: elapsed at depth 16 < 0.9 × depth 1).
+
+#![cfg(unix)]
+
+use serde_json::Value;
+use std::process::Command;
+
+/// Field lookup in the vendored JSON shim's object representation.
+fn field<'a>(point: &'a Value, key: &str) -> &'a Value {
+    point
+        .as_map()
+        .expect("sweep point is an object")
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::F64(x) => *x,
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn qd_sweep_runs_against_a_buffered_file() {
+    let dir = std::env::temp_dir().join(format!("uflip-qds-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let target = dir.join("scratch.bin");
+    let out = Command::new(env!("CARGO_BIN_EXE_qd_sweep"))
+        .arg("--device")
+        .arg(format!("buffered:{}:32M", target.display()))
+        .arg("--quick")
+        .arg("--json")
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("spawn qd_sweep");
+    assert!(
+        out.status.success(),
+        "qd_sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc =
+        serde_json::parse(&String::from_utf8_lossy(&out.stdout)).expect("JSON points on stdout");
+    let points = doc.as_seq().expect("a JSON array of sweep points");
+    assert!(!points.is_empty());
+    // Every emitted point targets the buffered file, never a profile.
+    for p in points {
+        match field(p, "device") {
+            Value::Str(device) => assert!(
+                device.starts_with("buffered:"),
+                "unexpected device in sweep output: {device}"
+            ),
+            other => panic!("device is not a string: {other:?}"),
+        }
+    }
+    // Overlap on the wall clock: depth 16 beats 0.9 × depth 1 for the
+    // random-read pattern (reads of a pre-filled window are the
+    // steadiest wall-clock pattern on a page cache).
+    let elapsed = |pat: &str, qd: u64| -> f64 {
+        let p = points
+            .iter()
+            .find(|p| {
+                matches!(field(p, "pattern"), Value::Str(s) if s == pat)
+                    && matches!(field(p, "queue_depth"), Value::U64(n) if *n == qd)
+            })
+            .expect("sweep point present");
+        as_f64(field(p, "elapsed_ms"))
+    };
+    let (qd1, qd16) = (elapsed("RR", 1), elapsed("RR", 16));
+    assert!(
+        qd16 < qd1 * 0.9,
+        "no overlap at depth 16: qd1 {qd1:.3} ms vs qd16 {qd16:.3} ms"
+    );
+    // Artifacts land next to the scratch file.
+    assert!(dir.join("qd_sweep.csv").exists());
+    assert!(dir.join("qd_sweep.json").exists());
+    let _ = std::fs::remove_dir_all(dir);
+}

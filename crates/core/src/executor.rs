@@ -34,10 +34,26 @@
 //! the device serving one IO at a time — **simulated** queueing rather
 //! than emergent, equivalent to queue depth 1.
 //!
-//! For real devices ([`uflip_device::DirectIoFile`]), parallel patterns
-//! should instead be run with OS threads; [`execute_parallel_threads`]
-//! provides that using scoped threads over per-process device handles,
-//! letting the operating system and the hardware do the interleaving.
+//! ## Wall-clock queues
+//!
+//! Real devices ([`uflip_device::DirectIoFile`]) expose the same
+//! [`uflip_device::IoQueue`] interface over a **wall clock** (a
+//! threaded worker pool — [`uflip_device::ThreadedIoQueue`]), and the
+//! same event loop drives them. The loop's logic tolerates the three
+//! wall-clock relaxations documented on the trait: it keeps submitting
+//! when `next_completion` is `None` with IOs in flight (the queue
+//! stays full instead of stalling), it accepts completions that land
+//! "in the past" relative to later submissions (the unblocked
+//! process's next IO may legitimately predate an already-submitted
+//! future-dated IO — submission times are *not* forced monotone on
+//! real devices), and a blocking `poll` simply stands in for "advance
+//! virtual time to the next completion". Response times remain
+//! completion − submission on the device's own clock in both worlds.
+//!
+//! [`execute_parallel_threads`] remains available for measuring with
+//! independent OS threads over per-process device handles (one file
+//! descriptor per process, the OS scheduler doing the interleaving)
+//! rather than a shared submission queue.
 
 use crate::run::RunResult;
 use crate::Result;
@@ -113,13 +129,17 @@ pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result
 
 /// Drive a queue-capable device with the parallel pattern's processes.
 ///
-/// The event loop maintains one invariant the simulation depends on:
-/// **IOs reach the device in non-decreasing virtual submission time**,
-/// so FTL state evolves in the same order a real command stream would
-/// arrive in. A candidate IO is only submitted while the queue has a
-/// free slot *and* no in-flight IO would complete before the candidate
-/// submits (a completion may release a process whose next IO submits
-/// earlier); otherwise the earliest completion is retired first.
+/// On virtual-time devices the event loop maintains one invariant the
+/// simulation depends on: **IOs reach the device in non-decreasing
+/// virtual submission time**, so FTL state evolves in the same order a
+/// real command stream would arrive in. A candidate IO is only
+/// submitted while the queue has a free slot *and* no known in-flight
+/// completion precedes the candidate's submission (a completion may
+/// release a process whose next IO submits earlier); otherwise the
+/// earliest completion is retired first. On wall-clock devices the
+/// invariant is relaxed rather than enforced — a completion observed
+/// late can yield a submission dated before an already-submitted IO,
+/// which the device clamps to "now" (see `uflip_device::queue`).
 fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
     let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
     let n = streams.len();
@@ -136,7 +156,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
     // sweep point cannot silently reconfigure later runs.
     let device_depth = queue.queue_depth();
     if let Some(depth) = par.queue_depth {
-        queue.set_queue_depth(depth);
+        queue.set_queue_depth(depth)?;
     }
     // Token bookkeeping: submission order index and times per in-flight
     // IO, so completions can be turned into response times and traced
@@ -219,7 +239,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
         }
     }
     if queue.queue_depth() != device_depth {
-        queue.set_queue_depth(device_depth);
+        queue.set_queue_depth(device_depth)?;
     }
     Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
 }

@@ -20,7 +20,14 @@
 //! (depth 1 reproduces the synchronous path bit-for-bit — see PR 1's
 //! queue-engine guarantees) and fall back to synchronous issue
 //! otherwise, so every backend — mem, sim, direct — can serve a
-//! replay.
+//! replay. Real devices serve it through their wall-clock
+//! [`uflip_device::ThreadedIoQueue`]: there `submit(at)` means
+//! "start no earlier than `at`" (faithful mode's recorded gaps become
+//! actual waiting), `next_completion` only reports completions that
+//! have already landed, and `poll` blocks while IOs are in flight —
+//! all of which this engine's event loop already tolerates (the
+//! monotone `cursor` keeps intended-submission bookkeeping sound even
+//! when completions arrive "late" relative to the schedule).
 //!
 //! The recorded response time of each IO is *completion − intended
 //! submission*: queueing delay behind a backlogged device counts, just
@@ -105,7 +112,7 @@ fn replay_queued(
     let base = dev.now();
     let queue = dev.io_queue().expect("caller verified the queue exists");
     let device_depth = queue.queue_depth();
-    queue.set_queue_depth(depth);
+    queue.set_queue_depth(depth)?;
     let t0 = trace.records[0].submit_ns;
     let n = trace.records.len();
     let mut rts = vec![Duration::ZERO; n];
@@ -155,7 +162,7 @@ fn replay_queued(
                     // device replayed past this one's capacity).
                     while queue.poll().is_some() {}
                     if queue.queue_depth() != device_depth {
-                        queue.set_queue_depth(device_depth);
+                        let _ = queue.set_queue_depth(device_depth);
                     }
                     return Err(e);
                 }
@@ -167,7 +174,7 @@ fn replay_queued(
         last_completion = last_completion.max(completion);
     }
     if queue.queue_depth() != device_depth {
-        queue.set_queue_depth(device_depth);
+        queue.set_queue_depth(device_depth)?;
     }
     Ok(RunResult::new(label, rts, 0, last_completion - base))
 }

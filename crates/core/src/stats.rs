@@ -42,7 +42,10 @@ impl RunStats {
         let mut sorted: Vec<u64> = rts.iter().map(|d| d.as_nanos() as u64).collect();
         sorted.sort_unstable();
         let total: u128 = sorted.iter().map(|&x| x as u128).sum();
-        let mean = (total / n as u128) as u64;
+        // Round half up instead of truncating: a truncated mean is
+        // biased low by up to one nanosecond on every run, which
+        // accumulates when runs are compared or aggregated.
+        let mean = ((total + n as u128 / 2) / n as u128) as u64;
         let var: u128 = sorted
             .iter()
             .map(|&x| {
@@ -51,10 +54,21 @@ impl RunStats {
             })
             .sum::<u128>()
             / n as u128;
-        let stddev = (var as f64).sqrt() as u64;
+        let stddev = (var as f64).sqrt().round() as u64;
+        // Linear-interpolated percentiles (the "type 7" estimator):
+        // nearest-rank `round` picked an arbitrary neighbor for the
+        // median of an even-count run and biased p95/p99 on small runs.
         let pct = |p: f64| -> u64 {
-            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-            sorted[idx]
+            let rank = (sorted.len() - 1) as f64 * p;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = rank - lo as f64;
+                let (a, b) = (sorted[lo] as f64, sorted[hi] as f64);
+                (a + (b - a) * frac).round() as u64
+            }
         };
         Some(RunStats {
             count: n,
@@ -129,14 +143,50 @@ mod tests {
     }
 
     #[test]
+    fn even_count_median_interpolates_between_neighbors() {
+        // The old nearest-rank `round` picked an arbitrary neighbor
+        // (here: 3 ms); the conventional even-count median is halfway.
+        let s = RunStats::from_rts(&[ms(1), ms(2), ms(3), ms(4)]).unwrap();
+        assert_eq!(s.median, Duration::from_micros(2500));
+        let s = RunStats::from_rts(&[ms(10), ms(20)]).unwrap();
+        assert_eq!(s.median, ms(15));
+    }
+
+    #[test]
     fn percentiles_on_ordered_data() {
         let rts: Vec<Duration> = (1..=100).map(ms).collect();
         let s = RunStats::from_rts(&rts).unwrap();
-        // indices: median → round(99×0.5)=50 → value 51;
-        // p95 → round(99×0.95)=94 → value 95; p99 → round(99×0.99)=98 → 99.
-        assert_eq!(s.median, ms(51));
-        assert_eq!(s.p95, ms(95));
-        assert_eq!(s.p99, ms(99));
+        // Linear interpolation on ranks 0..=99:
+        // median → rank 49.5 → (50 + 51)/2 = 50.5 ms;
+        // p95 → rank 94.05 → 95 + 0.05 = 95.05 ms;
+        // p99 → rank 98.01 → 99 + 0.01 = 99.01 ms.
+        assert_eq!(s.median, Duration::from_micros(50_500));
+        assert_eq!(s.p95, Duration::from_micros(95_050));
+        assert_eq!(s.p99, Duration::from_micros(99_010));
+    }
+
+    #[test]
+    fn small_run_percentiles_are_not_biased_to_the_max() {
+        // On a 5-point run the old nearest-rank round mapped p95 and
+        // p99 onto the maximum; interpolation keeps them below it.
+        let rts = vec![ms(1), ms(2), ms(3), ms(4), ms(100)];
+        let s = RunStats::from_rts(&rts).unwrap();
+        assert_eq!(s.median, ms(3));
+        // p95 → rank 3.8 → 4 + 0.8 × 96 = 80.8 ms.
+        assert_eq!(s.p95, Duration::from_micros(80_800));
+        assert!(s.p95 < s.max && s.p99 < s.max);
+        // p99 → rank 3.96 → 4 + 0.96 × 96 = 96.16 ms.
+        assert_eq!(s.p99, Duration::from_micros(96_160));
+    }
+
+    #[test]
+    fn mean_rounds_half_up_instead_of_truncating() {
+        let rts = vec![Duration::from_nanos(1), Duration::from_nanos(2)];
+        let s = RunStats::from_rts(&rts).unwrap();
+        assert_eq!(s.mean, Duration::from_nanos(2), "1.5 ns rounds up");
+        let rts = vec![Duration::from_nanos(1); 3];
+        let s = RunStats::from_rts(&rts).unwrap();
+        assert_eq!(s.mean, Duration::from_nanos(1), "exact mean unchanged");
     }
 
     #[test]

@@ -38,9 +38,11 @@ pub trait BlockDevice {
     fn now(&self) -> Duration;
 
     /// The device's NCQ-style submission queue, if it can serve
-    /// overlapping IOs (see [`crate::queue::IoQueue`]). Synchronous
-    /// backends return `None` (the default) and callers fall back to
-    /// serial interleaving.
+    /// overlapping IOs (see [`crate::queue::IoQueue`]). Simulated
+    /// devices schedule onto virtual-time channel tracks; real devices
+    /// serve the same interface on a wall clock through a threaded
+    /// worker pool ([`crate::ThreadedIoQueue`]). Devices that return
+    /// `None` (the default) are driven by serial interleaving instead.
     fn io_queue(&mut self) -> Option<&mut dyn crate::queue::IoQueue> {
         None
     }
@@ -52,6 +54,18 @@ pub trait BlockDevice {
     /// [`BlockDevice::io_queue`] must override this too, returning the
     /// same object.
     fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
+        None
+    }
+
+    /// Take the device's parked asynchronous IO error, if any. Queued
+    /// backends have no error channel in `poll` (a completion is a
+    /// token and a time), so a failed queued IO completes normally and
+    /// parks its error; harnesses call this after a queued run to
+    /// learn about failures in the final in-flight window, which would
+    /// otherwise surface on the *next* run's first submit — or never.
+    /// Devices without an asynchronous engine return `None` (the
+    /// default).
+    fn take_async_error(&mut self) -> Option<std::io::Error> {
         None
     }
 

@@ -31,6 +31,12 @@ pub enum DeviceError {
         /// Configured queue depth.
         depth: u32,
     },
+    /// Queue depth reconfiguration rejected because IOs are still in
+    /// flight; poll them to completion first.
+    DepthChangeInFlight {
+        /// IOs in flight at the time of the call.
+        in_flight: usize,
+    },
     /// The device cannot capture or restore state snapshots (real
     /// hardware backends, trivial test devices).
     SnapshotUnsupported,
@@ -65,6 +71,12 @@ impl fmt::Display for DeviceError {
             DeviceError::ZeroLength => write!(f, "zero-length IO"),
             DeviceError::QueueFull { depth } => {
                 write!(f, "submission queue full ({depth} IOs in flight)")
+            }
+            DeviceError::DepthChangeInFlight { in_flight } => {
+                write!(
+                    f,
+                    "cannot change queue depth with {in_flight} IOs in flight"
+                )
             }
             DeviceError::SnapshotUnsupported => {
                 write!(f, "device does not support state snapshots")

@@ -22,6 +22,10 @@
 //! * [`DirectIoFile`] — a real-hardware backend using `O_DIRECT` +
 //!   `O_SYNC` (bypassing the host file system and IO scheduler, exactly
 //!   as the paper's FlashIO tool did — §4.3) with wall-clock timing;
+//! * [`ThreadedIoQueue`] — the real-device side of [`IoQueue`]: a
+//!   worker pool issuing positioned reads/writes concurrently, so
+//!   queue-depth sweeps and open-loop replays exercise actual
+//!   OS/device parallelism instead of serial interleaving;
 //! * [`MemDevice`] — a RAM-backed constant-latency device for executor
 //!   tests;
 //! * [`profiles`] — the **eleven devices of Table 2**, calibrated so the
@@ -39,6 +43,7 @@ pub mod profiles;
 pub mod queue;
 pub mod sim_device;
 pub mod snapshot;
+pub mod threaded_queue;
 pub mod tracing_device;
 
 pub use block_device::BlockDevice;
@@ -49,6 +54,7 @@ pub use profiles::{DeviceKind, DeviceProfile};
 pub use queue::{IoQueue, Token};
 pub use sim_device::{ControllerConfig, SimDevice, SimSnapshot, StrideQuirk};
 pub use snapshot::DeviceState;
+pub use threaded_queue::ThreadedIoQueue;
 pub use tracing_device::TracingDevice;
 
 /// Crate-local result alias.

@@ -17,14 +17,29 @@
 //!   hold concurrently — submissions beyond it fail with
 //!   [`crate::DeviceError::QueueFull`] until a completion is polled.
 //!
-//! ## Virtual time
+//! ## Virtual time vs wall clock
 //!
 //! Simulated devices have no wall clock; *the submitter owns virtual
 //! time*. `submit` therefore takes the submission instant explicitly
-//! (`at`), and submissions must be non-decreasing in `at` — the
+//! (`at`), and submissions should be non-decreasing in `at` — the
 //! executor in `uflip-core` drives every producing process through a
 //! single virtual-time event loop, so this holds by construction.
 //! Completion times returned by `poll` are on the same clock.
+//!
+//! Real-device queues ([`crate::ThreadedIoQueue`]) put the same
+//! interface on a wall clock, where *the device owns time* and three
+//! relaxations apply (callers in `uflip_core` tolerate all three):
+//!
+//! * `at` is an *earliest start*, clamped to "now" when already past,
+//!   and need **not** be non-decreasing across submissions — a
+//!   completion observed "in the past" relative to the event loop may
+//!   release a process whose next IO predates a future-dated one;
+//! * `next_completion` reports only completions that have *already
+//!   happened*: `None` with IOs in flight means "nothing observed
+//!   yet", not "queue empty" — keep submitting;
+//! * `poll` may **block** until a completion arrives (there is no
+//!   virtual clock to advance past an in-flight IO); it still returns
+//!   `None` only when nothing is in flight.
 //!
 //! ## What overlaps and what does not
 //!
@@ -70,8 +85,10 @@ pub trait IoQueue {
     fn queue_depth(&self) -> u32;
 
     /// Reconfigure the queue depth (clamped to ≥ 1). Only legal while
-    /// no IOs are in flight; implementations may panic otherwise.
-    fn set_queue_depth(&mut self, depth: u32);
+    /// no IOs are in flight: implementations return
+    /// [`crate::DeviceError::DepthChangeInFlight`] otherwise, leaving
+    /// the depth — and the in-flight IOs — untouched.
+    fn set_queue_depth(&mut self, depth: u32) -> Result<()>;
 
     /// Number of IOs currently in flight.
     fn in_flight(&self) -> usize;
@@ -84,12 +101,14 @@ pub trait IoQueue {
 
     /// Completion time of the earliest-completing in-flight IO, if any
     /// — lets a scheduler decide whether to submit more work or retire
-    /// completions without popping.
+    /// completions without popping. Wall-clock queues answer only for
+    /// IOs that have already finished (see the module docs).
     fn next_completion(&self) -> Option<Duration>;
 
     /// Retire the earliest-completing in-flight IO, returning its
     /// token and absolute completion time. `None` when nothing is in
-    /// flight.
+    /// flight. Wall-clock queues block here until a completion
+    /// arrives (see the module docs).
     fn poll(&mut self) -> Option<(Token, Duration)>;
 }
 

@@ -454,13 +454,14 @@ impl IoQueue for SimDevice {
         self.state.queue_depth
     }
 
-    fn set_queue_depth(&mut self, depth: u32) {
-        assert!(
-            self.state.inflight.is_empty(),
-            "cannot change queue depth with {} IOs in flight",
-            self.state.inflight.len()
-        );
+    fn set_queue_depth(&mut self, depth: u32) -> Result<()> {
+        if !self.state.inflight.is_empty() {
+            return Err(crate::DeviceError::DepthChangeInFlight {
+                in_flight: self.state.inflight.len(),
+            });
+        }
         self.state.queue_depth = depth.max(1);
+        Ok(())
     }
 
     fn in_flight(&self) -> usize {
@@ -610,6 +611,30 @@ mod tests {
             let b = without.write(i * 512, 512).unwrap();
             assert_eq!(a, b, "512 B steps are below min_stride");
         }
+    }
+
+    #[test]
+    fn queue_depth_change_mid_flight_is_rejected() {
+        use crate::queue::IoQueue;
+        let mut d = dev(None);
+        d.set_queue_depth(4).unwrap();
+        let io = uflip_patterns::IoRequest {
+            index: 0,
+            offset: 0,
+            size: 512,
+            mode: Mode::Write,
+            submit_delay: Duration::ZERO,
+            process: 0,
+        };
+        d.submit(&io, Duration::ZERO).unwrap();
+        assert!(matches!(
+            d.set_queue_depth(8),
+            Err(crate::DeviceError::DepthChangeInFlight { in_flight: 1 })
+        ));
+        assert_eq!(d.queue_depth(), 4, "failed change leaves depth intact");
+        while d.poll().is_some() {}
+        d.set_queue_depth(8).unwrap();
+        assert_eq!(d.queue_depth(), 8);
     }
 
     #[test]

@@ -151,6 +151,10 @@ impl<D: BlockDevice> BlockDevice for TracingDevice<D> {
         }
     }
 
+    fn take_async_error(&mut self) -> Option<std::io::Error> {
+        self.inner.take_async_error()
+    }
+
     // Snapshots are deliberately NOT forwarded to the backend (the
     // defaults report "unsupported"): restoring would rewind the
     // inner device's virtual clock mid-capture, producing a trace
@@ -168,9 +172,10 @@ impl<D: BlockDevice> IoQueue for TracingDevice<D> {
         self.inner.io_queue_ref().map_or(1, |q| q.queue_depth())
     }
 
-    fn set_queue_depth(&mut self, depth: u32) {
-        if let Some(q) = self.inner.io_queue() {
-            q.set_queue_depth(depth);
+    fn set_queue_depth(&mut self, depth: u32) -> Result<()> {
+        match self.inner.io_queue() {
+            Some(q) => q.set_queue_depth(depth),
+            None => Ok(()),
         }
     }
 

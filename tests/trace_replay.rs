@@ -102,7 +102,7 @@ fn decorator_queue_surface_is_forwarded() {
     let mut traced = TracingDevice::new(*catalog::mtron().build_sim(1));
     let q = traced.io_queue().expect("sim backends expose a queue");
     assert_eq!(q.queue_depth(), 1);
-    q.set_queue_depth(4);
+    q.set_queue_depth(4).unwrap();
     assert_eq!(q.queue_depth(), 4);
     assert_eq!(
         traced.inner().io_queue_ref().unwrap().queue_depth(),
