@@ -1,0 +1,209 @@
+//! `calibrate` — fit a device profile from measured micro-benchmark
+//! runs (`uflip_core::calibrate`), and report how well the fit predicts
+//! the device it came from.
+//!
+//! ```text
+//! calibrate --device memoright --quick            # self-calibrate a sim
+//! calibrate --device buffered:/tmp/scratch:64M    # calibrate a real file
+//! calibrate --device direct:/dev/sdX:4G --enforce # real hardware (DESTRUCTIVE)
+//! ```
+//!
+//! Outputs, under `--out DIR` (default `results/`):
+//!
+//! * `fitted_<id>.json` — the fitted [`uflip_device::DeviceProfile`],
+//!   usable as `--device profile:results/fitted_<id>.json` by every
+//!   harness binary (`flashio`, `qd_sweep`, `trace_replay`,
+//!   `table3_summary`);
+//! * `calibration_<id>.json` — the raw measurement + fitted profile;
+//! * `residuals_<id>.csv` — measured vs predicted, per micro-benchmark
+//!   point, plus an ASCII overlay plot on stdout.
+//!
+//! **Calibration writes the target.** Even without `--enforce`, the
+//! sequential/random write sweeps and the probe prefill overwrite
+//! large regions of it (roughly three quarters of the capacity) —
+//! never point this at a device holding data. Simulated targets are
+//! additionally §4.1-state-enforced before measuring; real targets are
+//! not unless `--enforce` is given (enforcement rewrites the *whole*
+//! device repeatedly — slower still on hardware).
+
+use std::path::PathBuf;
+use uflip_core::calibrate::{calibrate, predict, CalibrationConfig};
+use uflip_device::{BlockDevice, FtlSpec};
+use uflip_report::json::{to_json, write_json};
+use uflip_report::residual::ResidualReport;
+
+struct Cli {
+    device: String,
+    quick: bool,
+    enforce: Option<bool>,
+    id: Option<String>,
+    out_dir: PathBuf,
+    json: bool,
+    pause_ms: Option<u64>,
+}
+
+fn parse() -> Cli {
+    let mut cli = Cli {
+        device: "samsung".into(),
+        quick: false,
+        enforce: None,
+        id: None,
+        out_dir: PathBuf::from("results"),
+        json: false,
+        pause_ms: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--device" => {
+                if let Some(d) = args.next() {
+                    cli.device = d;
+                }
+            }
+            "--quick" => cli.quick = true,
+            "--enforce" => cli.enforce = Some(true),
+            "--no-enforce" => cli.enforce = Some(false),
+            "--id" => cli.id = args.next(),
+            "--pause-ms" => cli.pause_ms = args.next().and_then(|s| s.parse().ok()),
+            "--out" => {
+                if let Some(d) = args.next() {
+                    cli.out_dir = PathBuf::from(d);
+                }
+            }
+            "--json" => cli.json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: calibrate [--device ID|profile:PATH|file:PATH[:SIZE]] \
+                     [--quick] [--enforce|--no-enforce] [--pause-ms N] [--id NAME] \
+                     [--out DIR] [--json]\n\
+                     calibration WRITES the target (sweeps + prefill cover ~3/4 of it);\n\
+                     --enforce additionally rewrites the whole device repeatedly.\n\
+                     --pause-ms: inter-run pause (default: 5000 simulated; 200 on real \
+                     targets, where the pause is actual wall-clock time — raise it for \
+                     genuine hardware, the §4.3 methodology wants seconds)."
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    cli
+}
+
+/// Make a device name usable as a file-name component: every character
+/// outside `[A-Za-z0-9._-]` becomes `-`, runs collapse, ends trim.
+fn sanitize_id(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            out.push(c);
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    let trimmed = out.trim_matches(['-', '.']).to_string();
+    if trimmed.is_empty() {
+        "device".into()
+    } else {
+        trimmed
+    }
+}
+
+fn main() {
+    let cli = parse();
+    let mut cfg = if cli.quick {
+        CalibrationConfig::quick()
+    } else {
+        CalibrationConfig::paper()
+    };
+    let (mut dev, default_enforce): (Box<dyn BlockDevice>, bool) =
+        match uflip_bench::DeviceTarget::resolve_or_exit(&cli.device) {
+            uflip_bench::DeviceTarget::Sim(profile) => (profile.build_sim(cfg.seed), true),
+            uflip_bench::DeviceTarget::Real(spec) => {
+                let dev = spec.open().unwrap_or_else(|e| {
+                    eprintln!("cannot open {}: {e}", spec.path.display());
+                    std::process::exit(2);
+                });
+                (Box::new(dev), false)
+            }
+        };
+    cfg.enforce_state = cli.enforce.unwrap_or(default_enforce);
+    // On a real target the inter-run pause is wall-clock sleep; keep
+    // smoke runs snappy by default and let hardware sessions raise it.
+    match cli.pause_ms {
+        Some(ms) => cfg.inter_run_pause = std::time::Duration::from_millis(ms),
+        None if !default_enforce => cfg.inter_run_pause = std::time::Duration::from_millis(200),
+        None => {}
+    }
+
+    let source = dev.name().to_string();
+    // Real-device names carry their spec verbatim (`buffered:/tmp/x`);
+    // the derived id becomes file names, so make it path-safe.
+    let id = cli
+        .id
+        .clone()
+        .unwrap_or_else(|| format!("fitted-{}", sanitize_id(&source)));
+    eprintln!(
+        "calibrating {source} ({} runs of the reduced plan, enforce_state={})...",
+        cfg.granularity_sizes.len() * 4,
+        cfg.enforce_state
+    );
+    let outcome = calibrate(dev.as_mut(), &cfg, id.clone()).expect("calibration plan");
+    if let Some(e) = dev.take_async_error() {
+        eprintln!("asynchronous IO error during calibration: {e}");
+        std::process::exit(1);
+    }
+
+    // Predict: re-measure the fitted profile under the same plan.
+    let predicted = predict(&outcome.profile, &cfg).expect("fitted profiles always measure");
+    let residuals = ResidualReport::build(&outcome.measurement, &predicted, id.clone());
+
+    let fitted = match &outcome.profile.ftl {
+        FtlSpec::Fitted(c) => c,
+        _ => unreachable!("calibrate always fits a Fitted profile"),
+    };
+    if cli.json {
+        println!("{}", to_json(&outcome));
+    } else {
+        let m = &outcome.measurement;
+        println!(
+            "{source}: {} channels (spread {:.0} / pinned {:.0} IOPS), \
+             parallel fraction {:.2}, alignment granularity {} B (x{:.2})",
+            fitted.channels,
+            m.spread_iops_deep,
+            m.pinned_iops_deep,
+            fitted.parallel_fraction,
+            fitted.align_granularity_bytes,
+            fitted.align_penalty,
+        );
+        for code in ["SR", "RR", "SW", "RW"] {
+            if let Some(ns) = m.baseline_ns(code, cfg.io_size) {
+                println!("  {code} @ {} KB: {:.3} ms", cfg.io_size / 1024, ns / 1e6);
+            }
+        }
+        println!("{}", residuals.ascii_plot());
+        println!(
+            "max |residual| across {} paired points: {:.1} %",
+            residuals.rows.len(),
+            residuals.max_abs_residual_pct()
+        );
+    }
+
+    std::fs::create_dir_all(&cli.out_dir).expect("mkdir results");
+    let profile_path = cli.out_dir.join(format!("fitted_{id}.json"));
+    outcome
+        .profile
+        .save_json(&profile_path)
+        .expect("write fitted profile");
+    let session_path = cli.out_dir.join(format!("calibration_{id}.json"));
+    write_json(&outcome, &session_path).expect("write calibration session");
+    let residual_path = cli.out_dir.join(format!("residuals_{id}.csv"));
+    std::fs::write(&residual_path, residuals.to_csv()).expect("write residual CSV");
+    eprintln!(
+        "wrote {} (use it with --device profile:{}), {} and {}",
+        profile_path.display(),
+        profile_path.display(),
+        session_path.display(),
+        residual_path.display()
+    );
+}

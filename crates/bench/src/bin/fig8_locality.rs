@@ -13,17 +13,15 @@ use uflip_report::csv::to_csv;
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let devices = [catalog::samsung(), catalog::memoright(), catalog::mtron()];
+    let devices = match opts.device.as_deref() {
+        None => vec![catalog::samsung(), catalog::memoright(), catalog::mtron()],
+        Some(arg) => vec![uflip_bench::sim_profile_or_exit(arg)],
+    };
     let count = if opts.quick { 768 } else { 1536 };
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     let mut rows = Vec::new();
     println!("Figure 8: locality (RW relative to SW) for Samsung, Memoright, Mtron");
     for profile in devices {
-        if let Some(only) = &opts.device {
-            if only != profile.id {
-                continue;
-            }
-        }
         let mut dev = prepared_device(&profile, opts.quick);
         let window = (128 * 1024 * 1024u64).min(dev.capacity_bytes() / 4);
         let sw = execute_run(

@@ -30,7 +30,7 @@
 //! representative profiles out across threads, one suite per device.
 
 use std::time::Duration;
-use uflip_bench::{mean_ms, RealDeviceSpec, RealOpenMode};
+use uflip_bench::{mean_ms, DeviceTarget, RealDeviceSpec, RealOpenMode};
 use uflip_core::executor::execute_run;
 use uflip_core::methodology::state::enforce_random_state;
 use uflip_core::micro::{
@@ -108,18 +108,14 @@ fn open_device(cli: &Cli) -> Box<dyn BlockDevice> {
         };
         return Box::new(spec.open().expect("open real device"));
     }
-    let id = cli.device.as_deref().unwrap_or("samsung");
-    if let Some(spec) = RealDeviceSpec::parse_or_exit(id) {
-        return Box::new(spec.open().unwrap_or_else(|e| {
+    let arg = cli.device.as_deref().unwrap_or("samsung");
+    match DeviceTarget::resolve_or_exit(arg) {
+        DeviceTarget::Sim(profile) => profile.build_sim(0xF11B),
+        DeviceTarget::Real(spec) => Box::new(spec.open().unwrap_or_else(|e| {
             eprintln!("cannot open {}: {e}", spec.path.display());
             std::process::exit(2);
-        }));
+        })),
     }
-    let profile = catalog::by_id(id).unwrap_or_else(|| {
-        eprintln!("unknown device '{id}', using samsung");
-        catalog::samsung()
-    });
-    profile.build_sim(0xF11B)
 }
 
 fn micro_experiments(name: &str, cfg: &MicroConfig) -> Option<Vec<Experiment>> {
@@ -288,7 +284,7 @@ fn main() {
                 };
                 let inner_threads = (budget / profiles.len()).max(1);
                 let results: Vec<(
-                    &str,
+                    String,
                     uflip_core::methodology::plan::BenchmarkPlan,
                     SuiteResult,
                 )> = std::thread::scope(|scope| {
@@ -304,7 +300,7 @@ fn main() {
                                 let (plan, result) =
                                     run_full_suite_sharded(dev.as_mut(), &cfg, &opts, threads)
                                         .expect("suite");
-                                (profile.id, plan, result)
+                                (profile.id.clone(), plan, result)
                             })
                         })
                         .collect();
@@ -369,7 +365,7 @@ fn main() {
         "wear" => {
             // White-box analysis — simulated devices only.
             let id = cli.device.as_deref().unwrap_or("samsung");
-            let profile = catalog::by_id(id).unwrap_or_else(catalog::samsung);
+            let profile = uflip_bench::sim_profile_or_exit(id);
             let mut dev = profile.build_sim(0xF11B);
             prepare(dev.as_mut(), cli.quick);
             let window = dev.capacity_bytes() / 4;
@@ -391,12 +387,14 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
-                 [--device ID|all|file:PATH[:SIZE] | --file PATH --size-mb N] \
+                 [--device ID|all|profile:PATH|file:PATH[:SIZE] | --file PATH --size-mb N] \
                  [--bench NAME] [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] \
                  [--quick] [--threads N] [--out DIR]\n\
                  real targets: --device file:PATH[:SIZE] (auto O_DIRECT), \
                  direct:PATH[:SIZE], buffered:PATH[:SIZE]; SIZE takes K/M/G \
-                 suffixes. Write patterns are DESTRUCTIVE on block devices."
+                 suffixes. Write patterns are DESTRUCTIVE on block devices.\n\
+                 profile:PATH runs a calibrated profile JSON (see the \
+                 calibrate binary)."
             );
         }
     }

@@ -23,7 +23,9 @@
 
 use serde::Serialize;
 use std::time::Duration;
-use uflip_bench::{prefill_real_device, prepared_device, HarnessOptions, RealDeviceSpec};
+use uflip_bench::{
+    prefill_real_device, prepared_device, DeviceTarget, HarnessOptions, RealDeviceSpec,
+};
 use uflip_core::executor::execute_parallel;
 use uflip_core::micro::parallelism::queue_depths;
 use uflip_device::profiles::catalog;
@@ -117,16 +119,17 @@ fn sweep_real(spec: &RealDeviceSpec, opts: &HarnessOptions, points: &mut Vec<Swe
 fn main() {
     let opts = HarnessOptions::from_args();
     let mut points: Vec<SweepPoint> = Vec::new();
-    let real = opts
-        .device
-        .as_deref()
-        .and_then(RealDeviceSpec::parse_or_exit);
-    if let Some(spec) = &real {
-        sweep_real(spec, &opts, &mut points);
-        write_outputs(&opts, &points);
-        return;
-    }
-    let devices = [catalog::memoright(), catalog::mtron(), catalog::samsung()];
+    // `--device` accepts anything DeviceTarget resolves: a catalogue
+    // id, a calibrated `profile:PATH` JSON, or a real-target spec.
+    let devices = match opts.device.as_deref().map(DeviceTarget::resolve_or_exit) {
+        Some(DeviceTarget::Real(spec)) => {
+            sweep_real(&spec, &opts, &mut points);
+            write_outputs(&opts, &points);
+            return;
+        }
+        Some(DeviceTarget::Sim(profile)) => vec![*profile],
+        None => vec![catalog::memoright(), catalog::mtron(), catalog::samsung()],
+    };
     let count = if opts.quick { 256 } else { 1024 };
     // One-page reads/writes so a single IO occupies a single channel —
     // the regime where queue depth, not IO striping, provides overlap.
@@ -136,11 +139,6 @@ fn main() {
         println!("Queue-depth sweep: degree 16, {io_size} B IOs, {count} IOs per run");
     }
     for profile in devices {
-        if let Some(only) = &opts.device {
-            if only != profile.id {
-                continue;
-            }
-        }
         if !opts.json {
             println!("\n{} ({} channels)", profile.id, sim_channels(&profile));
             println!(

@@ -61,7 +61,7 @@ fn parse() -> Cli {
 /// One profile's timings, in seconds of host wall-clock.
 #[derive(Debug, Serialize)]
 struct ProfileTiming {
-    id: &'static str,
+    id: String,
     /// Run steps in the plan.
     runs: usize,
     /// State resets in the plan (snapshot restores / re-enforcements).
@@ -99,12 +99,11 @@ fn main() {
     // mode shrinks per-point IO counts for CI smoke runs.
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut profiles = Vec::new();
-    for profile in catalog::representative() {
-        if let Some(only) = &cli.device {
-            if only != profile.id {
-                continue;
-            }
-        }
+    let devices = match cli.device.as_deref() {
+        None => catalog::representative(),
+        Some(arg) => vec![uflip_bench::sim_profile_or_exit(arg)],
+    };
+    for profile in devices {
         const MB: u64 = 1024 * 1024;
         let mut cfg = MicroConfig::quick();
         cfg.target_size = (profile.sim_capacity_bytes() / 3).max(MB) / MB * MB;
@@ -145,7 +144,7 @@ fn main() {
         assert_eq!(legacy.points.len(), snap.points.len());
 
         let row = ProfileTiming {
-            id: profile.id,
+            id: profile.id.clone(),
             runs: plan.run_count(),
             resets: legacy.resets,
             serial_reenforce_s,

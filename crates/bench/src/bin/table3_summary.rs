@@ -24,10 +24,13 @@ fn main() {
     // device; keep characterize's own enforcement on (single pass).
     cfg.enforce_state = false;
 
-    let devices: Vec<_> = catalog::representative()
-        .into_iter()
-        .filter(|p| opts.device.as_deref().is_none_or(|only| only == p.id))
-        .collect();
+    // Default: the paper's seven representative devices. `--device`
+    // narrows to any single simulated target — a catalogue id or a
+    // calibrated `profile:PATH` — with the valid-id listing on a typo.
+    let devices: Vec<_> = match opts.device.as_deref() {
+        None => catalog::representative(),
+        Some(arg) => vec![uflip_bench::sim_profile_or_exit(arg)],
+    };
     println!("Table 3: Result summary (simulated devices; paper values in EXPERIMENTS.md)");
     println!("{}", DeviceSummary::table3_header());
     // Each profile characterizes on its own device instance, so the

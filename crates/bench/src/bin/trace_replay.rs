@@ -186,11 +186,7 @@ fn main() {
     }
     let capture_profile = match opts.device.as_deref() {
         None => catalog::memoright(),
-        Some(id) => catalog::by_id(id).unwrap_or_else(|| {
-            let known: Vec<&str> = catalog::all().iter().map(|p| p.id).collect();
-            eprintln!("unknown device id `{id}`; known ids: {}", known.join(", "));
-            std::process::exit(2);
-        }),
+        Some(id) => uflip_bench::sim_profile_or_exit(id),
     };
     let count = if opts.quick { 128 } else { 512 };
     let ops = if opts.quick { 64 } else { 256 };

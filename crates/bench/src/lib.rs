@@ -5,9 +5,10 @@
 //! plumbing they share: argument parsing, output directories, and the
 //! standard preparation sequence (state enforcement + settle) of §4.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 use uflip_core::methodology::state::enforce_random_state;
+use uflip_device::profiles::catalog;
 use uflip_device::{BlockDevice, DeviceProfile, DirectIoFile};
 
 /// Common CLI options for the figure/table binaries.
@@ -138,6 +139,82 @@ fn parse_size(s: &str) -> Option<u64> {
         _ => (s, 1),
     };
     digits.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
+}
+
+/// A resolved `--device` argument: either something the simulator runs
+/// (a catalogue id or a calibrated `profile:PATH` JSON file) or a real
+/// file / block device spec.
+#[derive(Debug, Clone)]
+pub enum DeviceTarget {
+    /// A simulated profile (catalogue or loaded from `profile:PATH`).
+    /// Boxed: a `DeviceProfile` is an order of magnitude larger than a
+    /// `RealDeviceSpec`.
+    Sim(Box<DeviceProfile>),
+    /// A real target (`file:` / `direct:` / `buffered:`).
+    Real(RealDeviceSpec),
+}
+
+impl DeviceTarget {
+    /// Resolve a device argument:
+    ///
+    /// * `profile:PATH` — a fitted/edited [`DeviceProfile`] JSON file
+    ///   (written by the `calibrate` binary);
+    /// * `file:PATH[:SIZE]` / `direct:` / `buffered:` — a real target
+    ///   (see [`RealDeviceSpec::parse`]);
+    /// * anything else — a catalogue id (ASCII-case-insensitive).
+    ///
+    /// Unknown ids error with the list of valid ids instead of a bare
+    /// message, so a typo is a one-glance fix.
+    pub fn resolve(arg: &str) -> Result<DeviceTarget, String> {
+        if let Some(path) = arg.strip_prefix("profile:") {
+            return DeviceProfile::load_json(Path::new(path))
+                .map(|p| DeviceTarget::Sim(Box::new(p)));
+        }
+        if let Some(real) = RealDeviceSpec::parse(arg) {
+            return real.map(DeviceTarget::Real);
+        }
+        catalog::by_id(arg)
+            .map(|p| DeviceTarget::Sim(Box::new(p)))
+            .ok_or_else(|| unknown_device_message(arg))
+    }
+
+    /// [`DeviceTarget::resolve`] with the shared harness-binary error
+    /// behavior: print the message and exit 2.
+    pub fn resolve_or_exit(arg: &str) -> DeviceTarget {
+        DeviceTarget::resolve(arg).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        })
+    }
+}
+
+/// The error message for an unknown `--device` id: every valid
+/// catalogue id plus the spec syntaxes that load profiles and open real
+/// targets.
+pub fn unknown_device_message(id: &str) -> String {
+    format!(
+        "unknown device `{id}`; valid ids: {}\n\
+         also accepted: profile:PATH (calibrated profile JSON), \
+         file:PATH[:SIZE], direct:PATH[:SIZE], buffered:PATH[:SIZE]",
+        catalog::ids().join(", ")
+    )
+}
+
+/// Resolve an argument that must name a *simulated* profile — a
+/// catalogue id or `profile:PATH` — exiting with the valid-id listing
+/// otherwise (including when the argument names a real device).
+pub fn sim_profile_or_exit(arg: &str) -> DeviceProfile {
+    match DeviceTarget::resolve_or_exit(arg) {
+        DeviceTarget::Sim(p) => *p,
+        DeviceTarget::Real(spec) => {
+            eprintln!(
+                "`{}` names a real target, but this path needs a simulated \
+                 profile (a catalogue id or profile:PATH)",
+                spec.path.display()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 impl HarnessOptions {

@@ -1,0 +1,90 @@
+//! End-to-end smoke of the calibration workflow: the `calibrate`
+//! binary fits a profile from a (simulated) device, writes it as JSON,
+//! and the fitted `profile:PATH` runs through the other harness
+//! binaries (`flashio suite` end-to-end — ISSUE 5's acceptance
+//! criterion — and `qd_sweep`).
+
+use std::process::Command;
+
+#[test]
+fn calibrate_then_run_the_suite_on_the_fitted_profile() {
+    let dir = std::env::temp_dir().join(format!("uflip-calib-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+
+    // 1. Calibrate the simulated Transcend module (2 channels, cheap).
+    let out = Command::new(env!("CARGO_BIN_EXE_calibrate"))
+        .args(["--device", "transcend-module", "--quick", "--id", "e2e"])
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("spawn calibrate");
+    assert!(
+        out.status.success(),
+        "calibrate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let profile_path = dir.join("fitted_e2e.json");
+    assert!(profile_path.exists(), "fitted profile JSON written");
+    assert!(dir.join("calibration_e2e.json").exists());
+    assert!(dir.join("residuals_e2e.csv").exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2 channels"),
+        "the module's 2 channels must be recovered:\n{stdout}"
+    );
+
+    let profile_arg = format!("profile:{}", profile_path.display());
+
+    // 2. The fitted profile drives the full nine-benchmark suite.
+    let out = Command::new(env!("CARGO_BIN_EXE_flashio"))
+        .args(["suite", "--device", &profile_arg, "--quick"])
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("spawn flashio");
+    assert!(
+        out.status.success(),
+        "flashio suite on the fitted profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("plan:"),
+        "suite must report its plan:\n{stdout}"
+    );
+    assert!(dir.join("suite.csv").exists());
+
+    // 3. And the queue-depth sweep binary accepts it too.
+    let out = Command::new(env!("CARGO_BIN_EXE_qd_sweep"))
+        .args(["--device", &profile_arg, "--quick"])
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("spawn qd_sweep");
+    assert!(
+        out.status.success(),
+        "qd_sweep on the fitted profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4. A bad profile path errors with a readable message, and an
+    // unknown id lists the valid ones.
+    let out = Command::new(env!("CARGO_BIN_EXE_flashio"))
+        .args(["baselines", "--device", "profile:/nonexistent.json"])
+        .output()
+        .expect("spawn flashio");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read profile"));
+    let out = Command::new(env!("CARGO_BIN_EXE_flashio"))
+        .args(["baselines", "--device", "not-a-device"])
+        .output()
+        .expect("spawn flashio");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("valid ids") && err.contains("memoright"),
+        "unknown ids must list the catalogue: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}

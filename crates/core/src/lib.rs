@@ -21,6 +21,11 @@
 //! * [`replay`] — beyond the paper: feed a captured or generated
 //!   [`uflip_trace::Trace`] back through the submit/poll executor,
 //!   timing-faithful or open-loop with a queue-depth sweep.
+//! * [`calibrate`] — beyond the paper: run a reduced plan of the
+//!   micro-benchmarks against *any* device and fit the result into a
+//!   serializable `DeviceProfile` (measured latency curves, alignment
+//!   penalty, channel count) — the estimation-from-microbenchmarks
+//!   approach of the internal-parallelism literature (PAPERS.md).
 //! * [`methodology`] — §4: device-state enforcement (random writes of
 //!   random size over the whole device), start-up/running-phase
 //!   detection and the derivation of `IOIgnore`/`IOCount`, inter-run
@@ -31,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod executor;
 pub mod experiment;
 pub mod methodology;
@@ -40,6 +46,10 @@ pub mod run;
 pub mod stats;
 pub mod suite;
 
+pub use calibrate::{
+    calibrate, fit as fit_profile, measure as measure_device, CalibrationConfig,
+    CalibrationMeasurement, CalibrationOutcome,
+};
 pub use executor::{execute_mixed, execute_parallel, execute_run};
 pub use experiment::{Experiment, ExperimentResult, Workload};
 pub use replay::{replay_trace, ReplayMode};

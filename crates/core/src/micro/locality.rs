@@ -17,10 +17,7 @@ use uflip_patterns::{LbaFn, Mode};
 /// Random-pattern target sizes: `[2⁰ … 2^max_exp] × io_size`, capped to
 /// the device budget (`cap`).
 pub fn random_target_sizes(io_size: u64, max_exp: u32, cap: u64) -> Vec<u64> {
-    pow2_sweep(io_size, max_exp)
-        .into_iter()
-        .filter(|&t| t <= cap)
-        .collect()
+    pow2_sweep(io_size, max_exp, cap)
 }
 
 /// Build the Locality experiments: RR/RW sweep wide, SR/SW sweep narrow.

@@ -118,9 +118,27 @@ impl MicroConfig {
     }
 }
 
-/// Standard power-of-two sweep `base × 2^0 … base × 2^max_exp`.
-pub(crate) fn pow2_sweep(base: u64, max_exp: u32) -> Vec<u64> {
-    (0..=max_exp).map(|e| base << e).collect()
+/// Standard power-of-two sweep `base × 2^0 … base × 2^max_exp`, capped
+/// at `cap` (a device capacity / target budget).
+///
+/// The old `base << e` wrapped silently for large exponents (release)
+/// or panicked (debug); doubling with `checked_mul` stops the sweep at
+/// the last representable value instead, and the cap keeps sweep points
+/// inside the device they will run on.
+pub(crate) fn pow2_sweep(base: u64, max_exp: u32, cap: u64) -> Vec<u64> {
+    let mut v = Vec::with_capacity(max_exp as usize + 1);
+    let mut cur = base;
+    for _ in 0..=max_exp {
+        if cur == 0 || cur > cap {
+            break;
+        }
+        v.push(cur);
+        match cur.checked_mul(2) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    v
 }
 
 #[cfg(test)]
@@ -146,7 +164,25 @@ mod tests {
 
     #[test]
     fn sweep_generation() {
-        assert_eq!(pow2_sweep(512, 3), vec![512, 1024, 2048, 4096]);
+        assert_eq!(pow2_sweep(512, 3, u64::MAX), vec![512, 1024, 2048, 4096]);
+    }
+
+    #[test]
+    fn sweep_caps_at_the_budget() {
+        assert_eq!(pow2_sweep(512, 10, 2048), vec![512, 1024, 2048]);
+        assert!(pow2_sweep(4096, 10, 512).is_empty());
+    }
+
+    #[test]
+    fn sweep_survives_overflowing_exponents() {
+        // Regression: `base << e` wrapped for e near 64, yielding a
+        // sweep full of zeros/garbage. The doubling loop stops at the
+        // last representable point instead.
+        let v = pow2_sweep(1 << 40, 63, u64::MAX);
+        assert_eq!(v.len(), 24, "2^40 .. 2^63 fit in a u64");
+        assert_eq!(*v.last().unwrap(), 1 << 63);
+        assert!(v.windows(2).all(|w| w[1] == 2 * w[0]));
+        assert_eq!(pow2_sweep(0, 8, u64::MAX), Vec::<u64>::new());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use block_device::BlockDevice;
 pub use direct_io::DirectIoFile;
 pub use error::DeviceError;
 pub use mem_device::MemDevice;
-pub use profiles::{DeviceKind, DeviceProfile};
+pub use profiles::{DeviceKind, DeviceProfile, FtlSpec};
 pub use queue::{IoQueue, Token};
 pub use sim_device::{ControllerConfig, SimDevice, SimSnapshot, StrideQuirk};
 pub use snapshot::DeviceState;

@@ -20,9 +20,10 @@
 
 use crate::sim_device::{ControllerConfig, SimDevice, StrideQuirk};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use uflip_ftl::{
-    BlockMapConfig, BlockMapFtl, HybridLogConfig, HybridLogFtl, PageMapConfig, PageMapFtl,
-    ReplacementPolicy, WriteCacheConfig,
+    BlockMapConfig, BlockMapFtl, FittedFtl, FittedFtlConfig, HybridLogConfig, HybridLogFtl,
+    PageMapConfig, PageMapFtl, ReplacementPolicy, WriteCacheConfig,
 };
 use uflip_nand::{ChipConfig, NandArrayConfig, NandGeometry, NandTiming, ProgramOrder, WearState};
 
@@ -52,7 +53,7 @@ impl DeviceKind {
 }
 
 /// Which FTL family (and parameters) a profile simulates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum FtlSpec {
     /// High-end SSD: page mapping, pre-erased pool, async reclamation.
     PageMap(PageMapConfig),
@@ -60,22 +61,31 @@ pub enum FtlSpec {
     HybridLog(HybridLogConfig),
     /// Low-end: block mapping with allocation units.
     BlockMap(BlockMapConfig),
+    /// Behavioural model fitted from black-box calibration runs
+    /// (`uflip_core::calibrate`): measured latency curves instead of a
+    /// mechanistic NAND/FTL stack.
+    Fitted(FittedFtlConfig),
 }
 
 /// A complete device profile: catalogue row + simulation config.
-#[derive(Debug, Clone, Copy)]
+///
+/// Profiles round-trip through JSON ([`DeviceProfile::save_json`] /
+/// [`DeviceProfile::load_json`]), which is how fitted profiles produced
+/// by the `calibrate` binary are fed back into every harness binary via
+/// the `profile:PATH` device spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeviceProfile {
     /// Short identifier used in reports (e.g. `memoright`).
-    pub id: &'static str,
-    /// Brand (Table 2).
-    pub brand: &'static str,
+    pub id: String,
+    /// Brand (Table 2), or a provenance note for fitted profiles.
+    pub brand: String,
     /// Model (Table 2).
-    pub model: &'static str,
+    pub model: String,
     /// Form factor (Table 2).
     pub kind: DeviceKind,
     /// Marketed capacity (Table 2) — the *real* device's size.
-    pub marketed: &'static str,
-    /// 2008 street price in USD (Table 2).
+    pub marketed: String,
+    /// 2008 street price in USD (Table 2); 0 for fitted profiles.
     pub price_usd: u32,
     /// Included in the paper's seven presented devices (Table 2 arrows).
     pub representative: bool,
@@ -94,30 +104,33 @@ impl DeviceProfile {
             FtlSpec::PageMap(c) => c.capacity_bytes,
             FtlSpec::HybridLog(c) => c.capacity_bytes,
             FtlSpec::BlockMap(c) => c.capacity_bytes,
+            FtlSpec::Fitted(c) => c.capacity_bytes,
         }
     }
 
-    /// Build the simulated device. Construction is deterministic;
-    /// `_seed` is reserved for future randomized components and keeps
-    /// call sites explicit about reproducibility.
-    pub fn build_sim(&self, _seed: u64) -> Box<SimDevice> {
-        let ftl: Box<dyn uflip_ftl::Ftl + Send> = match self.ftl {
+    /// Build the simulated device. Construction is deterministic per
+    /// seed: the seed feeds the device's service-time jitter stream
+    /// (see [`SimDevice::with_seed`]), so equal seeds give bit-identical
+    /// traces and different seeds give diverging ones.
+    pub fn build_sim(&self, seed: u64) -> Box<SimDevice> {
+        let ftl: Box<dyn uflip_ftl::Ftl + Send> = match &self.ftl {
             FtlSpec::PageMap(c) => {
-                Box::new(PageMapFtl::new(c).expect("profile PageMap config must be valid"))
+                Box::new(PageMapFtl::new(*c).expect("profile PageMap config must be valid"))
             }
             FtlSpec::HybridLog(c) => {
-                Box::new(HybridLogFtl::new(c).expect("profile HybridLog config must be valid"))
+                Box::new(HybridLogFtl::new(*c).expect("profile HybridLog config must be valid"))
             }
             FtlSpec::BlockMap(c) => {
-                Box::new(BlockMapFtl::new(c).expect("profile BlockMap config must be valid"))
+                Box::new(BlockMapFtl::new(*c).expect("profile BlockMap config must be valid"))
+            }
+            FtlSpec::Fitted(c) => {
+                Box::new(FittedFtl::new(c.clone()).expect("profile Fitted config must be valid"))
             }
         };
-        Box::new(SimDevice::new(
-            self.id,
-            ftl,
-            self.controller,
-            self.stride_quirk,
-        ))
+        Box::new(
+            SimDevice::new(self.id.clone(), ftl, self.controller, self.stride_quirk)
+                .with_seed(seed),
+        )
     }
 
     /// FTL family name for reports.
@@ -126,7 +139,52 @@ impl DeviceProfile {
             FtlSpec::PageMap(_) => "page-map",
             FtlSpec::HybridLog(_) => "hybrid-log",
             FtlSpec::BlockMap(_) => "block-map",
+            FtlSpec::Fitted(_) => "fitted",
         }
+    }
+
+    /// Wrap a fitted configuration in a profile. The controller is the
+    /// identity ([`ControllerConfig::passthrough`]) because the fitted
+    /// latency curves already include controller and interconnect
+    /// costs.
+    pub fn fitted(id: impl Into<String>, source: impl Into<String>, c: FittedFtlConfig) -> Self {
+        DeviceProfile {
+            id: id.into(),
+            brand: source.into(),
+            model: "calibrated".into(),
+            kind: DeviceKind::Ssd,
+            marketed: String::new(),
+            price_usd: 0,
+            representative: false,
+            ftl: FtlSpec::Fitted(c),
+            controller: ControllerConfig::passthrough(),
+            stride_quirk: None,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profiles are always serializable")
+    }
+
+    /// Parse a profile from JSON.
+    pub fn from_json(json: &str) -> std::result::Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid device profile JSON: {e}"))
+    }
+
+    /// Write the profile as JSON, creating parent directories.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a profile from a JSON file (the `profile:PATH` device spec).
+    pub fn load_json(path: &Path) -> std::result::Result<Self, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read profile {}: {e}", path.display()))?;
+        Self::from_json(&json)
     }
 }
 
@@ -200,11 +258,11 @@ pub mod catalog {
             channels: 16,
         };
         DeviceProfile {
-            id: "memoright",
-            brand: "Memoright",
-            model: "MR25.2-032S",
+            id: "memoright".into(),
+            brand: "Memoright".into(),
+            model: "MR25.2-032S".into(),
             kind: DeviceKind::Ssd,
-            marketed: "32 GB",
+            marketed: "32 GB".into(),
             price_usd: 943,
             representative: true,
             ftl: FtlSpec::HybridLog(HybridLogConfig {
@@ -237,9 +295,9 @@ pub mod catalog {
     /// (not among the seven presented devices).
     pub fn gskill() -> DeviceProfile {
         let mut p = memoright();
-        p.id = "gskill";
-        p.brand = "GSKILL";
-        p.model = "FS-25S2-32GB";
+        p.id = "gskill".into();
+        p.brand = "GSKILL".into();
+        p.model = "FS-25S2-32GB".into();
         p.price_usd = 694;
         p.representative = false;
         if let FtlSpec::HybridLog(ref mut c) = p.ftl {
@@ -262,11 +320,11 @@ pub mod catalog {
             channels: 8,
         };
         DeviceProfile {
-            id: "mtron",
-            brand: "Mtron",
-            model: "SATA7035-016",
+            id: "mtron".into(),
+            brand: "Mtron".into(),
+            model: "SATA7035-016".into(),
             kind: DeviceKind::Ssd,
-            marketed: "16 GB",
+            marketed: "16 GB".into(),
             price_usd: 407,
             representative: true,
             ftl: FtlSpec::HybridLog(HybridLogConfig {
@@ -308,11 +366,11 @@ pub mod catalog {
             channels: 16,
         };
         DeviceProfile {
-            id: "samsung",
-            brand: "Samsung",
-            model: "MCBQE32G5MPP",
+            id: "samsung".into(),
+            brand: "Samsung".into(),
+            model: "MCBQE32G5MPP".into(),
             kind: DeviceKind::Ssd,
-            marketed: "32 GB",
+            marketed: "32 GB".into(),
             price_usd: 517,
             representative: true,
             ftl: FtlSpec::HybridLog(HybridLogConfig {
@@ -363,11 +421,11 @@ pub mod catalog {
             channels: 2,
         };
         DeviceProfile {
-            id: "transcend-module",
-            brand: "Transcend",
-            model: "TS4GDOM40V-S",
+            id: "transcend-module".into(),
+            brand: "Transcend".into(),
+            model: "TS4GDOM40V-S".into(),
             kind: DeviceKind::IdeModule,
-            marketed: "4 GB",
+            marketed: "4 GB".into(),
             price_usd: 62,
             representative: true,
             ftl: FtlSpec::HybridLog(HybridLogConfig {
@@ -408,11 +466,11 @@ pub mod catalog {
             channels: 2,
         };
         DeviceProfile {
-            id: "transcend-mlc",
-            brand: "Transcend",
-            model: "TS32GSSD25S-M",
+            id: "transcend-mlc".into(),
+            brand: "Transcend".into(),
+            model: "TS32GSSD25S-M".into(),
             kind: DeviceKind::Ssd,
-            marketed: "32 GB",
+            marketed: "32 GB".into(),
             price_usd: 199,
             representative: true,
             ftl: FtlSpec::BlockMap(BlockMapConfig {
@@ -443,9 +501,9 @@ pub mod catalog {
             channels: 2,
         };
         let mut p = transcend_mlc();
-        p.id = "transcend-slc";
-        p.model = "TS16GSSD25S-S";
-        p.marketed = "16 GB";
+        p.id = "transcend-slc".into();
+        p.model = "TS16GSSD25S-S".into();
+        p.marketed = "16 GB".into();
         p.price_usd = 250;
         p.representative = false;
         p.ftl = FtlSpec::BlockMap(BlockMapConfig {
@@ -472,11 +530,11 @@ pub mod catalog {
             channels: 2,
         };
         DeviceProfile {
-            id: "kingston-dthx",
-            brand: "Kingston",
-            model: "DT HyperX",
+            id: "kingston-dthx".into(),
+            brand: "Kingston".into(),
+            model: "DT HyperX".into(),
             kind: DeviceKind::UsbDrive,
-            marketed: "8 GB",
+            marketed: "8 GB".into(),
             price_usd: 153,
             representative: true,
             ftl: FtlSpec::BlockMap(BlockMapConfig {
@@ -504,10 +562,10 @@ pub mod catalog {
     /// seven presented devices).
     pub fn corsair() -> DeviceProfile {
         let mut p = kingston_dthx();
-        p.id = "corsair";
-        p.brand = "Corsair";
-        p.model = "Flash Voyager GT";
-        p.marketed = "16 GB";
+        p.id = "corsair".into();
+        p.brand = "Corsair".into();
+        p.model = "Flash Voyager GT".into();
+        p.marketed = "16 GB".into();
         p.price_usd = 110;
         p.representative = false;
         p
@@ -527,11 +585,11 @@ pub mod catalog {
             channels: 2,
         };
         DeviceProfile {
-            id: "kingston-dti",
-            brand: "Kingston",
-            model: "DTI 4GB",
+            id: "kingston-dti".into(),
+            brand: "Kingston".into(),
+            model: "DTI 4GB".into(),
             kind: DeviceKind::UsbDrive,
-            marketed: "4 GB",
+            marketed: "4 GB".into(),
             price_usd: 17,
             representative: true,
             ftl: FtlSpec::BlockMap(BlockMapConfig {
@@ -559,10 +617,10 @@ pub mod catalog {
     /// seven presented devices).
     pub fn kingston_sd() -> DeviceProfile {
         let mut p = kingston_dti();
-        p.id = "kingston-sd";
-        p.model = "SD 4GB";
+        p.id = "kingston-sd".into();
+        p.model = "SD 4GB".into();
         p.kind = DeviceKind::SdCard;
-        p.marketed = "2 GB";
+        p.marketed = "2 GB".into();
         p.price_usd = 12;
         p.representative = false;
         p.controller = ControllerConfig {
@@ -604,9 +662,16 @@ pub mod catalog {
         ]
     }
 
-    /// Look a profile up by id.
+    /// Look a profile up by id, ignoring ASCII case (`Memoright` and
+    /// `MEMORIGHT` both find `memoright`).
     pub fn by_id(id: &str) -> Option<DeviceProfile> {
-        all().into_iter().find(|p| p.id == id)
+        all().into_iter().find(|p| p.id.eq_ignore_ascii_case(id))
+    }
+
+    /// The catalogue ids, in Table 2 order — for "unknown device"
+    /// error messages.
+    pub fn ids() -> Vec<String> {
+        all().into_iter().map(|p| p.id).collect()
     }
 }
 
@@ -629,7 +694,7 @@ mod tests {
     #[test]
     fn seven_representative_devices_match_table3_order() {
         let reps = catalog::representative();
-        let ids: Vec<&str> = reps.iter().map(|p| p.id).collect();
+        let ids: Vec<&str> = reps.iter().map(|p| p.id.as_str()).collect();
         assert_eq!(
             ids,
             vec![
@@ -649,6 +714,76 @@ mod tests {
     fn lookup_by_id() {
         assert!(catalog::by_id("memoright").is_some());
         assert!(catalog::by_id("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        // A user typing `--device Memoright` means the Memoright; the
+        // old lookup rebuilt the catalogue only to miss it.
+        assert_eq!(catalog::by_id("Memoright").unwrap().id, "memoright");
+        assert_eq!(catalog::by_id("KINGSTON-DTI").unwrap().id, "kingston-dti");
+        assert_eq!(catalog::ids().len(), 11);
+    }
+
+    #[test]
+    fn profiles_round_trip_through_json() {
+        for p in catalog::all() {
+            let back = super::DeviceProfile::from_json(&p.to_json()).expect("parse back");
+            assert_eq!(back.id, p.id);
+            assert_eq!(back.price_usd, p.price_usd);
+            assert_eq!(back.controller, p.controller);
+            assert_eq!(back.sim_capacity_bytes(), p.sim_capacity_bytes());
+            assert_eq!(back.ftl_family(), p.ftl_family());
+            // The JSON rendering itself is stable across one round trip.
+            assert_eq!(back.to_json(), p.to_json());
+        }
+        assert!(super::DeviceProfile::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn build_sim_seeds_diverge() {
+        // Regression for the `_seed` bug: two differently-seeded sims of
+        // the same profile must not produce identical traces, while
+        // equal seeds stay bit-identical.
+        let run = |seed: u64| -> Vec<std::time::Duration> {
+            let mut dev = catalog::memoright().build_sim(seed);
+            (0..64u64)
+                .map(|i| dev.write((i * 37 % 256) * 32 * 1024, 32 * 1024).unwrap())
+                .collect()
+        };
+        assert_eq!(run(1), run(1), "equal seeds are reproducible");
+        assert_ne!(run(1), run(2), "different seeds must diverge");
+    }
+
+    #[test]
+    fn fitted_profiles_honour_the_seed_too() {
+        // Fitted profiles use the passthrough (zero-overhead)
+        // controller; the jitter floor keeps their seed meaningful.
+        let curve = uflip_ftl::LatencyCurve::flat(150_000);
+        let profile = super::DeviceProfile::fitted(
+            "fit",
+            "test",
+            uflip_ftl::FittedFtlConfig {
+                capacity_bytes: 16 * 1024 * 1024,
+                channels: 2,
+                stripe_bytes: 2048,
+                parallel_fraction: 0.5,
+                read_seq: curve.clone(),
+                read_rand: curve.clone(),
+                write_seq: curve.clone(),
+                write_rand: curve,
+                align_granularity_bytes: 0,
+                align_penalty: 1.0,
+            },
+        );
+        let run = |seed: u64| -> Vec<std::time::Duration> {
+            let mut dev = profile.build_sim(seed);
+            (0..64u64)
+                .map(|i| dev.read((i * 13 % 512) * 2048, 2048).unwrap())
+                .collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "fitted sims must diverge across seeds");
     }
 
     #[test]

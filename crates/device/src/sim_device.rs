@@ -27,6 +27,7 @@
 use crate::block_device::BlockDevice;
 use crate::queue::{ChannelTracks, IoQueue, Token};
 use crate::Result;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
@@ -39,7 +40,7 @@ use uflip_patterns::{IoRequest, Mode};
 /// absence of mechanical parts, the software layers incur some overhead
 /// per IO operation." That overhead is `per_io_overhead_ns`; the
 /// interconnect (USB / IDE / SATA) contributes `len ÷ transfer_mb_s`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
     /// Fixed command-processing overhead per IO, nanoseconds.
     pub per_io_overhead_ns: u64,
@@ -81,6 +82,17 @@ impl ControllerConfig {
         }
     }
 
+    /// Identity controller for fitted profiles: the measured latency
+    /// curves already include command overhead and interconnect
+    /// transfer, so the controller must add nothing on top.
+    pub const fn passthrough() -> Self {
+        ControllerConfig {
+            per_io_overhead_ns: 0,
+            transfer_mb_s: 0,
+            pipelined_transfer: true,
+        }
+    }
+
     /// Transfer time for `len` bytes.
     pub fn transfer_ns(&self, len: u64) -> u64 {
         if self.transfer_mb_s == 0 {
@@ -99,7 +111,7 @@ impl ControllerConfig {
 /// LBA-hashing degrading under constant power-of-two strides (a known
 /// failure mode of die-assignment hashing) and calibrate the factor per
 /// profile. See DESIGN.md §4.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StrideQuirk {
     /// Minimum byte gap between consecutive writes to count as strided.
     pub min_stride: u64,
@@ -119,6 +131,12 @@ pub struct StrideQuirk {
 #[derive(Debug, Clone)]
 struct SimState {
     clock_ns: u64,
+    /// SplitMix64 state for the per-IO service-time jitter. `None`
+    /// until [`SimDevice::with_seed`] — devices built without a seed
+    /// (unit-test fixtures asserting exact schedules) draw no jitter.
+    /// Part of `SimState` so snapshots and clones replay the identical
+    /// jitter stream.
+    rng: Option<u64>,
     last_write_offset: Option<u64>,
     last_gap: Option<i128>,
     equal_gap_run: u32,
@@ -238,6 +256,7 @@ impl SimDevice {
             stride_quirk,
             state: SimState {
                 clock_ns: 0,
+                rng: None,
                 last_write_offset: None,
                 last_gap: None,
                 equal_gap_run: 0,
@@ -259,6 +278,38 @@ impl SimDevice {
     pub fn with_queue_depth(mut self, depth: u32) -> Self {
         self.state.queue_depth = depth.max(1);
         self
+    }
+
+    /// Seed the device's per-IO service-time jitter stream.
+    ///
+    /// Real controllers show sub-microsecond command-scheduling
+    /// variation between otherwise identical commands; the simulator
+    /// models it as a deterministic SplitMix64 stream adding up to
+    /// `per_io_overhead_ns / 64` (≈ 1.5 % of the command overhead —
+    /// floored at 64 ns so zero-overhead controllers, e.g. the
+    /// passthrough one fitted profiles use, still honour the seed —
+    /// far below every behaviour the paper measures) to each IO. Two
+    /// devices built with the same seed produce bit-identical traces;
+    /// different seeds diverge — which is what makes
+    /// `DeviceProfile::build_sim(seed)` honour its seed argument.
+    /// Devices never seeded draw no jitter at all.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.state.rng = Some(seed);
+        self
+    }
+
+    /// Draw the next service-time jitter in nanoseconds (SplitMix64).
+    fn draw_jitter(&mut self) -> u64 {
+        let Some(rng) = self.state.rng.as_mut() else {
+            return 0;
+        };
+        let range = (self.controller.per_io_overhead_ns / 64).max(64);
+        *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % (range + 1)
     }
 
     /// Access the underlying FTL (white-box statistics).
@@ -337,7 +388,7 @@ impl BlockDevice for SimDevice {
     fn read(&mut self, offset: u64, len: u64) -> Result<Duration> {
         self.check(offset, len)?;
         let flash = self.ftl.read(offset / 512, (len / 512) as u32)?;
-        let rt = self.compose(flash, len);
+        let rt = self.compose(flash, len) + self.draw_jitter();
         self.state.clock_ns += rt;
         self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
         Ok(Duration::from_nanos(rt))
@@ -348,7 +399,7 @@ impl BlockDevice for SimDevice {
         let factor = self.stride_factor(offset);
         let flash = self.ftl.write(offset / 512, (len / 512) as u32)?;
         let flash = (flash as f64 * factor) as u64;
-        let rt = self.compose(flash, len);
+        let rt = self.compose(flash, len) + self.draw_jitter();
         self.state.clock_ns += rt;
         self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
         Ok(Duration::from_nanos(rt))
@@ -492,7 +543,7 @@ impl IoQueue for SimDevice {
         let start = self.state.tracks.start_ns(admit, &busy);
         self.state.tracks.occupy(start, &busy);
         self.busy_delta = busy;
-        let rt = self.compose(flash, io.size);
+        let rt = self.compose(flash, io.size) + self.draw_jitter();
         let completion = start + rt;
         self.state.slots.push(Reverse(completion));
         self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(completion);

@@ -29,6 +29,7 @@
 //!   appends out-of-order writes freely and only pays a periodic
 //!   compaction, making local random writes as cheap as sequential ones.
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::addr::LogicalLayout;
@@ -42,7 +43,7 @@ use uflip_nand::{Batch, BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats
 const UNMAPPED: u32 = u32::MAX;
 
 /// How the replacement area of an open AU accepts writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReplacementPolicy {
     /// Chunks must be written in ascending order. Out-of-order writes
     /// trigger replacement maintenance that recopies a firmware-specific
@@ -65,7 +66,7 @@ pub enum ReplacementPolicy {
 }
 
 /// Configuration of a [`BlockMapFtl`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct BlockMapConfig {
     /// NAND array backing the FTL.
     pub array: NandArrayConfig,

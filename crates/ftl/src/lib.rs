@@ -28,6 +28,12 @@
 //!   (Figure 4), severe in-place/reverse pathologies and the small-IO
 //!   write penalty (Figure 7).
 //!
+//! A fourth, non-mechanistic family closes the calibration loop:
+//! [`FittedFtl`] serves IOs from measured per-mode latency curves — the
+//! output of `uflip_core::calibrate` run against any device, simulated
+//! or real — so a fitted profile predicts behaviour without knowing the
+//! device's internals.
+//!
 //! All FTLs implement the [`Ftl`] trait: timed `read`/`write` in 512-byte
 //! sectors plus an `on_idle` hook that models background work. Costs are
 //! *computed*, not scripted: every host IO is translated into NAND
@@ -41,6 +47,7 @@
 pub mod addr;
 pub mod block_map;
 pub mod error;
+pub mod fitted;
 pub mod free_pool;
 pub mod group;
 pub mod log_block;
@@ -52,6 +59,7 @@ pub mod write_cache;
 pub use addr::{LogicalLayout, SECTOR_BYTES};
 pub use block_map::{BlockMapConfig, BlockMapFtl, ReplacementPolicy};
 pub use error::FtlError;
+pub use fitted::{FittedFtl, FittedFtlConfig, LatencyCurve};
 pub use free_pool::FreePool;
 pub use log_block::{HybridLogConfig, HybridLogFtl};
 pub use page_map::{PageMapConfig, PageMapFtl};

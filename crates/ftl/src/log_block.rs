@@ -25,6 +25,7 @@
 //! ×0.6 in-place pattern) and reorders descending streams into ascending
 //! ones before they reach the flash (Samsung's benign reverse pattern).
 
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use crate::addr::LogicalLayout;
@@ -39,7 +40,7 @@ use uflip_nand::{Batch, BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats
 const UNMAPPED: u32 = u32::MAX;
 
 /// Configuration of a [`HybridLogFtl`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct HybridLogConfig {
     /// NAND array backing the FTL.
     pub array: NandArrayConfig,

@@ -32,12 +32,13 @@ use crate::free_pool::FreePool;
 use crate::stats::FtlStats;
 use crate::traits::Ftl;
 use crate::Result;
+use serde::{Deserialize, Serialize};
 use uflip_nand::{Batch, NandArray, NandArrayConfig, NandOp, NandStats, PageAddr};
 
 const UNMAPPED: u32 = u32::MAX;
 
 /// Configuration of a [`PageMapFtl`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PageMapConfig {
     /// NAND array backing the FTL.
     pub array: NandArrayConfig,

@@ -16,10 +16,11 @@
 //!   page number, so a *reverse* sequential stream (Incr = −1) leaves
 //!   the cache as an ascending stream and merges cheaply.
 
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Configuration of a [`WriteCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteCacheConfig {
     /// Capacity in logical pages. 0 disables the cache.
     pub capacity_pages: usize,

@@ -17,9 +17,10 @@ use crate::chip::{Chip, ChipConfig};
 use crate::error::NandError;
 use crate::ops::NandOp;
 use crate::Result;
+use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`NandArray`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct NandArrayConfig {
     /// Per-chip configuration (all chips identical, as in real devices).
     pub chip: ChipConfig,

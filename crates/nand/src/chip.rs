@@ -1,5 +1,6 @@
 //! Single NAND chip simulator: state, protocol checks, timing.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::error::NandError;
@@ -26,7 +27,7 @@ pub enum PageState {
 /// effects of writing a series of cells". SLC chips historically tolerated
 /// out-of-order partial-page programming; large-block MLC chips require
 /// strictly ascending (and usually dense) page order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProgramOrder {
     /// Any erased page may be programmed in any order (small SLC chips).
     Any,
@@ -37,7 +38,7 @@ pub enum ProgramOrder {
 }
 
 /// Static configuration of a chip.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ChipConfig {
     /// Physical geometry.
     pub geometry: NandGeometry,

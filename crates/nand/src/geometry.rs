@@ -5,13 +5,14 @@
 //! and a page holds a data area (typically 2 KB) plus a small out-of-band
 //! (OOB) area (typically 64 B) for ECC and bookkeeping.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Geometry of one NAND chip and of the array that contains it.
 ///
 /// All derived quantities (`block_bytes`, `chip_bytes`, …) are computed
 /// from the five primitive fields so profiles only specify primitives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NandGeometry {
     /// Bytes in the data area of one flash page (e.g. 2048 or 4096).
     pub page_data_bytes: u32,

@@ -14,13 +14,14 @@
 //! findings are about *ratios and shapes*, which emerge from the FTL
 //! mechanics layered on top.
 
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Nanoseconds in a microsecond, for readable latency constants.
 pub const NANOS_PER_MICRO: u64 = 1_000;
 
 /// Latency parameters of one NAND chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NandTiming {
     /// Array-to-register page read time (tR), nanoseconds.
     pub read_page_ns: u64,

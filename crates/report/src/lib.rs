@@ -9,6 +9,9 @@
 //!   parameter sweeps (Figure 8 and the Partitioning column);
 //! * [`hints`] — the seven design hints of §5.3, each evaluated against
 //!   measured data rather than asserted;
+//! * [`residual`] — calibration residuals: a measured device against
+//!   the prediction of its fitted profile (`uflip_core::calibrate`),
+//!   as CSV + ASCII overlay;
 //! * [`trace`] — workload features of captured/generated IO traces
 //!   (mix, inter-arrival pacing, queue-depth distribution, locality);
 //! * [`ascii_plot`] — terminal scatter/line plots used by the bench
@@ -25,6 +28,7 @@ pub mod hints;
 pub mod json;
 pub mod locality;
 pub mod partition;
+pub mod residual;
 pub mod summary;
 pub mod trace;
 pub mod wear;

@@ -1,0 +1,276 @@
+//! Calibration residuals: measured device vs fitted-profile prediction.
+//!
+//! After `uflip_core::calibrate` fits a profile, re-measuring the
+//! fitted simulation under the same reduced plan
+//! (`uflip_core::calibrate::predict`) gives a point-by-point prediction
+//! for every micro-benchmark sweep. This module pairs the two into a
+//! residual table (CSV) and an ASCII overlay plot, so a calibration
+//! session ends with an honest statement of where the fitted model
+//! tracks the device and where it does not.
+
+use serde::Serialize;
+use uflip_core::calibrate::CalibrationMeasurement;
+
+use crate::ascii_plot::{plot, PlotConfig};
+
+/// One measured-vs-predicted pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResidualRow {
+    /// Micro-benchmark the point came from (`granularity`, `alignment`,
+    /// `qd-sweep`).
+    pub benchmark: &'static str,
+    /// Baseline mode (`SR`/`RR`/`SW`/`RW`) or probe pattern.
+    pub mode: &'static str,
+    /// The varying parameter (IO size, shift in bytes, or queue depth).
+    pub param: u64,
+    /// Measured value (ms for latency sweeps, IOPS for the QD sweep).
+    pub measured: f64,
+    /// Predicted value from the fitted profile, same unit.
+    pub predicted: f64,
+    /// `(predicted − measured) / measured`, percent.
+    pub residual_pct: f64,
+}
+
+/// The paired residual report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResidualReport {
+    /// Measured device name.
+    pub device: String,
+    /// Fitted profile id.
+    pub profile_id: String,
+    /// Every paired point.
+    pub rows: Vec<ResidualRow>,
+}
+
+fn pct(predicted: f64, measured: f64) -> f64 {
+    if measured.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (predicted - measured) / measured * 100.0
+    }
+}
+
+impl ResidualReport {
+    /// Pair a measurement with a fitted-profile prediction. Points are
+    /// matched by sweep parameter; unmatched points are skipped (the
+    /// two runs normally share a config, so none are).
+    pub fn build(
+        measured: &CalibrationMeasurement,
+        predicted: &CalibrationMeasurement,
+        profile_id: impl Into<String>,
+    ) -> Self {
+        let mut rows = Vec::new();
+        let curves = [
+            ("SR", &measured.granularity_sr, &predicted.granularity_sr),
+            ("RR", &measured.granularity_rr, &predicted.granularity_rr),
+            ("SW", &measured.granularity_sw, &predicted.granularity_sw),
+            ("RW", &measured.granularity_rw, &predicted.granularity_rw),
+        ];
+        for (mode, m, p) in curves {
+            for mp in m.iter() {
+                if let Some(pp) = p.iter().find(|pp| pp.param == mp.param) {
+                    rows.push(ResidualRow {
+                        benchmark: "granularity",
+                        mode,
+                        param: mp.param,
+                        measured: mp.mean_ns / 1e6,
+                        predicted: pp.mean_ns / 1e6,
+                        residual_pct: pct(pp.mean_ns, mp.mean_ns),
+                    });
+                }
+            }
+        }
+        for mp in &measured.alignment_rw {
+            if let Some(pp) = predicted
+                .alignment_rw
+                .iter()
+                .find(|pp| pp.param == mp.param)
+            {
+                rows.push(ResidualRow {
+                    benchmark: "alignment",
+                    mode: "RW",
+                    param: mp.param,
+                    measured: mp.mean_ns / 1e6,
+                    predicted: pp.mean_ns / 1e6,
+                    residual_pct: pct(pp.mean_ns, mp.mean_ns),
+                });
+            }
+        }
+        for mp in &measured.qd_sweep {
+            if let Some(pp) = predicted
+                .qd_sweep
+                .iter()
+                .find(|pp| pp.queue_depth == mp.queue_depth)
+            {
+                if mp.iops.is_finite() && pp.iops.is_finite() {
+                    rows.push(ResidualRow {
+                        benchmark: "qd-sweep",
+                        mode: "probe",
+                        param: u64::from(mp.queue_depth),
+                        measured: mp.iops,
+                        predicted: pp.iops,
+                        residual_pct: pct(pp.iops, mp.iops),
+                    });
+                }
+            }
+        }
+        ResidualReport {
+            device: measured.device.clone(),
+            profile_id: profile_id.into(),
+            rows,
+        }
+    }
+
+    /// Largest absolute residual, percent.
+    pub fn max_abs_residual_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.residual_pct.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The residual table as CSV.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.benchmark.to_string(),
+                    r.mode.to_string(),
+                    r.param.to_string(),
+                    format!("{:.6}", r.measured),
+                    format!("{:.6}", r.predicted),
+                    format!("{:.3}", r.residual_pct),
+                ]
+            })
+            .collect();
+        crate::csv::to_csv(
+            &[
+                "benchmark",
+                "mode",
+                "param",
+                "measured",
+                "predicted",
+                "residual_pct",
+            ],
+            &rows,
+        )
+    }
+
+    /// ASCII overlay of the measured and predicted granularity curves
+    /// (log-log), the sweep the fitted model is built from.
+    pub fn ascii_plot(&self) -> String {
+        let series_of = |bench: &str, mode: &str, predicted: bool| -> Vec<(f64, f64)> {
+            self.rows
+                .iter()
+                .filter(|r| r.benchmark == bench && r.mode == mode)
+                .map(|r| {
+                    (
+                        r.param as f64,
+                        if predicted { r.predicted } else { r.measured },
+                    )
+                })
+                .collect()
+        };
+        let mut named: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for mode in ["SR", "RR", "SW", "RW"] {
+            for (suffix, predicted) in [("measured", false), ("fitted", true)] {
+                let pts = series_of("granularity", mode, predicted);
+                if !pts.is_empty() {
+                    named.push((format!("{mode} {suffix}"), pts));
+                }
+            }
+        }
+        let series: Vec<(&str, &[(f64, f64)])> = named
+            .iter()
+            .map(|(name, pts)| (name.as_str(), pts.as_slice()))
+            .collect();
+        plot(
+            &format!(
+                "{}: granularity sweep, measured vs fitted (ms vs IO bytes)",
+                self.device
+            ),
+            &series,
+            &PlotConfig {
+                log_x: true,
+                log_y: true,
+                ..PlotConfig::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uflip_core::calibrate::{QdPoint, SweepPoint};
+
+    fn meas(scale: f64) -> CalibrationMeasurement {
+        let pts = |base: f64| {
+            vec![
+                SweepPoint {
+                    param: 512,
+                    mean_ns: base * scale,
+                },
+                SweepPoint {
+                    param: 2048,
+                    mean_ns: 2.0 * base * scale,
+                },
+            ]
+        };
+        CalibrationMeasurement {
+            device: "dev".into(),
+            capacity_bytes: 1 << 20,
+            granularity_sr: pts(1e5),
+            granularity_rr: pts(1.5e5),
+            granularity_sw: pts(3e5),
+            granularity_rw: pts(5e6),
+            alignment_rw: vec![
+                SweepPoint {
+                    param: 0,
+                    mean_ns: 5e6 * scale,
+                },
+                SweepPoint {
+                    param: 512,
+                    mean_ns: 8e6 * scale,
+                },
+            ],
+            qd_sweep: vec![QdPoint {
+                queue_depth: 1,
+                iops: 1000.0 * scale,
+                speedup_vs_qd1: 1.0,
+            }],
+            pinned_iops_deep: 1000.0,
+            pinned_iops_serial: 500.0,
+            spread_iops_deep: 4000.0,
+            probe_bytes: 2048,
+        }
+    }
+
+    #[test]
+    fn identical_measurements_have_zero_residuals() {
+        let r = ResidualReport::build(&meas(1.0), &meas(1.0), "fit");
+        assert_eq!(r.rows.len(), 4 * 2 + 2 + 1);
+        assert!(r.max_abs_residual_pct() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_prediction_reports_the_scale() {
+        let r = ResidualReport::build(&meas(1.0), &meas(1.1), "fit");
+        assert!((r.max_abs_residual_pct() - 10.0).abs() < 1e-6);
+        let row = &r.rows[0];
+        assert!((row.residual_pct - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_and_plot_render() {
+        let r = ResidualReport::build(&meas(1.0), &meas(0.95), "fit");
+        let csv = r.to_csv();
+        assert!(csv.starts_with("benchmark,mode,param,measured,predicted,residual_pct"));
+        assert_eq!(csv.lines().count(), 1 + r.rows.len());
+        let plot = r.ascii_plot();
+        assert!(plot.contains("SR measured"));
+        assert!(plot.contains("RW fitted"));
+    }
+}

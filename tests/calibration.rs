@@ -1,0 +1,75 @@
+//! Calibration subsystem integration: fitted-profile JSON round-trips,
+//! and self-calibration fidelity — calibrating a simulated device must
+//! recover its parameters (ISSUE 5 acceptance criteria).
+
+use uflip::core::calibrate::{calibrate, predict, CalibrationConfig};
+use uflip::device::profiles::catalog;
+use uflip::device::{BlockDevice, DeviceProfile, FtlSpec};
+
+/// Calibrating the simulated Memoright must recover its channel count
+/// exactly and its per-mode latencies within 10%.
+#[test]
+fn self_calibration_recovers_memoright() {
+    let profile = catalog::memoright();
+    let mut dev = profile.build_sim(7);
+    let cfg = CalibrationConfig::quick();
+    let out = calibrate(dev.as_mut(), &cfg, "fitted-memoright").expect("calibration");
+    let fitted = match &out.profile.ftl {
+        FtlSpec::Fitted(c) => c,
+        other => panic!("calibration must fit a Fitted profile, got {other:?}"),
+    };
+    assert_eq!(
+        fitted.channels, 16,
+        "the Memoright's 16 channels must be recovered exactly"
+    );
+    assert_eq!(
+        out.profile.sim_capacity_bytes(),
+        profile.sim_capacity_bytes()
+    );
+
+    // Latency fidelity: re-measuring the fitted profile under the same
+    // plan must reproduce the measured means within 10% at every
+    // granularity point of every mode.
+    let pred = predict(&out.profile, &cfg).expect("fitted re-measurement");
+    for ((code, meas), (_, fit)) in out.measurement.curves().iter().zip(pred.curves().iter()) {
+        for (m, p) in meas.iter().zip(fit.iter()) {
+            assert_eq!(m.param, p.param);
+            let rel = (p.mean_ns - m.mean_ns).abs() / m.mean_ns;
+            assert!(
+                rel < 0.10,
+                "{code} @ {} B: fitted {:.3} ms vs measured {:.3} ms ({:.1}% off)",
+                m.param,
+                p.mean_ns / 1e6,
+                m.mean_ns / 1e6,
+                rel * 100.0
+            );
+        }
+    }
+}
+
+/// Fitted profiles round-trip to JSON and back without loss.
+#[test]
+fn fitted_profile_round_trips_through_json() {
+    let mut dev = catalog::transcend_module().build_sim(3);
+    let mut cfg = CalibrationConfig::quick();
+    // Round-tripping does not need precision; shrink the run.
+    cfg.count = 16;
+    cfg.count_rw = 24;
+    cfg.ignore_rw = 4;
+    cfg.probe_count = 32;
+    cfg.state_coverage = 0.3;
+    let out = calibrate(dev.as_mut(), &cfg, "fitted-tm").expect("calibration");
+    let json = out.profile.to_json();
+    let back = DeviceProfile::from_json(&json).expect("parse back");
+    assert_eq!(back.id, out.profile.id);
+    let (a, b) = match (&out.profile.ftl, &back.ftl) {
+        (FtlSpec::Fitted(a), FtlSpec::Fitted(b)) => (a, b),
+        _ => panic!("fitted profiles must stay fitted through JSON"),
+    };
+    assert_eq!(a, b, "FittedFtlConfig must round-trip identically");
+    assert_eq!(back.to_json(), json, "re-serialization is stable");
+    // And the deserialized profile builds a working device.
+    let mut sim = back.build_sim(1);
+    assert!(sim.write(0, 4096).unwrap() > std::time::Duration::ZERO);
+    assert!(sim.read(0, 4096).unwrap() > std::time::Duration::ZERO);
+}
