@@ -56,7 +56,10 @@
 //! rather than a shared submission queue.
 
 use crate::run::RunResult;
+use crate::slab::TokenSlab;
 use crate::Result;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Duration;
 use uflip_device::{BlockDevice, DeviceError, Token};
 use uflip_patterns::{IoRequest, MixSpec, Mode, ParallelSpec, PatternSpec};
@@ -91,9 +94,18 @@ pub fn execute_run(dev: &mut dyn BlockDevice, spec: &PatternSpec) -> Result<RunR
     ))
 }
 
-/// Execute a mixed pattern synchronously. The per-IO trace is returned
-/// together with which sub-pattern each IO belonged to, so analyses can
-/// separate the majority and minority costs.
+/// Execute a mixed pattern, returning the run plus each IO's process
+/// tag (0 = sub-pattern a, 1 = b).
+///
+/// Mixed streams are a serial dependency chain — each IO is submitted
+/// only after the previous completes — so they deliberately use the
+/// synchronous `read`/`write` interface even on queue-capable devices.
+/// The queue engine admits against per-channel busy tracks, where
+/// background work (log merges, reclamation) parks time that the
+/// synchronous path charges differently; riding the queue at depth 1
+/// would therefore let a GC tail from one write delay the next IO and
+/// change measured response times. Keeping the synchronous path keeps
+/// the Mix micro-benchmark bit-stable with every earlier result.
 pub fn execute_mixed(dev: &mut dyn BlockDevice, mix: &MixSpec) -> Result<(RunResult, Vec<u16>)> {
     let start = dev.now();
     let mut rts = Vec::with_capacity(mix.io_count as usize);
@@ -140,14 +152,28 @@ pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result
 /// invariant is relaxed rather than enforced — a completion observed
 /// late can yield a submission dated before an already-submitted IO,
 /// which the device clamps to "now" (see `uflip_device::queue`).
+///
+/// ## The event calendar
+///
+/// Runnable processes live in a binary-heap **calendar** keyed by
+/// `(submission instant, process index)`: one entry per process whose
+/// next IO is ready to go. A process leaves the calendar when its IO is
+/// submitted and re-enters when that IO completes (with its next IO's
+/// instant). Selecting the next submission is therefore O(log n)
+/// instead of the linear scan over every process the loop used to pay
+/// per iteration — with ties broken toward the lower process index,
+/// exactly the first-minimal element `min_by_key` picked, so the
+/// schedule is bit-identical to the scan
+/// ([`execute_parallel_queued_reference`] keeps the old loop as the
+/// behavioral reference).
 fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result<RunResult> {
-    let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
+    let specs = par.process_specs();
+    let total_ios: usize = specs.iter().map(|s| s.io_count as usize).sum();
+    let mut streams: Vec<_> = specs.into_iter().map(|s| s.iter()).collect();
     let n = streams.len();
     let base = dev.now();
     let mut ready: Vec<Duration> = vec![base; n];
     let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
-    // Processes are synchronous: `blocked[p]` while p's IO is in flight.
-    let mut blocked = vec![false; n];
     let queue = dev
         .io_queue()
         .expect("caller verified the device is queue-capable");
@@ -158,23 +184,163 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
     if let Some(depth) = par.queue_depth {
         queue.set_queue_depth(depth)?;
     }
+    let mut calendar: BinaryHeap<Reverse<(Duration, usize)>> = BinaryHeap::with_capacity(n);
+    for (p, io) in pending.iter().enumerate() {
+        if let Some(io) = io {
+            calendar.push(Reverse((ready[p] + io.submit_delay, p)));
+        }
+    }
     // Token bookkeeping: submission order index and times per in-flight
     // IO, so completions can be turned into response times and traced
     // back to their process.
-    let mut inflight = InflightSlab::new();
+    let mut inflight: TokenSlab<(usize, Duration, usize)> = TokenSlab::new();
+    let mut rts: Vec<Duration> = Vec::with_capacity(total_ios);
+    let mut seq = 0usize;
+    let mut last_completion = base;
+    loop {
+        // Earliest-submitting runnable process, if any.
+        let Some(&Reverse((submit, p))) = calendar.peek() else {
+            // Nothing left to submit: drain the queue.
+            match queue.poll() {
+                Some((token, completion)) => {
+                    retire(
+                        &mut inflight,
+                        &mut calendar,
+                        &mut ready,
+                        &pending,
+                        &mut rts,
+                        token,
+                        completion,
+                    );
+                    last_completion = last_completion.max(completion);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        // Retire completions that precede this submission: they may
+        // unblock a process with an even earlier arrival.
+        if let Some(next_done) = queue.next_completion() {
+            if next_done <= submit {
+                let (token, completion) = queue.poll().expect("peeked completion exists");
+                retire(
+                    &mut inflight,
+                    &mut calendar,
+                    &mut ready,
+                    &pending,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+                continue;
+            }
+        }
+        calendar.pop();
+        let io = pending[p].take().expect("calendar entries have an IO");
+        match queue.submit(&io, submit) {
+            Ok(token) => {
+                inflight.insert(token, (p, submit, seq));
+                seq += 1;
+                rts.push(Duration::ZERO); // placeholder until completion
+                pending[p] = streams[p].next();
+                // p re-enters the calendar when this IO completes.
+            }
+            Err(DeviceError::QueueFull { .. }) => {
+                // Back-pressure: retire one completion and retry.
+                pending[p] = Some(io);
+                calendar.push(Reverse((submit, p)));
+                let (token, completion) = queue
+                    .poll()
+                    .expect("a full queue has in-flight IOs to poll");
+                retire(
+                    &mut inflight,
+                    &mut calendar,
+                    &mut ready,
+                    &pending,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if queue.queue_depth() != device_depth {
+        queue.set_queue_depth(device_depth)?;
+    }
+    Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
+}
+
+/// Book a completed IO: compute its response time into `rts` (indexed
+/// by submission order) and return its process to the calendar with
+/// the submission instant of the process's next IO.
+#[allow(clippy::too_many_arguments)]
+fn retire(
+    inflight: &mut TokenSlab<(usize, Duration, usize)>,
+    calendar: &mut BinaryHeap<Reverse<(Duration, usize)>>,
+    ready: &mut [Duration],
+    pending: &[Option<IoRequest>],
+    rts: &mut [Duration],
+    token: Token,
+    completion: Duration,
+) {
+    let (p, submit, seq) = inflight.remove(token);
+    rts[seq] = completion - submit;
+    ready[p] = completion;
+    if let Some(io) = &pending[p] {
+        calendar.push(Reverse((completion + io.submit_delay, p)));
+    }
+}
+
+/// The pre-calendar queued executor: per-iteration linear scan over
+/// every process for the earliest submission. Kept as the behavioral
+/// reference the calendar loop must match bit-for-bit — the
+/// equivalence property tests drive both against cloned devices and
+/// assert identical [`RunResult`]s.
+pub fn execute_parallel_queued_reference(
+    dev: &mut dyn BlockDevice,
+    par: &ParallelSpec,
+) -> Result<RunResult> {
+    let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
+    let n = streams.len();
+    let base = dev.now();
+    let mut ready: Vec<Duration> = vec![base; n];
+    let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
+    // Processes are synchronous: `blocked[p]` while p's IO is in flight.
+    let mut blocked = vec![false; n];
+    let queue = dev
+        .io_queue()
+        .expect("caller verified the device is queue-capable");
+    let device_depth = queue.queue_depth();
+    if let Some(depth) = par.queue_depth {
+        queue.set_queue_depth(depth)?;
+    }
+    let mut inflight: TokenSlab<(usize, Duration, usize)> = TokenSlab::new();
     let mut rts: Vec<Duration> = Vec::new();
     let mut seq = 0usize;
     let mut last_completion = base;
+    let retire_one = |inflight: &mut TokenSlab<(usize, Duration, usize)>,
+                      blocked: &mut [bool],
+                      ready: &mut [Duration],
+                      rts: &mut [Duration],
+                      token: Token,
+                      completion: Duration| {
+        let (p, submit, sq) = inflight.remove(token);
+        rts[sq] = completion - submit;
+        blocked[p] = false;
+        ready[p] = completion;
+    };
     loop {
         // Earliest-submitting runnable process, if any.
         let candidate = (0..n)
             .filter(|&p| !blocked[p] && pending[p].is_some())
             .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay);
         let Some(p) = candidate else {
-            // Nothing left to submit: drain the queue.
             match queue.poll() {
                 Some((token, completion)) => {
-                    retire(
+                    retire_one(
                         &mut inflight,
                         &mut blocked,
                         &mut ready,
@@ -193,12 +359,10 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
                 .as_ref()
                 .expect("candidate has an IO")
                 .submit_delay;
-        // Retire completions that precede this submission: they may
-        // unblock a process with an even earlier arrival.
         if let Some(next_done) = queue.next_completion() {
             if next_done <= submit {
                 let (token, completion) = queue.poll().expect("peeked completion exists");
-                retire(
+                retire_one(
                     &mut inflight,
                     &mut blocked,
                     &mut ready,
@@ -213,19 +377,18 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
         let io = pending[p].take().expect("candidate has an IO");
         match queue.submit(&io, submit) {
             Ok(token) => {
-                inflight.insert(token, p, submit, seq);
+                inflight.insert(token, (p, submit, seq));
                 seq += 1;
-                rts.push(Duration::ZERO); // placeholder until completion
+                rts.push(Duration::ZERO);
                 blocked[p] = true;
                 pending[p] = streams[p].next();
             }
             Err(DeviceError::QueueFull { .. }) => {
-                // Back-pressure: retire one completion and retry.
                 pending[p] = Some(io);
                 let (token, completion) = queue
                     .poll()
                     .expect("a full queue has in-flight IOs to poll");
-                retire(
+                retire_one(
                     &mut inflight,
                     &mut blocked,
                     &mut ready,
@@ -242,68 +405,6 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
         queue.set_queue_depth(device_depth)?;
     }
     Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
-}
-
-/// In-flight IO bookkeeping, indexed directly by token.
-///
-/// [`Token`]s issued by one queue count up from 0 in submission order
-/// (see [`Token::raw`]), so `raw − base` — where `base` is the first
-/// token this run observed — is a dense slab index. Insert and remove
-/// are O(1); the old linear `Vec::position` scan made every retire
-/// O(in-flight), turning deep-queue replays quadratic.
-#[derive(Debug, Default)]
-struct InflightSlab {
-    /// Raw value of the run's first token (tokens are device-global,
-    /// so a run rarely starts at 0).
-    base: Option<u64>,
-    /// `(process, submit time, submission index)` per open token.
-    slots: Vec<Option<(usize, Duration, usize)>>,
-}
-
-impl InflightSlab {
-    fn new() -> Self {
-        Self::default()
-    }
-
-    fn index(&self, token: Token) -> usize {
-        let base = self.base.expect("insert fixes the base first");
-        usize::try_from(token.raw() - base).expect("token offsets fit a slab index")
-    }
-
-    fn insert(&mut self, token: Token, proc: usize, submit: Duration, seq: usize) {
-        if self.base.is_none() {
-            self.base = Some(token.raw());
-        }
-        let idx = self.index(token);
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
-        }
-        debug_assert!(self.slots[idx].is_none(), "token reused while in flight");
-        self.slots[idx] = Some((proc, submit, seq));
-    }
-
-    fn remove(&mut self, token: Token) -> (usize, Duration, usize) {
-        let idx = self.index(token);
-        self.slots[idx]
-            .take()
-            .expect("completed token was submitted")
-    }
-}
-
-/// Book a completed IO: compute its response time into `rts` (indexed
-/// by submission order) and unblock its process.
-fn retire(
-    inflight: &mut InflightSlab,
-    blocked: &mut [bool],
-    ready: &mut [Duration],
-    rts: &mut [Duration],
-    token: Token,
-    completion: Duration,
-) {
-    let (p, submit, seq) = inflight.remove(token);
-    rts[seq] = completion - submit;
-    blocked[p] = false;
-    ready[p] = completion;
 }
 
 /// Host-side virtual-time interleaving over a device that serves one

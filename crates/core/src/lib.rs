@@ -43,6 +43,7 @@ pub mod methodology;
 pub mod micro;
 pub mod replay;
 pub mod run;
+pub mod slab;
 pub mod stats;
 pub mod suite;
 

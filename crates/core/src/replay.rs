@@ -34,10 +34,11 @@
 //! as a host thread would measure it.
 
 use crate::run::RunResult;
+use crate::slab::TokenSlab;
 use crate::Result;
 use std::time::Duration;
 use uflip_device::{BlockDevice, DeviceError, Token};
-use uflip_patterns::Mode;
+use uflip_patterns::{IoRequest, Mode};
 use uflip_trace::Trace;
 
 /// How to schedule a trace's submissions (see the module docs).
@@ -102,6 +103,13 @@ pub fn replay_trace(
 /// permits. Submissions stay non-decreasing in virtual time — the
 /// queue contract — because record order, completion times and the
 /// running cursor are all monotone.
+///
+/// Open-loop replay is the engine's fast path: every record in a wave
+/// shares the same submission instant (the cursor), so waves go down
+/// through [`IoQueue::submit_batch`] — one virtual dispatch per wave —
+/// and completions come back through [`IoQueue::poll_upto`] and the
+/// final drain. Per-IO state lives in a [`TokenSlab`] (O(1) retire;
+/// the linear in-flight scan it replaced made deep queues quadratic).
 fn replay_queued(
     dev: &mut dyn BlockDevice,
     trace: &Trace,
@@ -116,61 +124,111 @@ fn replay_queued(
     let t0 = trace.records[0].submit_ns;
     let n = trace.records.len();
     let mut rts = vec![Duration::ZERO; n];
-    // (token, record index, intended submission time)
-    let mut inflight: Vec<(Token, usize, Duration)> = Vec::new();
+    // (record index, intended submission time) per in-flight IO.
+    let mut inflight: TokenSlab<(usize, Duration)> = TokenSlab::new();
+    let mut retired: Vec<(Token, Duration)> = Vec::with_capacity(depth as usize + 1);
     let mut last_completion = base;
     // Earliest time the next submission may carry (keeps `at`
     // monotone once back-pressure pushes past the recorded schedule).
     let mut cursor = base;
-    for (i, rec) in trace.records.iter().enumerate() {
-        let target = if faithful {
-            base + Duration::from_nanos(rec.submit_ns - t0)
-        } else {
-            cursor
-        };
-        // Retire completions that precede this submission; in faithful
-        // mode they also keep idle-gap accounting exact.
-        while let Some(done) = queue.next_completion() {
-            if done > target {
-                break;
+    // Leave the device usable on error: drain what is in flight and
+    // restore its own depth before reporting the bad record (e.g. a
+    // trace captured on a larger device replayed past this one's
+    // capacity).
+    macro_rules! bail {
+        ($queue:ident, $e:expr) => {{
+            while $queue.poll().is_some() {}
+            if $queue.queue_depth() != device_depth {
+                let _ = $queue.set_queue_depth(device_depth);
             }
-            let (token, completion) = queue.poll().expect("peeked completion exists");
-            retire(&mut inflight, &mut rts, token, completion);
-            last_completion = last_completion.max(completion);
-        }
-        let io = rec.io_request(i as u64);
-        let mut at = target.max(cursor);
-        loop {
-            match queue.submit(&io, at) {
-                Ok(token) => {
-                    inflight.push((token, i, target));
-                    cursor = at;
-                    break;
+            return Err($e);
+        }};
+    }
+    if faithful {
+        for (i, rec) in trace.records.iter().enumerate() {
+            let target = base + Duration::from_nanos(rec.submit_ns - t0);
+            // Retire completions that precede this submission; they
+            // also keep idle-gap accounting exact.
+            queue.poll_upto(target, &mut retired);
+            for &(token, completion) in &retired {
+                book(&mut inflight, &mut rts, token, completion);
+                last_completion = last_completion.max(completion);
+            }
+            retired.clear();
+            let io = rec.io_request(i as u64);
+            let mut at = target.max(cursor);
+            loop {
+                match queue.submit(&io, at) {
+                    Ok(token) => {
+                        inflight.insert(token, (i, target));
+                        cursor = at;
+                        break;
+                    }
+                    Err(DeviceError::QueueFull { .. }) => {
+                        let (token, completion) = queue
+                            .poll()
+                            .expect("a full queue has in-flight IOs to poll");
+                        book(&mut inflight, &mut rts, token, completion);
+                        last_completion = last_completion.max(completion);
+                        at = at.max(completion);
+                    }
+                    Err(e) => bail!(queue, e),
                 }
-                Err(DeviceError::QueueFull { .. }) => {
+            }
+        }
+    } else {
+        // Open loop: waves of records submitted back-to-back at the
+        // cursor. Deferring retires to the back-pressure point changes
+        // nothing observable — retiring has no device side effects, a
+        // submission at the cursor never opens an idle gap (scheduled
+        // completions always run past it), and response times index a
+        // slab, not an ordering.
+        const WAVE: usize = 64;
+        let mut ios: Vec<IoRequest> = Vec::with_capacity(WAVE.min(n));
+        let mut tokens: Vec<Token> = Vec::with_capacity(WAVE.min(n));
+        let mut i = 0usize;
+        while i < n {
+            let end = (i + WAVE).min(n);
+            ios.clear();
+            for (k, rec) in trace.records[i..end].iter().enumerate() {
+                ios.push(rec.io_request((i + k) as u64));
+            }
+            let mut off = 0usize;
+            // A record's *intended* submission is the cursor when its
+            // turn begins — before any back-pressure poll taken on its
+            // behalf bumps the cursor. Only the first record of a
+            // post-poll batch can differ (its turn began earlier).
+            let mut turn_start = cursor;
+            while off < ios.len() {
+                tokens.clear();
+                let accepted = match queue.submit_batch(&ios[off..], cursor, &mut tokens) {
+                    Ok(a) => a,
+                    Err(e) => bail!(queue, e),
+                };
+                for (k, &token) in tokens.iter().enumerate() {
+                    let intended = if k == 0 { turn_start } else { cursor };
+                    inflight.insert(token, (i + off + k, intended));
+                }
+                off += accepted;
+                if accepted > 0 {
+                    turn_start = cursor;
+                }
+                if off < ios.len() {
+                    // Back-pressure: retire one completion; the cursor
+                    // may not precede it.
                     let (token, completion) = queue
                         .poll()
                         .expect("a full queue has in-flight IOs to poll");
-                    retire(&mut inflight, &mut rts, token, completion);
+                    book(&mut inflight, &mut rts, token, completion);
                     last_completion = last_completion.max(completion);
-                    at = at.max(completion);
-                }
-                Err(e) => {
-                    // Leave the device usable: drain what is in flight
-                    // and restore its own depth before reporting the
-                    // bad record (e.g. a trace captured on a larger
-                    // device replayed past this one's capacity).
-                    while queue.poll().is_some() {}
-                    if queue.queue_depth() != device_depth {
-                        let _ = queue.set_queue_depth(device_depth);
-                    }
-                    return Err(e);
+                    cursor = cursor.max(completion);
                 }
             }
+            i = end;
         }
     }
     while let Some((token, completion)) = queue.poll() {
-        retire(&mut inflight, &mut rts, token, completion);
+        book(&mut inflight, &mut rts, token, completion);
         last_completion = last_completion.max(completion);
     }
     if queue.queue_depth() != device_depth {
@@ -181,17 +239,13 @@ fn replay_queued(
 
 /// Book a queued completion: response time = completion − intended
 /// submission.
-fn retire(
-    inflight: &mut Vec<(Token, usize, Duration)>,
+fn book(
+    inflight: &mut TokenSlab<(usize, Duration)>,
     rts: &mut [Duration],
     token: Token,
     completion: Duration,
 ) {
-    let idx = inflight
-        .iter()
-        .position(|(t, _, _)| *t == token)
-        .expect("completed token was submitted");
-    let (_, seq, intended) = inflight.swap_remove(idx);
+    let (seq, intended) = inflight.remove(token);
     rts[seq] = completion - intended;
 }
 

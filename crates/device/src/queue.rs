@@ -110,6 +110,59 @@ pub trait IoQueue {
     /// flight. Wall-clock queues block here until a completion
     /// arrives (see the module docs).
     fn poll(&mut self) -> Option<(Token, Duration)>;
+
+    /// Batch submit: hand the device `ios` in order, all at time `at`,
+    /// pushing one token per accepted IO onto `tokens`. Stops — without
+    /// error — at the first [`crate::DeviceError::QueueFull`] and
+    /// returns how many IOs were accepted; the caller retires a
+    /// completion and re-submits the remainder. Any other error aborts
+    /// the batch after the accepted prefix.
+    ///
+    /// One virtual dispatch covers the whole wave: the default body
+    /// calls `self.submit` statically on the implementing type, so
+    /// event loops driving `&mut dyn IoQueue` pay the indirection once
+    /// per wave instead of once per IO.
+    fn submit_batch(
+        &mut self,
+        ios: &[IoRequest],
+        at: Duration,
+        tokens: &mut Vec<Token>,
+    ) -> Result<usize> {
+        let depth = self.queue_depth() as usize;
+        for (accepted, io) in ios.iter().enumerate() {
+            // A full queue is the steady state under back-pressure;
+            // stop before `submit` so the hot path never builds (and
+            // drops) a QueueFull error per IO.
+            if self.in_flight() >= depth {
+                return Ok(accepted);
+            }
+            match self.submit(io, at) {
+                Ok(t) => tokens.push(t),
+                Err(crate::DeviceError::QueueFull { .. }) => return Ok(accepted),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(ios.len())
+    }
+
+    /// Batch retire: pop every in-flight completion at or before
+    /// `upto`, appending `(token, completion)` pairs in completion
+    /// order, and return how many were retired. Wall-clock queues
+    /// retire only completions that have already landed (their
+    /// `next_completion` never reports future ones), so this never
+    /// blocks.
+    fn poll_upto(&mut self, upto: Duration, out: &mut Vec<(Token, Duration)>) -> usize {
+        let mut n = 0;
+        while let Some(done) = self.next_completion() {
+            if done > upto {
+                break;
+            }
+            let (token, completion) = self.poll().expect("peeked completion exists");
+            out.push((token, completion));
+            n += 1;
+        }
+        n
+    }
 }
 
 /// Per-channel busy tracks: the scheduling core shared by queue

@@ -224,9 +224,13 @@ impl Clone for SimDevice {
             controller: self.controller,
             stride_quirk: self.stride_quirk,
             state: self.state.clone(),
-            busy_before: Vec::new(),
-            busy_after: Vec::new(),
-            busy_delta: Vec::new(),
+            // Scratch buffers carry no state, but a clone that starts
+            // them empty pays three fresh channel-sized growths on its
+            // first queued IO — measurable when forks run short
+            // benchmark shards. Pre-size to the donor's working set.
+            busy_before: Vec::with_capacity(self.busy_before.capacity()),
+            busy_after: Vec::with_capacity(self.busy_after.capacity()),
+            busy_delta: Vec::with_capacity(self.busy_delta.capacity()),
         }
     }
 }

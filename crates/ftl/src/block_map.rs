@@ -38,7 +38,7 @@ use crate::group::StripeGroups;
 use crate::stats::FtlStats;
 use crate::traits::Ftl;
 use crate::Result;
-use uflip_nand::{Batch, BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
+use uflip_nand::{BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
 
 const UNMAPPED: u32 = u32::MAX;
 
@@ -220,34 +220,31 @@ impl BlockMapFtl {
         self.free.pop_front().ok_or(FtlError::OutOfPhysicalBlocks)
     }
 
-    fn erase_group_ops(&self, phys: u32, batch: &mut Batch) {
-        for (chip, block) in self.groups.blocks(phys) {
-            batch.push(NandOp::EraseBlock(BlockAddr { chip, block }));
+    /// Stream the erase of every block of physical group `phys` (the
+    /// caller owns the [`NandArray::stream_begin`] stream).
+    fn stream_erase_group(&mut self, phys: u32) -> Result<()> {
+        let groups = self.groups;
+        for (chip, block) in groups.blocks(phys) {
+            self.array
+                .stream_op(NandOp::EraseBlock(BlockAddr { chip, block }))?;
         }
+        Ok(())
     }
 
-    /// Copy `count` chunks' worth of pages from `src` to `dst` physical
-    /// groups, starting at chunk `first_chunk`. Appends ops to `batch`.
-    /// When `src` is `None` (never-written AU), only programs are issued
-    /// — there is nothing to read.
-    fn copy_chunk_ops(
-        &self,
+    /// Stream the copy of `count` chunks' worth of pages from `src` to
+    /// `dst` physical groups, starting at chunk `first_chunk`. When
+    /// `src` is `None` (never-written AU), only programs are issued —
+    /// there is nothing to read. The caller owns the stream.
+    fn stream_copy_chunks(
+        &mut self,
         src: Option<u32>,
         dst: u32,
         first_chunk: u32,
         count: u32,
-        batch: &mut Batch,
-    ) {
+    ) -> Result<()> {
+        let groups = self.groups;
         let ppc = self.pages_per_chunk();
-        for c in first_chunk..first_chunk + count {
-            for p in 0..ppc {
-                let j = c * ppc + p;
-                if let Some(src) = src {
-                    batch.push(NandOp::ReadPage(self.groups.page_addr(src, j)));
-                }
-                batch.push(NandOp::ProgramPage(self.groups.page_addr(dst, j)));
-            }
-        }
+        groups.stream_copy_run(&mut self.array, src, dst, first_chunk * ppc, count * ppc)
     }
 
     /// Close an open AU: preserve every chunk not written during the
@@ -290,29 +287,25 @@ impl BlockMapFtl {
         // replacement would collide with appended pages).
         let paged_dirty =
             matches!(self.cfg.policy, ReplacementPolicy::Paged) && au.written.iter().any(|&w| w);
-        let mut batch = Batch::new();
         let ns;
         if !paged_dirty && (src.is_none() || !holes_below) {
             // Appendable: copy the tail of unwritten chunks (if any old
             // data exists), erase the old group, promote the replacement.
+            self.array.stream_begin();
             let mut copied = 0u32;
             if src.is_some() {
                 let start = max_written.map(|m| m as u32 + 1).unwrap_or(0);
                 for c in start..nchunks {
                     if !au.written[c as usize] {
-                        self.copy_chunk_ops(src, au.repl, c, 1, &mut batch);
+                        self.stream_copy_chunks(src, au.repl, c, 1)?;
                         copied += 1;
                     }
                 }
             }
             if let Some(old) = src {
-                self.erase_group_ops(old, &mut batch);
+                self.stream_erase_group(old)?;
             }
-            ns = if batch.is_empty() {
-                0
-            } else {
-                self.array.execute(&batch)?
-            };
+            ns = self.array.stream_finish();
             if let Some(old) = src {
                 self.free.push_back(old);
             }
@@ -326,6 +319,7 @@ impl BlockMapFtl {
         } else {
             // Rebuild: merge replacement + old into a fresh group.
             let fresh = self.alloc_group()?;
+            self.array.stream_begin();
             for c in 0..nchunks {
                 let from = if au.written[c as usize] {
                     Some(au.repl)
@@ -333,14 +327,14 @@ impl BlockMapFtl {
                     src
                 };
                 if let Some(from) = from {
-                    self.copy_chunk_ops(Some(from), fresh, c, 1, &mut batch);
+                    self.stream_copy_chunks(Some(from), fresh, c, 1)?;
                 }
             }
-            self.erase_group_ops(au.repl, &mut batch);
+            self.stream_erase_group(au.repl)?;
             if let Some(old) = src {
-                self.erase_group_ops(old, &mut batch);
+                self.stream_erase_group(old)?;
             }
-            ns = self.array.execute(&batch)?;
+            ns = self.array.stream_finish();
             self.free.push_back(au.repl);
             if let Some(old) = src {
                 self.free.push_back(old);
@@ -403,10 +397,10 @@ impl BlockMapFtl {
         // The rebuild writes into a fresh replacement group; the old
         // replacement is erased and recycled.
         let fresh = self.alloc_group()?;
-        let mut batch = Batch::new();
-        self.copy_chunk_ops(src, fresh, 0, scope, &mut batch);
-        self.erase_group_ops(repl, &mut batch);
-        let ns = self.array.execute(&batch)?;
+        self.array.stream_begin();
+        self.stream_copy_chunks(src, fresh, 0, scope)?;
+        self.stream_erase_group(repl)?;
+        let ns = self.array.stream_finish();
         self.free.push_back(repl);
         self.open[idx].repl = fresh;
         // Chunks recopied into the fresh replacement count as written.
@@ -435,13 +429,13 @@ impl BlockMapFtl {
         };
         let old = self.data_map[lau as usize];
         let src = (old != UNMAPPED).then_some(old);
-        let mut batch = Batch::new();
         let ns;
         if all_written {
             // Promote the replacement; only the old group is erased.
             if let Some(old) = src {
-                self.erase_group_ops(old, &mut batch);
-                ns = self.array.execute(&batch)?;
+                self.array.stream_begin();
+                self.stream_erase_group(old)?;
+                ns = self.array.stream_finish();
                 self.free.push_back(old);
             } else {
                 ns = 0;
@@ -450,18 +444,13 @@ impl BlockMapFtl {
             self.stats.switch_merges += 1;
         } else {
             let fresh = self.alloc_group()?;
-            self.copy_chunk_ops(
-                src.or(Some(repl)),
-                fresh,
-                0,
-                self.chunks_per_au(),
-                &mut batch,
-            );
-            self.erase_group_ops(repl, &mut batch);
+            self.array.stream_begin();
+            self.stream_copy_chunks(src.or(Some(repl)), fresh, 0, self.chunks_per_au())?;
+            self.stream_erase_group(repl)?;
             if let Some(old) = src {
-                self.erase_group_ops(old, &mut batch);
+                self.stream_erase_group(old)?;
             }
-            ns = self.array.execute(&batch)?;
+            ns = self.array.stream_finish();
             self.free.push_back(repl);
             if let Some(old) = src {
                 self.free.push_back(old);
@@ -529,20 +518,23 @@ impl BlockMapFtl {
                 au.next_chunk = chunk + 1;
                 au.last_chunk = Some(chunk);
                 let old = self.data_map[lau as usize];
-                let mut batch = Batch::new();
                 if !already {
+                    let groups = self.groups;
+                    self.array.stream_begin();
                     // RMW: fetch the uncovered pages of the chunk.
                     if rmw_pages > 0 && old != UNMAPPED {
                         for p in 0..rmw_pages {
                             let j = chunk * ppc + covered_pages + p;
-                            batch.push(NandOp::ReadPage(self.groups.page_addr(old, j)));
+                            self.array
+                                .stream_op(NandOp::ReadPage(groups.page_addr(old, j)))?;
                         }
                     }
                     for p in 0..ppc {
                         let j = chunk * ppc + p;
-                        batch.push(NandOp::ProgramPage(self.groups.page_addr(repl, j)));
+                        self.array
+                            .stream_op(NandOp::ProgramPage(groups.page_addr(repl, j)))?;
                     }
-                    ns += self.array.execute(&batch)?;
+                    ns += self.array.stream_finish();
                 } else {
                     // The ooo penalty already rebuilt this chunk; the
                     // rewrite itself is covered by the rebuild programs.
@@ -565,17 +557,20 @@ impl BlockMapFtl {
                 au.written[chunk as usize] = true;
                 au.last_chunk = Some(chunk);
                 let old = self.data_map[lau as usize];
-                let mut batch = Batch::new();
+                let groups = self.groups;
+                self.array.stream_begin();
                 if rmw_pages > 0 && old != UNMAPPED {
                     for p in 0..rmw_pages {
                         let j = chunk * ppc + covered_pages + p;
-                        batch.push(NandOp::ReadPage(self.groups.page_addr(old, j)));
+                        self.array
+                            .stream_op(NandOp::ReadPage(groups.page_addr(old, j)))?;
                     }
                 }
                 for p in 0..need {
-                    batch.push(NandOp::ProgramPage(self.groups.page_addr(repl, start + p)));
+                    self.array
+                        .stream_op(NandOp::ProgramPage(groups.page_addr(repl, start + p)))?;
                 }
-                ns += self.array.execute(&batch)?;
+                ns += self.array.stream_finish();
                 // Compact *after* the append when the area is exactly
                 // full: a sequential episode that just wrote its last
                 // chunk qualifies for the cheap promote path (all
@@ -599,7 +594,8 @@ impl Ftl for BlockMapFtl {
         self.check_request(lba, sectors)?;
         let (first, last) = self.layout.page_span(lba, sectors);
         let ppa = self.pages_per_au() as u64;
-        let mut batch = Batch::new();
+        let groups = self.groups;
+        self.array.stream_begin();
         for lpn in first..last {
             let lau = lpn / ppa;
             let j = (lpn % ppa) as u32;
@@ -617,14 +613,11 @@ impl Ftl for BlockMapFtl {
                 }
             };
             if let Some(src) = src {
-                batch.push(NandOp::ReadPage(self.groups.page_addr(src, j)));
+                self.array
+                    .stream_op(NandOp::ReadPage(groups.page_addr(src, j)))?;
             }
         }
-        let ns = if batch.is_empty() {
-            0
-        } else {
-            self.array.execute(&batch)?
-        };
+        let ns = self.array.stream_finish();
         self.stats.host_reads += 1;
         self.stats.sectors_read += sectors as u64;
         Ok(ns)

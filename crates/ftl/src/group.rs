@@ -14,7 +14,7 @@
 //!   period of the sequential-write oscillation in Figure 4 (≈ 128 IOs
 //!   of 32 KB ⇒ 4 MB AU).
 
-use uflip_nand::{NandGeometry, PageAddr};
+use uflip_nand::{NandArray, NandGeometry, PageAddr};
 
 /// Geometry of stripe groups over a chip array.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +42,16 @@ impl StripeGroups {
     /// Total number of groups in the array.
     pub fn group_count(&self) -> u32 {
         self.groups
+    }
+
+    /// Number of chips a group stripes across.
+    pub fn chips(&self) -> u32 {
+        self.chips
+    }
+
+    /// Chip holding striped page `j` of any group.
+    pub fn chip_of(&self, j: u32) -> u32 {
+        j % self.chips
     }
 
     /// Pages per group (across all chips).
@@ -76,6 +86,104 @@ impl StripeGroups {
             block: group * self.blocks_per_chip_group + block_in_group,
             page,
         }
+    }
+
+    /// Stream the relocation of striped pages `j0 .. j0 + n` — read
+    /// from the same positions of group `src` (when given) and program
+    /// into group `dst` — as bulk per-chip runs.
+    ///
+    /// Striping sends consecutive `j` round-robin across chips, so a
+    /// contiguous `j` range decomposes into one contiguous
+    /// within-column page run per chip, split only at block
+    /// boundaries. Reads go down as per-chip tallies (see
+    /// [`stream_read_span`](Self::stream_read_span)), programs as
+    /// [`NandArray::stream_program_run`] pieces; the accounting is
+    /// exactly that of the per-page ops it replaces: per-channel sums
+    /// and chip state are identical, only the per-page dispatch is
+    /// gone. Must run inside a stream (see
+    /// [`NandArray::stream_begin`]).
+    pub fn stream_copy_run(
+        &self,
+        array: &mut NandArray,
+        src: Option<u32>,
+        dst: u32,
+        j0: u32,
+        n: u32,
+    ) -> crate::Result<()> {
+        if src.is_some() {
+            self.stream_read_span(array, 0, j0, n)?;
+        }
+        self.for_chip_runs(j0, n, |chip, block_in_group, page, len| {
+            let block = dst * self.blocks_per_chip_group + block_in_group;
+            array.stream_program_run(chip, block, page, len)
+        })
+    }
+
+    /// Stream reads of striped pages `j0 .. j0 + n` of `group` as bulk
+    /// per-chip tallies (accounting identical to per-page
+    /// [`NandArray::stream_op`] reads). Reads mutate no page state —
+    /// only per-chip counters and channel time — so the span needs no
+    /// block decomposition, just the page count each chip serves; the
+    /// group argument is accordingly irrelevant to the accounting and
+    /// accepted only for symmetry. Must run inside a stream.
+    pub fn stream_read_span(
+        &self,
+        array: &mut NandArray,
+        _group: u32,
+        j0: u32,
+        n: u32,
+    ) -> crate::Result<()> {
+        for t in 0..n.min(self.chips) {
+            let chip = (j0 + t) % self.chips;
+            array.stream_read_tally(chip, (n - t).div_ceil(self.chips));
+        }
+        Ok(())
+    }
+
+    /// Stream programs of striped pages `j0 .. j0 + n` of `group` as
+    /// bulk per-chip runs (accounting identical to per-page
+    /// [`NandArray::stream_op`] programs). Must run inside a stream.
+    pub fn stream_program_span(
+        &self,
+        array: &mut NandArray,
+        group: u32,
+        j0: u32,
+        n: u32,
+    ) -> crate::Result<()> {
+        self.for_chip_runs(j0, n, |chip, block_in_group, page, len| {
+            let block = group * self.blocks_per_chip_group + block_in_group;
+            array.stream_program_run(chip, block, page, len)
+        })
+    }
+
+    /// Decompose striped pages `j0 .. j0 + n` into contiguous per-chip
+    /// page runs, split at block boundaries, and feed each to `f` as
+    /// `(chip, block_in_group, first_page, len)`.
+    fn for_chip_runs(
+        &self,
+        j0: u32,
+        n: u32,
+        mut f: impl FnMut(u32, u32, u32, u32) -> uflip_nand::Result<()>,
+    ) -> crate::Result<()> {
+        let ppb = self.pages_per_block;
+        // Walk the first min(n, chips) striped pages: each lands on a
+        // distinct chip and anchors that chip's whole run, so short
+        // spans cost O(n), not O(chips). (Chip visit order follows the
+        // stripe, not chip id — irrelevant, stream accounting commutes.)
+        for t in 0..n.min(self.chips) {
+            let j = j0 + t;
+            let chip = j % self.chips;
+            let cnt = (n - t).div_ceil(self.chips);
+            let mut w = j / self.chips;
+            let mut left = cnt;
+            while left > 0 {
+                let len = left.min(ppb - w % ppb);
+                f(chip, w / ppb, w % ppb, len)?;
+                w += len;
+                left -= len;
+            }
+        }
+        Ok(())
     }
 
     /// All flash blocks of a group, as (chip, block) pairs.

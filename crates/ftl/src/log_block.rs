@@ -26,7 +26,7 @@
 //! ones before they reach the flash (Samsung's benign reverse pattern).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::addr::LogicalLayout;
 use crate::error::FtlError;
@@ -35,9 +35,27 @@ use crate::stats::FtlStats;
 use crate::traits::Ftl;
 use crate::write_cache::{Admit, WriteCache, WriteCacheConfig};
 use crate::Result;
-use uflip_nand::{Batch, BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
+use uflip_nand::{BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
 
 const UNMAPPED: u32 = u32::MAX;
+
+/// Sentinel in `log_map`: the page has no log copy.
+const NO_LOG: u64 = u64::MAX;
+
+#[inline]
+fn pack_loc(group: u32, page: u32) -> u64 {
+    ((group as u64) << 32) | page as u64
+}
+
+#[inline]
+fn loc_group(packed: u64) -> u32 {
+    (packed >> 32) as u32
+}
+
+#[inline]
+fn loc_page(packed: u64) -> u32 {
+    packed as u32
+}
 
 /// Configuration of a [`HybridLogFtl`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -123,13 +141,6 @@ impl HybridLogConfig {
     }
 }
 
-/// Where the newest copy of a logical page lives when it is in a log.
-#[derive(Debug, Clone, Copy)]
-struct LogLoc {
-    group: u32,
-    page: u32,
-}
-
 /// Direction of a stream log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StreamDir {
@@ -176,18 +187,21 @@ pub struct HybridLogFtl {
     data_map: Vec<u32>,
     /// Pre-erased physical groups.
     free: VecDeque<u32>,
-    /// Newest log copy per logical page.
-    log_map: HashMap<u64, LogLoc>,
-    /// Valid-page count per log group.
-    log_valid: HashMap<u32, u32>,
-    /// Pages ever appended per log group (superset of valid ones).
-    log_members: HashMap<u32, Vec<u64>>,
+    /// Newest log copy per logical page, indexed by LPN: packed
+    /// `group << 32 | page`, or [`NO_LOG`] when the page has none.
+    log_map: Vec<u64>,
+    /// Valid-page count per physical group (0 for non-log groups).
+    log_valid: Vec<u32>,
+    /// Pages ever appended per physical group (superset of valid ones).
+    /// Cleared — allocation kept — when a group is retired or reopened.
+    log_members: Vec<Vec<u64>>,
     seq: Vec<Option<SeqLog>>,
     rand_open: Option<(u32, u32)>,
     rand_full: Vec<u32>,
-    /// BAST mode: per-logical-group log (phys group, next position,
-    /// LRU stamp).
-    assoc_logs: HashMap<u64, (u32, u32, u64)>,
+    /// BAST mode: per-logical-group log (lgroup, phys group, next
+    /// position, LRU stamp). The pool holds at most `rand_log_groups`
+    /// entries, so a linear scan beats hashing.
+    assoc_logs: Vec<(u64, u32, u32, u64)>,
     /// One bit per logical page: has it ever been materialized on
     /// flash? Merges copy only materialized pages, so a fresh
     /// out-of-the-box device merges cheaply until it fills — the 4.1
@@ -197,6 +211,10 @@ pub struct HybridLogFtl {
     tick: u64,
     /// Banked idle/read-shadow time for background reclamation.
     bg_credit_ns: u64,
+    /// Scratch: per-chip counts of scattered log-page reads, tallied
+    /// in bulk (see [`uflip_nand::NandArray::stream_read_tally`]).
+    /// Always left zeroed between uses.
+    read_tally: Vec<u32>,
     stats: FtlStats,
 }
 
@@ -223,17 +241,18 @@ impl HybridLogFtl {
             array: NandArray::new(cfg.array),
             data_map: vec![UNMAPPED; logical_groups as usize],
             free: (0..groups.group_count()).collect(),
-            log_map: HashMap::new(),
-            log_valid: HashMap::new(),
-            log_members: HashMap::new(),
+            log_map: vec![NO_LOG; layout.capacity_pages() as usize],
+            log_valid: vec![0; groups.group_count() as usize],
+            log_members: vec![Vec::new(); groups.group_count() as usize],
             seq: vec![None; cfg.seq_slots],
             rand_open: None,
             rand_full: Vec::new(),
-            assoc_logs: HashMap::new(),
+            assoc_logs: Vec::new(),
             filled: vec![0; (layout.capacity_pages() as usize).div_ceil(64)],
             cache: WriteCache::new(cfg.write_cache),
             tick: 0,
             bg_credit_ns: 0,
+            read_tally: vec![0; groups.chips() as usize],
             stats: FtlStats::default(),
             groups,
             cfg,
@@ -279,23 +298,29 @@ impl HybridLogFtl {
         self.free.pop_front().ok_or(FtlError::OutOfPhysicalBlocks)
     }
 
-    /// Erase every block of a physical group. Appends ops to `batch`.
-    fn erase_group_ops(&self, phys: u32, batch: &mut Batch) {
-        for (chip, block) in self.groups.blocks(phys) {
-            batch.push(NandOp::EraseBlock(BlockAddr { chip, block }));
+    /// Stream erase ops for every block of a physical group (must be
+    /// inside a `stream_begin`/`stream_finish` pair).
+    fn stream_erase_group(&mut self, phys: u32) -> Result<()> {
+        let groups = self.groups;
+        for (chip, block) in groups.blocks(phys) {
+            self.array
+                .stream_op(NandOp::EraseBlock(BlockAddr { chip, block }))?;
         }
+        Ok(())
     }
 
     /// Remove a page's stale log entry (it is being superseded).
     fn invalidate_log_entry(&mut self, lpn: u64) {
-        if let Some(loc) = self.log_map.remove(&lpn) {
-            if let Some(v) = self.log_valid.get_mut(&loc.group) {
-                *v -= 1;
-            }
+        let packed = self.log_map[lpn as usize];
+        if packed != NO_LOG {
+            self.log_map[lpn as usize] = NO_LOG;
+            let group = loc_group(packed);
+            let v = &mut self.log_valid[group as usize];
+            *v = v.saturating_sub(1);
             // If the entry lived in a sequential log, that log is no
             // longer pristine and cannot switch-merge.
             for slot in self.seq.iter_mut().flatten() {
-                if slot.phys == loc.group {
+                if slot.phys == group {
                     slot.pristine = false;
                 }
             }
@@ -305,23 +330,39 @@ impl HybridLogFtl {
     /// Append a run of `len` logical pages starting at `lpn` to the
     /// stream log in `slot`. The caller guarantees the run matches the
     /// stream's expectation (direction-aware).
+    /// Program `take` consecutive log pages of group `phys` starting at
+    /// `page0`, mapping logical pages `start_lpn ..` onto them, and do
+    /// the per-page log bookkeeping. The programs go down as bulk
+    /// striped runs; accounting is identical to the per-page loop this
+    /// replaces. Caller runs inside a stream.
+    fn stream_log_append(
+        &mut self,
+        phys: u32,
+        page0: u32,
+        start_lpn: u64,
+        take: u32,
+    ) -> Result<()> {
+        let groups = self.groups;
+        groups.stream_program_span(&mut self.array, phys, page0, take)?;
+        for k in 0..take {
+            let lpn = start_lpn + k as u64;
+            self.invalidate_log_entry(lpn);
+            self.log_map[lpn as usize] = pack_loc(phys, page0 + k);
+            self.log_members[phys as usize].push(lpn);
+        }
+        self.log_valid[phys as usize] += take;
+        self.stats.logical_pages_written += u64::from(take);
+        Ok(())
+    }
+
     fn seq_append(&mut self, slot: usize, lpn: u64, len: u32) -> Result<u64> {
-        let mut batch = Batch::new();
         let (phys, start) = {
             let s = self.seq[slot].as_ref().expect("slot occupied");
             (s.phys, s.appended)
         };
-        for i in 0..len {
-            let page = start + i;
-            let l = lpn + i as u64;
-            self.invalidate_log_entry(l);
-            batch.push(NandOp::ProgramPage(self.groups.page_addr(phys, page)));
-            self.log_map.insert(l, LogLoc { group: phys, page });
-            *self.log_valid.entry(phys).or_insert(0) += 1;
-            self.log_members.entry(phys).or_default().push(l);
-            self.stats.logical_pages_written += 1;
-        }
-        let mut ns = self.array.execute(&batch)?;
+        self.array.stream_begin();
+        self.stream_log_append(phys, start, lpn, len)?;
+        let mut ns = self.array.stream_finish();
         let (lgroup, complete, pristine) = {
             let s = self.seq[slot].as_mut().expect("slot occupied");
             s.appended += len;
@@ -336,11 +377,7 @@ impl HybridLogFtl {
             )
         };
         if complete {
-            let full_valid = self
-                .log_valid
-                .get(&self.seq[slot].unwrap().phys)
-                .copied()
-                .unwrap_or(0)
+            let full_valid = self.log_valid[self.seq[slot].unwrap().phys as usize]
                 == self.groups.pages_per_group();
             if pristine && full_valid {
                 ns += self.switch_merge(slot)?;
@@ -358,23 +395,23 @@ impl HybridLogFtl {
         let old = self.data_map[s.lgroup as usize];
         let mut ns = 0;
         if old != UNMAPPED {
-            let mut batch = Batch::new();
-            self.erase_group_ops(old, &mut batch);
-            ns = self.array.execute(&batch)?;
+            self.array.stream_begin();
+            self.stream_erase_group(old)?;
+            ns = self.array.stream_finish();
             self.free.push_back(old);
         }
         self.data_map[s.lgroup as usize] = s.phys;
         // The log's pages are now plain data pages.
-        if let Some(members) = self.log_members.remove(&s.phys) {
-            for lpn in members {
-                if let Some(loc) = self.log_map.get(&lpn) {
-                    if loc.group == s.phys {
-                        self.log_map.remove(&lpn);
-                    }
-                }
+        let idx = s.phys as usize;
+        for i in 0..self.log_members[idx].len() {
+            let lpn = self.log_members[idx][i] as usize;
+            let packed = self.log_map[lpn];
+            if packed != NO_LOG && loc_group(packed) == s.phys {
+                self.log_map[lpn] = NO_LOG;
             }
         }
-        self.log_valid.remove(&s.phys);
+        self.log_members[idx].clear();
+        self.log_valid[idx] = 0;
         self.stats.switch_merges += 1;
         Ok(ns)
     }
@@ -387,44 +424,59 @@ impl HybridLogFtl {
         let ppg = self.groups.pages_per_group();
         let old = self.data_map[lgroup as usize];
         let base_lpn = lgroup * ppg as u64;
-        let mut batch = Batch::new();
+        self.array.stream_begin();
+        let groups = self.groups;
         let mut touched_logs: BTreeSet<u32> = BTreeSet::new();
+        // Merges read through the controller (ECC verification on
+        // every relocated page — standard firmware practice) rather
+        // than using blind on-chip copy-back; this is what keeps full
+        // merges in the ~20 ms range the paper observes on
+        // one-to-two-channel groups. Reads mutate no page state, so
+        // every source page — old home copy or scattered log copy —
+        // just bumps its chip's read tally; the destination programs
+        // land on consecutive offsets no matter how scattered the
+        // sources are, and stream as long bulk spans broken only at
+        // truly absent pages. Accounting within a stream commutes, so
+        // none of this reordering is visible.
+        let mut prog_run: Option<u32> = None;
+        let mut last_log: Option<u32> = None;
         for offset in 0..ppg {
             let lpn = base_lpn + offset as u64;
-            let src = match self.log_map.get(&lpn) {
-                Some(loc) => {
-                    touched_logs.insert(loc.group);
-                    Some(self.groups.page_addr(loc.group, loc.page))
+            let packed = self.log_map[lpn as usize];
+            if packed != NO_LOG {
+                let g = loc_group(packed);
+                // Consecutive offsets usually sit in the same log
+                // group (BAST: always); skip the set insert then.
+                if last_log != Some(g) {
+                    touched_logs.insert(g);
+                    last_log = Some(g);
                 }
-                None if old != UNMAPPED && self.filled_get(lpn) => {
-                    Some(self.groups.page_addr(old, offset))
-                }
-                None => None,
-            };
-            if let Some(src) = src {
-                // Merges read through the controller (ECC verification
-                // on every relocated page — standard firmware practice)
-                // rather than using blind on-chip copy-back; this is
-                // what keeps full merges in the ~20 ms range the paper
-                // observes on one-to-two-channel groups.
-                let dst = self.groups.page_addr(new_phys, offset);
-                batch.push(NandOp::ReadPage(src));
-                batch.push(NandOp::ProgramPage(dst));
+                self.read_tally[groups.chip_of(loc_page(packed)) as usize] += 1;
+                prog_run.get_or_insert(offset);
+                // Retire the log entry now that the page moved home.
+                self.log_map[lpn as usize] = NO_LOG;
+                let v = &mut self.log_valid[g as usize];
+                *v = v.saturating_sub(1);
+            } else if old != UNMAPPED && self.filled_get(lpn) {
+                self.read_tally[groups.chip_of(offset) as usize] += 1;
+                prog_run.get_or_insert(offset);
+            } else if let Some(s) = prog_run.take() {
+                groups.stream_program_span(&mut self.array, new_phys, s, offset - s)?;
+            }
+        }
+        if let Some(s) = prog_run.take() {
+            groups.stream_program_span(&mut self.array, new_phys, s, ppg - s)?;
+        }
+        for chip in 0..self.read_tally.len() {
+            let n = std::mem::take(&mut self.read_tally[chip]);
+            if n > 0 {
+                self.array.stream_read_tally(chip as u32, n);
             }
         }
         if old != UNMAPPED {
-            self.erase_group_ops(old, &mut batch);
+            self.stream_erase_group(old)?;
         }
-        let ns = self.array.execute(&batch)?;
-        // Bookkeeping: retire log entries of this group.
-        for offset in 0..ppg {
-            let lpn = base_lpn + offset as u64;
-            if let Some(loc) = self.log_map.remove(&lpn) {
-                if let Some(v) = self.log_valid.get_mut(&loc.group) {
-                    *v -= 1;
-                }
-            }
-        }
+        let ns = self.array.stream_finish();
         if old != UNMAPPED {
             self.free.push_back(old);
         }
@@ -443,15 +495,14 @@ impl HybridLogFtl {
     /// it. (Open logs and seq logs are reclaimed through their own paths.)
     fn reclaim_log_if_empty(&mut self, phys: u32) -> Result<u64> {
         let is_full_rand = self.rand_full.contains(&phys);
-        if !is_full_rand || self.log_valid.get(&phys).copied().unwrap_or(0) > 0 {
+        if !is_full_rand || self.log_valid[phys as usize] > 0 {
             return Ok(0);
         }
         self.rand_full.retain(|&g| g != phys);
-        self.log_valid.remove(&phys);
-        self.log_members.remove(&phys);
-        let mut batch = Batch::new();
-        self.erase_group_ops(phys, &mut batch);
-        let ns = self.array.execute(&batch)?;
+        self.log_members[phys as usize].clear();
+        self.array.stream_begin();
+        self.stream_erase_group(phys)?;
+        let ns = self.array.stream_finish();
         self.free.push_back(phys);
         Ok(ns)
     }
@@ -477,23 +528,24 @@ impl HybridLogFtl {
             }
             let g = self.alloc_group()?;
             self.rand_open = Some((g, 0));
-            self.log_valid.insert(g, 0);
-            self.log_members.insert(g, Vec::new());
+            self.log_valid[g as usize] = 0;
+            self.log_members[g as usize].clear();
         }
         Ok(ns)
     }
 
     /// Erase and free a (now fully-invalid) BAST log group for `lg`.
     fn retire_assoc_log(&mut self, lg: u64) -> Result<u64> {
-        let Some((phys, _, _)) = self.assoc_logs.remove(&lg) else {
+        let Some(pos) = self.assoc_logs.iter().position(|e| e.0 == lg) else {
             return Ok(0);
         };
-        debug_assert_eq!(self.log_valid.get(&phys).copied().unwrap_or(0), 0);
-        self.log_valid.remove(&phys);
-        self.log_members.remove(&phys);
-        let mut batch = Batch::new();
-        self.erase_group_ops(phys, &mut batch);
-        let ns = self.array.execute(&batch)?;
+        let (_, phys, _, _) = self.assoc_logs.swap_remove(pos);
+        debug_assert_eq!(self.log_valid[phys as usize], 0);
+        self.log_valid[phys as usize] = 0;
+        self.log_members[phys as usize].clear();
+        self.array.stream_begin();
+        self.stream_erase_group(phys)?;
+        let ns = self.array.stream_finish();
         self.free.push_back(phys);
         Ok(ns)
     }
@@ -502,51 +554,47 @@ impl HybridLogFtl {
     /// *owned by their logical group*. Pool misses evict the LRU owner
     /// with a full merge — on a large random working set that is one
     /// merge per write.
-    fn bast_append_run(&mut self, lg: u64, lpns: &[u64]) -> Result<u64> {
+    fn bast_append_run(&mut self, lg: u64, start_lpn: u64, len: u32) -> Result<u64> {
         let mut ns = 0;
         let ppg = self.groups.pages_per_group();
-        let mut i = 0;
-        while i < lpns.len() {
-            if let Some(&(_, next, _)) = self.assoc_logs.get(&lg) {
+        let mut i = 0u32;
+        while i < len {
+            if let Some(&(_, _, next, _)) = self.assoc_logs.iter().find(|e| e.0 == lg) {
                 if next >= ppg {
                     // Own log exhausted: merge and start a fresh one.
                     ns += self.merge_logical(lg)?;
                     ns += self.retire_assoc_log(lg)?;
                 }
             }
-            if !self.assoc_logs.contains_key(&lg) {
+            if !self.assoc_logs.iter().any(|e| e.0 == lg) {
                 if self.assoc_logs.len() >= self.cfg.rand_log_groups {
                     let victim_lg = self
                         .assoc_logs
                         .iter()
-                        .min_by_key(|(_, &(_, _, lru))| lru)
-                        .map(|(&k, _)| k)
+                        .min_by_key(|&&(_, _, _, lru)| lru)
+                        .map(|&(k, _, _, _)| k)
                         .expect("pool non-empty");
                     ns += self.merge_logical(victim_lg)?;
                     ns += self.retire_assoc_log(victim_lg)?;
                 }
                 let g = self.alloc_group()?;
                 self.tick += 1;
-                self.assoc_logs.insert(lg, (g, 0, self.tick));
-                self.log_valid.insert(g, 0);
-                self.log_members.insert(g, Vec::new());
+                self.assoc_logs.push((lg, g, 0, self.tick));
+                self.log_valid[g as usize] = 0;
+                self.log_members[g as usize].clear();
             }
-            let (phys, next, _) = *self.assoc_logs.get(&lg).expect("just ensured");
-            let take = ((ppg - next) as usize).min(lpns.len() - i);
-            let mut batch = Batch::new();
-            for (k, &lpn) in lpns[i..i + take].iter().enumerate() {
-                let page = next + k as u32;
-                self.invalidate_log_entry(lpn);
-                batch.push(NandOp::ProgramPage(self.groups.page_addr(phys, page)));
-                self.log_map.insert(lpn, LogLoc { group: phys, page });
-                *self.log_valid.get_mut(&phys).expect("tracked") += 1;
-                self.log_members.get_mut(&phys).expect("tracked").push(lpn);
-                self.stats.logical_pages_written += 1;
-            }
-            ns += self.array.execute(&batch)?;
+            let pos = self
+                .assoc_logs
+                .iter()
+                .position(|e| e.0 == lg)
+                .expect("just ensured");
+            let (_, phys, next, _) = self.assoc_logs[pos];
+            let take = (ppg - next).min(len - i);
+            self.array.stream_begin();
+            self.stream_log_append(phys, next, start_lpn + i as u64, take)?;
+            ns += self.array.stream_finish();
             self.tick += 1;
-            self.assoc_logs
-                .insert(lg, (phys, next + take as u32, self.tick));
+            self.assoc_logs[pos] = (lg, phys, next + take, self.tick);
             i += take;
         }
         Ok(ns)
@@ -558,26 +606,18 @@ impl HybridLogFtl {
     /// channel — not sixteen serialized programs. (Host IOs hit every
     /// channel in parallel even on the random path; only *merges* are
     /// bound by per-chip bandwidth.)
-    fn random_append_run(&mut self, lpns: &[u64]) -> Result<u64> {
+    fn random_append_run(&mut self, start_lpn: u64, len: u32) -> Result<u64> {
         let mut ns = 0;
         let ppg = self.groups.pages_per_group();
-        let mut i = 0;
-        while i < lpns.len() {
+        let mut i = 0u32;
+        while i < len {
             ns += self.ensure_rand_open()?;
             let (phys, next) = self.rand_open.expect("just ensured");
-            let take = ((ppg - next) as usize).min(lpns.len() - i);
-            let mut batch = Batch::new();
-            for (k, &lpn) in lpns[i..i + take].iter().enumerate() {
-                let page = next + k as u32;
-                self.invalidate_log_entry(lpn);
-                batch.push(NandOp::ProgramPage(self.groups.page_addr(phys, page)));
-                self.log_map.insert(lpn, LogLoc { group: phys, page });
-                *self.log_valid.get_mut(&phys).expect("tracked") += 1;
-                self.log_members.get_mut(&phys).expect("tracked").push(lpn);
-                self.stats.logical_pages_written += 1;
-            }
-            ns += self.array.execute(&batch)?;
-            let new_next = next + take as u32;
+            let take = (ppg - next).min(len - i);
+            self.array.stream_begin();
+            self.stream_log_append(phys, next, start_lpn + i as u64, take)?;
+            ns += self.array.stream_finish();
+            let new_next = next + take;
             if new_next >= ppg {
                 self.rand_full.push(phys);
                 self.rand_open = None;
@@ -596,7 +636,7 @@ impl HybridLogFtl {
             .rand_full
             .iter()
             .copied()
-            .min_by_key(|g| self.log_valid.get(g).copied().unwrap_or(0))
+            .min_by_key(|&g| self.log_valid[g as usize])
         {
             Some(v) => Some(v),
             None => match self.rand_open.take() {
@@ -619,7 +659,7 @@ impl HybridLogFtl {
             self.rand_full
                 .iter()
                 .copied()
-                .min_by_key(|g| self.log_valid.get(g).copied().unwrap_or(0))
+                .min_by_key(|&g| self.log_valid[g as usize])
         } else {
             self.pick_rand_victim()
         };
@@ -627,19 +667,21 @@ impl HybridLogFtl {
             return Ok((0, false));
         };
         let mut ns = 0;
-        if self.log_valid.get(&victim).copied().unwrap_or(0) == 0 {
+        if self.log_valid[victim as usize] == 0 {
             ns += self.reclaim_log_if_empty(victim)?;
             return Ok((ns, true));
         }
-        let members = self.log_members.get(&victim).cloned().unwrap_or_default();
+        // The member scan finishes before any merge mutates state, so
+        // iterating in place (no clone) observes the same snapshot.
         let mut lgroups: BTreeSet<u64> = BTreeSet::new();
-        for lpn in members {
-            if let Some(loc) = self.log_map.get(&lpn) {
-                if loc.group == victim {
-                    lgroups.insert(self.lgroup_of(lpn));
-                    if lgroups.len() >= max_merges {
-                        break;
-                    }
+        let vidx = victim as usize;
+        for i in 0..self.log_members[vidx].len() {
+            let lpn = self.log_members[vidx][i];
+            let packed = self.log_map[lpn as usize];
+            if packed != NO_LOG && loc_group(packed) == victim {
+                lgroups.insert(self.lgroup_of(lpn));
+                if lgroups.len() >= max_merges {
+                    break;
                 }
             }
         }
@@ -704,12 +746,11 @@ impl HybridLogFtl {
             }
             // Retire the stream's log group once its pages are merged.
             let phys = stream.phys;
-            if self.log_valid.get(&phys).copied().unwrap_or(0) == 0 {
-                self.log_valid.remove(&phys);
-                self.log_members.remove(&phys);
-                let mut batch = Batch::new();
-                self.erase_group_ops(phys, &mut batch);
-                if let Ok(ns) = self.array.execute(&batch) {
+            if self.log_valid[phys as usize] == 0 {
+                self.log_members[phys as usize].clear();
+                self.array.stream_begin();
+                if self.stream_erase_group(phys).is_ok() {
+                    let ns = self.array.stream_finish();
                     self.bg_credit_ns = self.bg_credit_ns.saturating_sub(ns.max(1));
                 }
                 self.free.push_back(phys);
@@ -749,13 +790,14 @@ impl HybridLogFtl {
             return Ok(0);
         };
         let mut ns = 0;
-        let members = self.log_members.get(&victim).cloned().unwrap_or_default();
+        // As in reclaim_some: the scan completes before merges mutate.
         let mut lgroups: BTreeSet<u64> = BTreeSet::new();
-        for lpn in members {
-            if let Some(loc) = self.log_map.get(&lpn) {
-                if loc.group == victim {
-                    lgroups.insert(self.lgroup_of(lpn));
-                }
+        let vidx = victim as usize;
+        for i in 0..self.log_members[vidx].len() {
+            let lpn = self.log_members[vidx][i];
+            let packed = self.log_map[lpn as usize];
+            if packed != NO_LOG && loc_group(packed) == victim {
+                lgroups.insert(self.lgroup_of(lpn));
             }
         }
         for lg in lgroups {
@@ -785,12 +827,11 @@ impl HybridLogFtl {
                 // merge_logical dropped the log's entries; its group can
                 // now be erased and freed.
                 let phys = victim.phys;
-                if self.log_valid.get(&phys).copied().unwrap_or(0) == 0 {
-                    self.log_valid.remove(&phys);
-                    self.log_members.remove(&phys);
-                    let mut batch = Batch::new();
-                    self.erase_group_ops(phys, &mut batch);
-                    ns += self.array.execute(&batch)?;
+                if self.log_valid[phys as usize] == 0 {
+                    self.log_members[phys as usize].clear();
+                    self.array.stream_begin();
+                    self.stream_erase_group(phys)?;
+                    ns += self.array.stream_finish();
                     self.free.push_back(phys);
                 }
                 self.seq[idx] = None;
@@ -812,9 +853,80 @@ impl HybridLogFtl {
             pristine: true,
             lru: self.tick,
         });
-        self.log_valid.insert(phys, 0);
-        self.log_members.insert(phys, Vec::new());
+        self.log_valid[phys as usize] = 0;
+        self.log_members[phys as usize].clear();
         Ok((slot, ns))
+    }
+
+    /// Write one run of `run_len` consecutive pages (all within logical
+    /// group `lg`) starting at `run_start`, choosing the sequential or
+    /// random path. `is_first`/`is_last` say whether the run opens/closes
+    /// the host write it came from — stream detection keys off those.
+    fn write_run(
+        &mut self,
+        lg: u64,
+        run_start: u64,
+        run_len: u32,
+        is_first: bool,
+        is_last: bool,
+    ) -> Result<u64> {
+        let start_off = self.offset_of(run_start);
+        let end_off = start_off + run_len;
+        let ppg = self.groups.pages_per_group();
+        let mut ns = 0;
+        // 1. continuation of an existing stream (either direction)?
+        let cont = self.seq.iter().position(|s| {
+            s.is_some_and(|s| {
+                s.lgroup == lg
+                    && match s.dir {
+                        StreamDir::Up => s.expected == start_off,
+                        StreamDir::Down => s.expected == end_off,
+                    }
+            })
+        });
+        if let Some(slot) = cont {
+            self.tick += 1;
+            if let Some(s) = self.seq[slot].as_mut() {
+                s.lru = self.tick;
+            }
+            ns += self.seq_append(slot, run_start, run_len)?;
+        } else if start_off == 0
+            && is_first
+            && !self.seq.iter().any(|s| s.is_some_and(|s| s.lgroup == lg))
+        {
+            // Stream detection requires the *host write itself* to
+            // start at the group head — a random IO whose tail spills
+            // into the next group is not a stream signal (firmware
+            // heuristics are conservative; burning a log block per
+            // spurious signal would thrash the slots).
+
+            // 2. a fresh ascending stream starting at the group head.
+            // A *restart* (offset 0 while a stream for this group is
+            // already open) is a rewind — firmware does not burn a
+            // new log block for it; it goes to the random log, which
+            // is what keeps the in-place pattern cheap on devices
+            // with per-group streams.
+            let (slot, open_ns) = self.open_seq_stream(lg, StreamDir::Up)?;
+            ns += open_ns;
+            ns += self.seq_append(slot, run_start, run_len)?;
+        } else if self.cfg.descending_streams
+            && end_off == ppg
+            && is_last
+            && !self.seq.iter().any(|s| s.is_some_and(|s| s.lgroup == lg))
+        {
+            // 2b. a fresh descending stream starting at the group top.
+            let (slot, open_ns) = self.open_seq_stream(lg, StreamDir::Down)?;
+            ns += open_ns;
+            ns += self.seq_append(slot, run_start, run_len)?;
+        } else {
+            // 3. random path: the whole run in one striped batch.
+            if self.cfg.associative {
+                ns += self.random_append_run(run_start, run_len)?;
+            } else {
+                ns += self.bast_append_run(lg, run_start, run_len)?;
+            }
+        }
+        Ok(ns)
     }
 
     /// Write a batch of logical pages to flash, choosing the sequential
@@ -832,64 +944,27 @@ impl HybridLogFtl {
             while j < lpns.len() && lpns[j] == lpns[j - 1] + 1 && self.lgroup_of(lpns[j]) == lg {
                 j += 1;
             }
-            let run_start = lpns[i];
-            let run_len = (j - i) as u32;
-            let start_off = self.offset_of(run_start);
-            let end_off = start_off + run_len;
-            let ppg = self.groups.pages_per_group();
-            // 1. continuation of an existing stream (either direction)?
-            let cont = self.seq.iter().position(|s| {
-                s.is_some_and(|s| {
-                    s.lgroup == lg
-                        && match s.dir {
-                            StreamDir::Up => s.expected == start_off,
-                            StreamDir::Down => s.expected == end_off,
-                        }
-                })
-            });
-            if let Some(slot) = cont {
-                self.tick += 1;
-                if let Some(s) = self.seq[slot].as_mut() {
-                    s.lru = self.tick;
-                }
-                ns += self.seq_append(slot, run_start, run_len)?;
-            } else if start_off == 0
-                && i == 0
-                && !self.seq.iter().any(|s| s.is_some_and(|s| s.lgroup == lg))
-            {
-                // Stream detection requires the *host write itself* to
-                // start at the group head — a random IO whose tail spills
-                // into the next group is not a stream signal (firmware
-                // heuristics are conservative; burning a log block per
-                // spurious signal would thrash the slots).
+            ns += self.write_run(lg, lpns[i], (j - i) as u32, i == 0, j == lpns.len())?;
+            i = j;
+        }
+        Ok(ns)
+    }
 
-                // 2. a fresh ascending stream starting at the group head.
-                // A *restart* (offset 0 while a stream for this group is
-                // already open) is a rewind — firmware does not burn a
-                // new log block for it; it goes to the random log, which
-                // is what keeps the in-place pattern cheap on devices
-                // with per-group streams.
-                let (slot, open_ns) = self.open_seq_stream(lg, StreamDir::Up)?;
-                ns += open_ns;
-                ns += self.seq_append(slot, run_start, run_len)?;
-            } else if self.cfg.descending_streams
-                && end_off == ppg
-                && j == lpns.len()
-                && !self.seq.iter().any(|s| s.is_some_and(|s| s.lgroup == lg))
-            {
-                // 2b. a fresh descending stream starting at the group top.
-                let (slot, open_ns) = self.open_seq_stream(lg, StreamDir::Down)?;
-                ns += open_ns;
-                ns += self.seq_append(slot, run_start, run_len)?;
-            } else {
-                // 3. random path: the whole run in one striped batch.
-                let run: Vec<u64> = (0..run_len as u64).map(|k| run_start + k).collect();
-                if self.cfg.associative {
-                    ns += self.random_append_run(&run)?;
-                } else {
-                    ns += self.bast_append_run(lg, &run)?;
-                }
-            }
+    /// [`Self::flash_write_pages`] for the contiguous span `first..last`
+    /// — the common host-write case — without materializing an LPN list.
+    /// Runs break exactly where the list version breaks them: at logical
+    /// group boundaries.
+    fn flash_write_range(&mut self, first: u64, last: u64) -> Result<u64> {
+        for lpn in first..last {
+            self.filled_set(lpn);
+        }
+        let ppg = self.groups.pages_per_group() as u64;
+        let mut ns = 0;
+        let mut i = first;
+        while i < last {
+            let lg = self.lgroup_of(i);
+            let j = last.min((lg + 1) * ppg);
+            ns += self.write_run(lg, i, (j - i) as u32, i == first, j == last)?;
             i = j;
         }
         Ok(ns)
@@ -904,28 +979,32 @@ impl Ftl for HybridLogFtl {
     fn read(&mut self, lba: u64, sectors: u32) -> Result<u64> {
         self.check_request(lba, sectors)?;
         let (first, last) = self.layout.page_span(lba, sectors);
-        let mut batch = Batch::new();
+        self.array.stream_begin();
+        let groups = self.groups;
+        // Reads mutate no page state — wherever the newest copy lives
+        // (data group or log), the page just bumps its chip's read
+        // tally; the bulk application below is accounting-identical to
+        // per-page reads.
+        let check_cache = !self.cfg.write_cache.is_disabled() && self.cache.dirty_pages() > 0;
         for lpn in first..last {
-            if !self.cfg.write_cache.is_disabled() && self.cache_holds(lpn) {
+            if check_cache && self.cache_holds(lpn) {
                 continue; // served from controller RAM
             }
-            if let Some(loc) = self.log_map.get(&lpn) {
-                batch.push(NandOp::ReadPage(self.groups.page_addr(loc.group, loc.page)));
-            } else {
-                let lg = self.lgroup_of(lpn);
-                let data = self.data_map[lg as usize];
-                if data != UNMAPPED {
-                    batch.push(NandOp::ReadPage(
-                        self.groups.page_addr(data, self.offset_of(lpn)),
-                    ));
-                }
+            let packed = self.log_map[lpn as usize];
+            if packed != NO_LOG {
+                self.read_tally[groups.chip_of(loc_page(packed)) as usize] += 1;
+            } else if self.data_map[self.lgroup_of(lpn) as usize] != UNMAPPED {
+                let chip = groups.chip_of(self.offset_of(lpn));
+                self.read_tally[chip as usize] += 1;
             }
         }
-        let mut ns = if batch.is_empty() {
-            0
-        } else {
-            self.array.execute(&batch)?
-        };
+        for chip in 0..self.read_tally.len() {
+            let n = std::mem::take(&mut self.read_tally[chip]);
+            if n > 0 {
+                self.array.stream_read_tally(chip as u32, n);
+            }
+        }
+        let mut ns = self.array.stream_finish();
         // Pending background work contends with reads (Figure 5's
         // lingering effect) and drains in their shadow.
         if self.background_pending() {
@@ -956,27 +1035,27 @@ impl Ftl for HybridLogFtl {
         }
         // Misaligned head/tail pages: read old content (read-modify-write).
         if self.layout.partial_pages(lba, sectors) > 0 {
-            let mut batch = Batch::new();
+            self.array.stream_begin();
             for lpn in [first, last - 1] {
-                if let Some(loc) = self.log_map.get(&lpn) {
-                    batch.push(NandOp::ReadPage(self.groups.page_addr(loc.group, loc.page)));
+                let packed = self.log_map[lpn as usize];
+                if packed != NO_LOG {
+                    self.array.stream_op(NandOp::ReadPage(
+                        self.groups.page_addr(loc_group(packed), loc_page(packed)),
+                    ))?;
                 } else {
                     let data = self.data_map[self.lgroup_of(lpn) as usize];
                     if data != UNMAPPED {
-                        batch.push(NandOp::ReadPage(
+                        self.array.stream_op(NandOp::ReadPage(
                             self.groups.page_addr(data, self.offset_of(lpn)),
-                        ));
+                        ))?;
                     }
                 }
             }
-            if !batch.is_empty() {
-                ns += self.array.execute(&batch)?;
-            }
+            ns += self.array.stream_finish();
             self.stats.rmw_events += 1;
         }
         if self.cfg.write_cache.is_disabled() {
-            let lpns: Vec<u64> = (first..last).collect();
-            ns += self.flash_write_pages(&lpns)?;
+            ns += self.flash_write_range(first, last)?;
         } else {
             for lpn in first..last {
                 if self.cache.admit(lpn) == Admit::Absorbed {
@@ -1289,14 +1368,15 @@ mod tests {
         }
         // Every log_map entry's group must have a positive valid count,
         // and totals must match.
-        let mut per_group: HashMap<u32, u32> = HashMap::new();
-        for loc in f.log_map.values() {
-            *per_group.entry(loc.group).or_insert(0) += 1;
+        let mut per_group = vec![0u32; f.log_valid.len()];
+        for &packed in &f.log_map {
+            if packed != NO_LOG {
+                per_group[loc_group(packed) as usize] += 1;
+            }
         }
-        for (g, count) in per_group {
+        for (g, &count) in per_group.iter().enumerate() {
             assert_eq!(
-                f.log_valid.get(&g).copied().unwrap_or(0),
-                count,
+                f.log_valid[g], count,
                 "valid count mismatch for log group {g}"
             );
         }

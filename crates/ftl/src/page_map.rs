@@ -136,6 +136,10 @@ pub struct PageMapFtl {
     gc_active: Vec<Option<ActiveBlock>>,
     /// Background-work credit in nanoseconds.
     bg_credit_ns: u64,
+    /// Reusable op buffer for `write` (kept so steady-state writes do
+    /// not allocate; execution stays deferred to the end of the span —
+    /// victim selection must not observe this write's own programs).
+    scratch: Batch,
     stats: FtlStats,
     pages_per_block: u32,
     blocks_per_chip: u32,
@@ -171,6 +175,7 @@ impl PageMapFtl {
             active: vec![None; chips],
             gc_active: vec![None; chips],
             bg_credit_ns: 0,
+            scratch: Batch::new(),
             stats: FtlStats::default(),
             pages_per_block,
             blocks_per_chip,
@@ -427,18 +432,15 @@ impl Ftl for PageMapFtl {
     fn read(&mut self, lba: u64, sectors: u32) -> Result<u64> {
         self.check_request(lba, sectors)?;
         let (first, last) = self.layout.page_span(lba, sectors);
-        let mut batch = Batch::new();
+        self.array.stream_begin();
         for lpn in first..last {
             let ppn = self.map[lpn as usize];
             if ppn != UNMAPPED {
-                batch.push(NandOp::ReadPage(self.page_addr(ppn)));
+                self.array
+                    .stream_op(NandOp::ReadPage(self.page_addr(ppn)))?;
             }
         }
-        let mut ns = if batch.is_empty() {
-            0
-        } else {
-            self.array.execute(&batch)?
-        };
+        let mut ns = self.array.stream_finish();
         // Lingering background work contends with reads (Figure 5).
         if self.background_pending() {
             ns = (ns as f64 * self.cfg.read_contention_factor) as u64;
@@ -454,7 +456,8 @@ impl Ftl for PageMapFtl {
         self.check_request(lba, sectors)?;
         let (first, last) = self.layout.page_span(lba, sectors);
         let mut total_ns = 0u64;
-        let mut batch = Batch::new();
+        let mut batch = std::mem::replace(&mut self.scratch, Batch::new());
+        batch.clear();
         // Misaligned head/tail pages need their old content read first
         // (read-modify-write) — the §5.2 alignment penalty.
         if self.layout.partial_pages(lba, sectors) > 0 {
@@ -479,6 +482,7 @@ impl Ftl for PageMapFtl {
             self.stats.logical_pages_written += 1;
         }
         total_ns += self.array.execute(&batch)?;
+        self.scratch = batch;
         self.stats.host_writes += 1;
         self.stats.sectors_written += sectors as u64;
         Ok(total_ns)

@@ -18,6 +18,34 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for the `u64` page keys: the dirty map sits on
+/// every cached read's path, where the default SipHash is measurable
+/// overhead. Fibonacci multiply + fold spreads dense and strided page
+/// numbers well; DoS resistance is irrelevant for simulated page keys.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let h = (x ^ self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// [`std::hash::BuildHasher`] plugging [`PageHasher`] into a `HashMap`.
+pub type PageHashBuilder = BuildHasherDefault<PageHasher>;
 
 /// Configuration of a [`WriteCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,7 +93,7 @@ pub struct WriteCache {
     /// authoritative.
     lru: VecDeque<(u64, u64)>,
     /// Dirty pages → generation stamp of their most recent write.
-    dirty: HashMap<u64, u64>,
+    dirty: HashMap<u64, u64, PageHashBuilder>,
     generation: u64,
 }
 
@@ -75,7 +103,7 @@ impl WriteCache {
         WriteCache {
             cfg,
             lru: VecDeque::new(),
-            dirty: HashMap::new(),
+            dirty: HashMap::default(),
             generation: 0,
         }
     }

@@ -61,6 +61,18 @@ impl Batch {
         Batch { ops: Vec::new() }
     }
 
+    /// New empty batch with room for `cap` operations.
+    pub fn with_capacity(cap: usize) -> Self {
+        Batch {
+            ops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Drop all queued operations, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
     /// Append an operation.
     pub fn push(&mut self, op: NandOp) {
         self.ops.push(op);
@@ -239,6 +251,88 @@ impl NandArray {
             *total += busy;
         }
         Ok(self.channel_busy.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Begin a streaming batch: zero the per-channel accumulators.
+    ///
+    /// The streaming API ([`stream_begin`](Self::stream_begin) /
+    /// [`stream_op`](Self::stream_op) /
+    /// [`stream_finish`](Self::stream_finish)) performs exactly the
+    /// accounting of [`NandArray::execute`] without materializing a
+    /// [`Batch`] — ops execute as they are generated, which is what the
+    /// FTL hot paths use. Streams must not nest: finish one before
+    /// beginning the next. With zero ops, `stream_finish` returns 0
+    /// (where `execute` would reject an empty batch).
+    pub fn stream_begin(&mut self) {
+        for b in self.channel_busy.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    /// Execute one op of a streaming batch (see
+    /// [`stream_begin`](Self::stream_begin)). On error the op is not
+    /// charged; previously streamed ops remain applied, as in
+    /// [`NandArray::execute`].
+    #[inline]
+    pub fn stream_op(&mut self, op: NandOp) -> Result<()> {
+        let ch = self.channel_of_chip(op.chip()) as usize;
+        let ns = self.execute_one(op)?;
+        self.channel_busy[ch] += ns;
+        Ok(())
+    }
+
+    /// Stream a bulk page-read run (see [`Chip::read_run`]): `n`
+    /// consecutive pages of one block on one chip, charged to the
+    /// chip's channel exactly as `n` individual
+    /// [`stream_op`](Self::stream_op) reads would be.
+    pub fn stream_read_run(&mut self, chip: u32, block: u32, first: u32, n: u32) -> Result<()> {
+        if chip >= self.config.chips {
+            return Err(NandError::ChipOutOfRange {
+                chip,
+                chips: self.config.chips,
+            });
+        }
+        let ch = self.channel_of_chip(chip) as usize;
+        let ns = self.chips[chip as usize].read_run(block, first, n)?;
+        self.channel_busy[ch] += ns;
+        Ok(())
+    }
+
+    /// Stream a bulk page-program run (see [`Chip::program_run`]): `n`
+    /// consecutive pages of one block on one chip, charged to the
+    /// chip's channel exactly as `n` individual
+    /// [`stream_op`](Self::stream_op) programs would be.
+    pub fn stream_program_run(&mut self, chip: u32, block: u32, first: u32, n: u32) -> Result<()> {
+        if chip >= self.config.chips {
+            return Err(NandError::ChipOutOfRange {
+                chip,
+                chips: self.config.chips,
+            });
+        }
+        let ch = self.channel_of_chip(chip) as usize;
+        let ns = self.chips[chip as usize].program_run(block, first, n)?;
+        self.channel_busy[ch] += ns;
+        Ok(())
+    }
+
+    /// Stream the accounting of `n` page reads scattered over one chip
+    /// (see [`Chip::read_tally`]): charged to the chip's channel
+    /// exactly as `n` individual reads would be, with address checks
+    /// left to the caller. Panics (debug) on a bad chip index.
+    pub fn stream_read_tally(&mut self, chip: u32, n: u32) {
+        debug_assert!(chip < self.config.chips);
+        let ch = self.channel_of_chip(chip) as usize;
+        let ns = self.chips[chip as usize].read_tally(n);
+        self.channel_busy[ch] += ns;
+    }
+
+    /// Finish a streaming batch: fold channel times into the running
+    /// totals and return the batch elapsed (max channel time).
+    pub fn stream_finish(&mut self) -> u64 {
+        for (total, busy) in self.busy_totals.iter_mut().zip(&self.channel_busy) {
+            *total += busy;
+        }
+        self.channel_busy.iter().copied().max().unwrap_or(0)
     }
 
     /// Execute a batch where all ops are forced onto a single logical

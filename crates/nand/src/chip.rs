@@ -101,6 +101,12 @@ pub struct Chip {
     stats: NandStats,
     /// Retained page data (only when `retain_data`).
     data: HashMap<u64, Box<[u8]>>,
+    /// Per-op latencies precomputed from `config.timing` for the fixed
+    /// page size — the hot path runs millions of ops per simulated run.
+    read_total_ns: u64,
+    program_total_ns: u64,
+    erase_total_ns: u64,
+    copy_back_total_ns: u64,
 }
 
 impl Chip {
@@ -108,12 +114,17 @@ impl Chip {
     pub fn new(config: ChipConfig) -> Self {
         let pages = config.geometry.pages_per_chip() as usize;
         let blocks = config.geometry.blocks_per_chip();
+        let data_bytes = config.geometry.page_data_bytes;
         Chip {
             state: vec![PageState::Erased; pages],
             next_page: vec![0; blocks as usize],
             wear: WearState::new(blocks, config.wear_limit),
             stats: NandStats::default(),
             data: HashMap::new(),
+            read_total_ns: config.timing.page_read_total_ns(data_bytes),
+            program_total_ns: config.timing.page_program_total_ns(data_bytes),
+            erase_total_ns: config.timing.erase_total_ns(),
+            copy_back_total_ns: config.timing.copy_back_total_ns(),
             config,
         }
     }
@@ -138,6 +149,7 @@ impl Chip {
         &self.wear
     }
 
+    #[inline]
     fn check_block(&self, block: u32) -> Result<()> {
         let blocks = self.config.geometry.blocks_per_chip();
         if block >= blocks {
@@ -146,6 +158,7 @@ impl Chip {
         Ok(())
     }
 
+    #[inline]
     fn check_page(&self, addr: PageAddr) -> Result<()> {
         self.check_block(addr.block)?;
         let pages = self.config.geometry.pages_per_block;
@@ -158,6 +171,7 @@ impl Chip {
         Ok(())
     }
 
+    #[inline]
     fn flat(&self, addr: PageAddr) -> usize {
         addr.flat_index(&self.config.geometry) as usize
     }
@@ -171,6 +185,7 @@ impl Chip {
     /// Read a page. Returns the busy time; when data retention is on and
     /// `out` is provided, copies the stored bytes (erased pages read as
     /// all-0xFF, like real NAND).
+    #[inline]
     pub fn read_page(&mut self, addr: PageAddr, out: Option<&mut Vec<u8>>) -> Result<u64> {
         self.check_page(addr)?;
         if self.wear.is_bad(addr.block) {
@@ -184,15 +199,13 @@ impl Chip {
                 None => buf.resize(size, 0xFF),
             }
         }
-        let ns = self
-            .config
-            .timing
-            .page_read_total_ns(self.config.geometry.page_data_bytes);
+        let ns = self.read_total_ns;
         self.stats.page_reads += 1;
         self.stats.busy_ns += ns;
         Ok(ns)
     }
 
+    #[inline]
     fn check_programmable(&self, addr: PageAddr) -> Result<()> {
         self.check_page(addr)?;
         if self.wear.is_bad(addr.block) {
@@ -224,6 +237,7 @@ impl Chip {
         Ok(())
     }
 
+    #[inline]
     fn commit_program(&mut self, addr: PageAddr, data: Option<&[u8]>) -> Result<()> {
         if let Some(bytes) = data {
             let want = self.config.geometry.page_data_bytes as usize;
@@ -245,14 +259,112 @@ impl Chip {
     }
 
     /// Program a page. `data` is optional in fast (non-retaining) mode.
+    #[inline]
     pub fn program_page(&mut self, addr: PageAddr, data: Option<&[u8]>) -> Result<u64> {
         self.check_programmable(addr)?;
         self.commit_program(addr, data)?;
-        let ns = self
-            .config
-            .timing
-            .page_program_total_ns(self.config.geometry.page_data_bytes);
+        let ns = self.program_total_ns;
         self.stats.page_programs += 1;
+        self.stats.busy_ns += ns;
+        Ok(ns)
+    }
+
+    /// Read `n` consecutive pages of one block, starting at `first`.
+    ///
+    /// Exactly equivalent to `n` [`read_page`](Self::read_page) calls
+    /// (no data out): same checks, same counters, same total busy time
+    /// `n × tR` — but validated once and accounted once, which is what
+    /// lets FTL garbage collection relocate whole blocks without paying
+    /// per-page dispatch. Returns the total busy time.
+    pub fn read_run(&mut self, block: u32, first: u32, n: u32) -> Result<u64> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.check_page(PageAddr {
+            chip: 0,
+            block,
+            page: first + n - 1,
+        })?;
+        if self.wear.is_bad(block) {
+            return Err(NandError::BadBlock(BlockAddr { chip: 0, block }));
+        }
+        let ns = self.read_total_ns * u64::from(n);
+        self.stats.page_reads += u64::from(n);
+        self.stats.busy_ns += ns;
+        Ok(ns)
+    }
+
+    /// Account `n` page reads at scattered, pre-validated addresses.
+    ///
+    /// The accounting twin of [`read_run`](Self::read_run) for reads
+    /// that do not form a contiguous run: same counters, same total
+    /// busy time `n × tR`, but no address checks — the caller vouches
+    /// that every address was obtained from a live mapping (an FTL log
+    /// or data map), which it must for the read to mean anything.
+    /// Returns the total busy time.
+    pub fn read_tally(&mut self, n: u32) -> u64 {
+        let ns = self.read_total_ns * u64::from(n);
+        self.stats.page_reads += u64::from(n);
+        self.stats.busy_ns += ns;
+        ns
+    }
+
+    /// Program `n` consecutive pages of one block, starting at `first`.
+    ///
+    /// Exactly equivalent to `n` ascending
+    /// [`program_page`](Self::program_page) calls with no data: same
+    /// checks, same counters, same total busy time `n × tPROG`. The
+    /// bulk state update is only taken when `first` is at or past the
+    /// block's high-water mark (so no page in the run can already be
+    /// programmed); any other shape — including [`ProgramOrder::Any`]
+    /// chips programming below the mark — falls back to the per-page
+    /// loop, keeping mid-run error semantics identical. Returns the
+    /// total busy time.
+    pub fn program_run(&mut self, block: u32, first: u32, n: u32) -> Result<u64> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.check_page(PageAddr {
+            chip: 0,
+            block,
+            page: first + n - 1,
+        })?;
+        if self.wear.is_bad(block) {
+            return Err(NandError::BadBlock(BlockAddr { chip: 0, block }));
+        }
+        if matches!(self.config.program_order, ProgramOrder::Dense)
+            && first != self.next_page[block as usize]
+        {
+            return Err(NandError::ProgramOrderViolation {
+                addr: PageAddr {
+                    chip: 0,
+                    block,
+                    page: first,
+                },
+                expected_next: self.next_page[block as usize],
+            });
+        }
+        if first < self.next_page[block as usize] {
+            // Below the high-water mark a page may already be
+            // programmed: replicate the per-page path exactly.
+            let mut total = 0;
+            for p in first..first + n {
+                total += self.program_page(
+                    PageAddr {
+                        chip: 0,
+                        block,
+                        page: p,
+                    },
+                    None,
+                )?;
+            }
+            return Ok(total);
+        }
+        let base = block as usize * self.config.geometry.pages_per_block as usize;
+        self.state[base + first as usize..base + (first + n) as usize].fill(PageState::Programmed);
+        self.next_page[block as usize] = first + n;
+        let ns = self.program_total_ns * u64::from(n);
+        self.stats.page_programs += u64::from(n);
         self.stats.busy_ns += ns;
         Ok(ns)
     }
@@ -266,9 +378,7 @@ impl Chip {
         }
         let ppb = self.config.geometry.pages_per_block;
         let base = block as usize * ppb as usize;
-        for p in 0..ppb as usize {
-            self.state[base + p] = PageState::Erased;
-        }
+        self.state[base..base + ppb as usize].fill(PageState::Erased);
         if self.config.retain_data {
             for p in 0..ppb as u64 {
                 self.data.remove(&(base as u64 + p));
@@ -276,7 +386,7 @@ impl Chip {
         }
         self.next_page[block as usize] = 0;
         self.wear.record_erase(block);
-        let ns = self.config.timing.erase_total_ns();
+        let ns = self.erase_total_ns;
         self.stats.block_erases += 1;
         self.stats.busy_ns += ns;
         Ok(ns)
@@ -295,7 +405,7 @@ impl Chip {
                 self.data.insert(self.flat(dst) as u64, bytes);
             }
         }
-        let ns = self.config.timing.copy_back_total_ns();
+        let ns = self.copy_back_total_ns;
         self.stats.copy_backs += 1;
         self.stats.busy_ns += ns;
         Ok(ns)

@@ -19,6 +19,7 @@ use uflip::core::suite::{run_full_suite, run_full_suite_sharded, SuiteOptions};
 use uflip::device::profiles::catalog;
 use uflip::device::{BlockDevice, ControllerConfig, MemDevice, SimDevice};
 use uflip::ftl::{PageMapConfig, PageMapFtl};
+use uflip::patterns::{IoRequest, Mode};
 
 const MB: u64 = 1024 * 1024;
 
@@ -166,6 +167,73 @@ proptest! {
         }
         prop_assert_eq!(observables(&dev), observables(&reference));
     }
+}
+
+#[test]
+fn snapshot_covers_in_flight_queue_state() {
+    // A snapshot must capture the queue calendar — the in-flight
+    // completion heap, service slots, token counter and busy horizon —
+    // not just FTL and clock state. Take one while the queue is half
+    // full and verify the restored device drains and continues exactly
+    // like a fork taken at the same instant.
+    let mut dev = small_ssd();
+    churn(&mut dev, 0x11, 200);
+    let cap = dev.capacity_bytes();
+    let now = dev.now();
+    let submit = |d: &mut SimDevice, at: Duration, base: u64, n: u64| {
+        let q = d.io_queue().expect("sim devices are queue-capable");
+        q.set_queue_depth(8).expect("no IOs in flight");
+        for i in 0..n {
+            let io = IoRequest {
+                index: i,
+                offset: (base + i * 37) * 4096 % (cap - 4096),
+                size: 4096,
+                mode: if i % 3 == 0 { Mode::Read } else { Mode::Write },
+                submit_delay: Duration::ZERO,
+                process: 0,
+            };
+            q.submit(&io, at).expect("queue has room");
+        }
+    };
+    submit(&mut dev, now, 5, 6);
+    assert_eq!(dev.io_queue().expect("queue").in_flight(), 6);
+
+    let snap = dev.snapshot();
+    let fork = dev.clone();
+
+    // Mutate: drain every completion, then run more queued and
+    // synchronous work so tokens, slots and the busy horizon all move.
+    let drain = |d: &mut SimDevice| {
+        let mut done = Vec::new();
+        let q = d.io_queue().expect("queue");
+        while let Some(x) = q.poll() {
+            done.push(x);
+        }
+        done
+    };
+    let drained = drain(&mut dev);
+    assert_eq!(drained.len(), 6);
+    let t = dev.now() + Duration::from_millis(1);
+    submit(&mut dev, t, 900, 4);
+    drain(&mut dev);
+    churn(&mut dev, 0x22, 200);
+
+    dev.restore(&snap);
+    let mut restored = dev;
+    let mut forked = fork;
+
+    // The restored queue still holds the six in-flight IOs and drains
+    // to the same (token, completion) pairs as the fork.
+    assert_eq!(restored.io_queue().expect("queue").in_flight(), 6);
+    assert_eq!(drain(&mut restored), drain(&mut forked));
+
+    // Continuation is identical too: the token sequence resumes from
+    // the same counter and fresh IOs complete at the same instants.
+    let t = restored.now() + Duration::from_millis(2);
+    submit(&mut restored, t, 333, 5);
+    submit(&mut forked, t, 333, 5);
+    assert_eq!(drain(&mut restored), drain(&mut forked));
+    assert_eq!(observables(&restored), observables(&forked));
 }
 
 fn quick_cfg(target_size: u64) -> MicroConfig {
