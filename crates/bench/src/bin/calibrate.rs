@@ -40,6 +40,7 @@ struct Cli {
     out_dir: PathBuf,
     json: bool,
     pause_ms: Option<u64>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse() -> Cli {
@@ -51,6 +52,7 @@ fn parse() -> Cli {
         out_dir: PathBuf::from("results"),
         json: false,
         pause_ms: None,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,11 +73,12 @@ fn parse() -> Cli {
                 }
             }
             "--json" => cli.json = true,
+            "--metrics" => cli.metrics = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: calibrate [--device ID|profile:PATH|file:PATH[:SIZE]] \
                      [--quick] [--enforce|--no-enforce] [--pause-ms N] [--id NAME] \
-                     [--out DIR] [--json]\n\
+                     [--out DIR] [--json] [--metrics PATH]\n\
                      calibration WRITES the target (sweeps + prefill cover ~3/4 of it);\n\
                      --enforce additionally rewrites the whole device repeatedly.\n\
                      --pause-ms: inter-run pause (default: 5000 simulated; 200 on real \
@@ -128,6 +131,11 @@ fn main() {
             }
         };
     cfg.enforce_state = cli.enforce.unwrap_or(default_enforce);
+    // Attach the observability sink at the device boundary: the
+    // calibration sweeps then feed counters and channel-busy time into
+    // the snapshot (the fitting math itself is sink-oblivious).
+    let (metrics_out, sink) = uflip_bench::metrics_sink(cli.metrics.as_deref());
+    dev.set_sink(sink);
     // On a real target the inter-run pause is wall-clock sleep; keep
     // smoke runs snappy by default and let hardware sessions raise it.
     match cli.pause_ms {
@@ -206,4 +214,7 @@ fn main() {
         session_path.display(),
         residual_path.display()
     );
+    if let Some(m) = &metrics_out {
+        m.finish(!cli.json);
+    }
 }

@@ -31,16 +31,17 @@
 
 use std::time::Duration;
 use uflip_bench::{mean_ms, DeviceTarget, RealDeviceSpec, RealOpenMode};
-use uflip_core::executor::execute_run;
+use uflip_core::executor::execute_run_observed;
 use uflip_core::methodology::state::enforce_random_state;
 use uflip_core::micro::{
     alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
     MicroConfig,
 };
-use uflip_core::suite::{run_full_suite_sharded, SuiteOptions, SuiteResult};
+use uflip_core::suite::{run_full_suite_sharded_observed, SuiteOptions, SuiteResult};
 use uflip_core::Experiment;
 use uflip_device::profiles::catalog;
 use uflip_device::BlockDevice;
+use uflip_obs::{CounterId, Metrics, ObsSink, SinkHandle};
 use uflip_patterns::PatternSpec;
 use uflip_report::csv::to_csv;
 use uflip_report::wear::WearReport;
@@ -57,6 +58,7 @@ struct Cli {
     quick: bool,
     threads: usize,
     out_dir: std::path::PathBuf,
+    metrics: Option<std::path::PathBuf>,
 }
 
 fn parse() -> Cli {
@@ -72,6 +74,7 @@ fn parse() -> Cli {
         quick: false,
         threads: 0,
         out_dir: "results".into(),
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     cli.command = args.next().unwrap_or_else(|| "help".into());
@@ -93,28 +96,51 @@ fn parse() -> Cli {
                     cli.out_dir = d.into();
                 }
             }
+            "--metrics" => cli.metrics = args.next().map(std::path::PathBuf::from),
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
     cli
 }
 
-fn open_device(cli: &Cli) -> Box<dyn BlockDevice> {
-    if let Some(path) = &cli.file {
+fn open_device(cli: &Cli, sink: &SinkHandle) -> Box<dyn BlockDevice> {
+    let mut dev: Box<dyn BlockDevice> = if let Some(path) = &cli.file {
         let spec = RealDeviceSpec {
             path: path.into(),
             capacity: cli.size_mb * 1024 * 1024,
             mode: RealOpenMode::Auto,
         };
-        return Box::new(spec.open().expect("open real device"));
-    }
-    let arg = cli.device.as_deref().unwrap_or("samsung");
-    match DeviceTarget::resolve_or_exit(arg) {
-        DeviceTarget::Sim(profile) => profile.build_sim(0xF11B),
-        DeviceTarget::Real(spec) => Box::new(spec.open().unwrap_or_else(|e| {
-            eprintln!("cannot open {}: {e}", spec.path.display());
-            std::process::exit(2);
-        })),
+        Box::new(spec.open().expect("open real device"))
+    } else {
+        let arg = cli.device.as_deref().unwrap_or("samsung");
+        match DeviceTarget::resolve_or_exit(arg) {
+            DeviceTarget::Sim(profile) => profile.build_sim(0xF11B),
+            DeviceTarget::Real(spec) => Box::new(spec.open().unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", spec.path.display());
+                std::process::exit(2);
+            })),
+        }
+    };
+    dev.set_sink(sink.clone());
+    dev
+}
+
+/// Surface the suite's bytes-based write amplification (satellite of
+/// the FTL's `write_amplification_bytes`): host-logical bytes written
+/// vs NAND bytes programmed, taken from the run's observability
+/// counters. Prints nothing when the device exposes no FTL internals
+/// (real hardware) or the suite wrote nothing.
+fn print_write_amp(prefix: &str, metrics: &Metrics) {
+    let logical = metrics.counter(CounterId::LogicalBytesWritten);
+    let programmed = metrics.counter(CounterId::ProgramBytes);
+    if logical > 0 && programmed > 0 {
+        const MB: f64 = 1024.0 * 1024.0;
+        println!(
+            "{prefix}write amplification {:.2} ({:.1} MB host writes -> {:.1} MB programmed)",
+            programmed as f64 / logical as f64,
+            logical as f64 / MB,
+            programmed as f64 / MB,
+        );
     }
 }
 
@@ -190,6 +216,7 @@ fn prepare(dev: &mut dyn BlockDevice, quick: bool) {
 
 fn main() {
     let cli = parse();
+    let (metrics_out, sink) = uflip_bench::metrics_sink(cli.metrics.as_deref());
     match cli.command.as_str() {
         "list-devices" => {
             for p in catalog::all() {
@@ -205,7 +232,7 @@ fn main() {
             }
         }
         "baselines" => {
-            let mut dev = open_device(&cli);
+            let mut dev = open_device(&cli, &sink);
             prepare(dev.as_mut(), cli.quick);
             let window = dev.capacity_bytes() / 4;
             let count = if cli.quick { 192 } else { 1024 };
@@ -223,7 +250,7 @@ fn main() {
                         .with_target(2 * window, window),
                 ),
             ] {
-                let run = execute_run(dev.as_mut(), &spec).expect("run");
+                let run = execute_run_observed(dev.as_mut(), &spec, &sink).expect("run");
                 check_async_error(dev.as_mut(), name);
                 dev.idle(Duration::from_secs(5));
                 println!(
@@ -240,7 +267,7 @@ fn main() {
             } else {
                 MicroConfig::paper_ssd()
             };
-            let mut dev = open_device(&cli);
+            let mut dev = open_device(&cli, &sink);
             cfg.target_size = cfg.target_size.min(dev.capacity_bytes() / 4);
             let Some(exps) = micro_experiments(&bench, &cfg) else {
                 eprintln!("unknown micro-benchmark '{bench}'");
@@ -287,6 +314,7 @@ fn main() {
                     String,
                     uflip_core::methodology::plan::BenchmarkPlan,
                     SuiteResult,
+                    std::sync::Arc<Metrics>,
                 )> = std::thread::scope(|scope| {
                     let handles: Vec<_> = profiles
                         .iter()
@@ -297,10 +325,19 @@ fn main() {
                                 let mut dev = profile.build_sim(0xF11B);
                                 let cfg = suite_cfg(quick, dev.capacity_bytes());
                                 let opts = SuiteOptions::default();
-                                let (plan, result) =
-                                    run_full_suite_sharded(dev.as_mut(), &cfg, &opts, threads)
-                                        .expect("suite");
-                                (profile.id.clone(), plan, result)
+                                // Each worker records into its own
+                                // Metrics so write amplification stays
+                                // attributable per device.
+                                let (wa_metrics, wa_sink) = Metrics::shared();
+                                let (plan, result) = run_full_suite_sharded_observed(
+                                    dev.as_mut(),
+                                    &cfg,
+                                    &opts,
+                                    threads,
+                                    &wa_sink,
+                                )
+                                .expect("suite");
+                                (profile.id.clone(), plan, result, wa_metrics)
                             })
                         })
                         .collect();
@@ -309,21 +346,42 @@ fn main() {
                         .map(|h| h.join().expect("suite threads do not panic"))
                         .collect()
                 });
-                for (id, plan, result) in &results {
+                for (id, plan, result, wa_metrics) in &results {
                     println!(
                         "{id}: {} runs, {} state resets; device time {:.1} s",
                         plan.run_count(),
                         result.resets,
                         result.device_time.as_secs_f64()
                     );
+                    print_write_amp("  ", wa_metrics);
                     write_suite_csv(&cli, result, &format!("suite_{id}.csv"));
+                    if let Some(m) = &metrics_out {
+                        // Fold the per-device counters into the global
+                        // snapshot (histograms stay per-device only).
+                        for id in CounterId::ALL {
+                            m.metrics.add(id, wa_metrics.counter(id));
+                        }
+                    }
                 }
             } else {
-                let mut dev = open_device(&cli);
+                let mut dev = open_device(&cli, &sink);
                 let cfg = suite_cfg(cli.quick, dev.capacity_bytes());
                 let opts = SuiteOptions::default();
-                let (plan, result) =
-                    run_full_suite_sharded(dev.as_mut(), &cfg, &opts, cli.threads).expect("suite");
+                // Always run the suite observed: with --metrics the
+                // user's sink records everything; without it a local
+                // Metrics exists purely to surface write amplification.
+                let (wa_metrics, wa_sink) = match &metrics_out {
+                    Some(m) => (m.metrics.clone(), sink.clone()),
+                    None => Metrics::shared(),
+                };
+                let (plan, result) = run_full_suite_sharded_observed(
+                    dev.as_mut(),
+                    &cfg,
+                    &opts,
+                    cli.threads,
+                    &wa_sink,
+                )
+                .expect("suite");
                 check_async_error(dev.as_mut(), "suite");
                 println!(
                     "plan: {} runs, {} state resets; device time {:.1} s",
@@ -331,11 +389,12 @@ fn main() {
                     result.resets,
                     result.device_time.as_secs_f64()
                 );
+                print_write_amp("", &wa_metrics);
                 write_suite_csv(&cli, &result, "suite.csv");
             }
         }
         "pattern" => {
-            let mut dev = open_device(&cli);
+            let mut dev = open_device(&cli, &sink);
             prepare(dev.as_mut(), cli.quick);
             let window = dev.capacity_bytes() / 4;
             let spec = match cli.pattern.as_str() {
@@ -348,7 +407,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let run = execute_run(dev.as_mut(), &spec).expect("run");
+            let run = execute_run_observed(dev.as_mut(), &spec, &sink).expect("run");
             check_async_error(dev.as_mut(), &cli.pattern);
             let s = run.summary_all().expect("non-empty");
             println!(
@@ -367,6 +426,7 @@ fn main() {
             let id = cli.device.as_deref().unwrap_or("samsung");
             let profile = uflip_bench::sim_profile_or_exit(id);
             let mut dev = profile.build_sim(0xF11B);
+            dev.set_sink(sink.clone());
             prepare(dev.as_mut(), cli.quick);
             let window = dev.capacity_bytes() / 4;
             println!("write amplification per pattern on {id}:");
@@ -378,7 +438,7 @@ fn main() {
                 ),
             ] {
                 let before = WearReport::from_device(&dev);
-                execute_run(dev.as_mut(), &spec).expect("run");
+                execute_run_observed(dev.as_mut(), &spec, &sink).expect("run");
                 dev.idle(Duration::from_secs(5));
                 let delta = WearReport::from_device(&dev).delta(&before);
                 println!("  {name}: {}", delta.row());
@@ -389,7 +449,7 @@ fn main() {
                 "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
                  [--device ID|all|profile:PATH|file:PATH[:SIZE] | --file PATH --size-mb N] \
                  [--bench NAME] [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] \
-                 [--quick] [--threads N] [--out DIR]\n\
+                 [--quick] [--threads N] [--out DIR] [--metrics PATH]\n\
                  real targets: --device file:PATH[:SIZE] (auto O_DIRECT), \
                  direct:PATH[:SIZE], buffered:PATH[:SIZE]; SIZE takes K/M/G \
                  suffixes. Write patterns are DESTRUCTIVE on block devices.\n\
@@ -397,5 +457,8 @@ fn main() {
                  calibrate binary)."
             );
         }
+    }
+    if let Some(m) = &metrics_out {
+        m.finish(true);
     }
 }

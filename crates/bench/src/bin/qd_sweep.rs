@@ -26,7 +26,7 @@ use std::time::Duration;
 use uflip_bench::{
     prefill_real_device, prepared_device, DeviceTarget, HarnessOptions, RealDeviceSpec,
 };
-use uflip_core::executor::execute_parallel;
+use uflip_core::executor::execute_parallel_observed;
 use uflip_core::micro::parallelism::queue_depths;
 use uflip_device::profiles::catalog;
 use uflip_device::BlockDevice;
@@ -54,7 +54,12 @@ const PATTERNS: [(LbaFn, Mode, &str); 3] = [
 /// Sweep a real file/block device through its wall-clock queue. One
 /// open for the whole sweep (the queue's worker pool warms up once);
 /// the window is pre-written so reads are not served from holes.
-fn sweep_real(spec: &RealDeviceSpec, opts: &HarnessOptions, points: &mut Vec<SweepPoint>) {
+fn sweep_real(
+    spec: &RealDeviceSpec,
+    opts: &HarnessOptions,
+    sink: &uflip_obs::SinkHandle,
+    points: &mut Vec<SweepPoint>,
+) {
     let count = if opts.quick { 256 } else { 1024 };
     let io_size = 16 * 1024u64;
     let mut dev = spec.open().unwrap_or_else(|e| {
@@ -79,7 +84,7 @@ fn sweep_real(spec: &RealDeviceSpec, opts: &HarnessOptions, points: &mut Vec<Swe
         let mut base_iops = 0.0;
         for depth in queue_depths() {
             let par = ParallelSpec::new(base, 16).with_queue_depth(depth);
-            let run = execute_parallel(&mut dev, &par).expect("sweep point");
+            let run = execute_parallel_observed(&mut dev, &par, sink).expect("sweep point");
             if let Some(e) = dev.take_async_error() {
                 eprintln!("asynchronous IO error during {code} qd{depth}: {e}");
                 std::process::exit(1);
@@ -118,13 +123,17 @@ fn sweep_real(spec: &RealDeviceSpec, opts: &HarnessOptions, points: &mut Vec<Swe
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let (metrics_out, sink) = opts.metrics_sink();
     let mut points: Vec<SweepPoint> = Vec::new();
     // `--device` accepts anything DeviceTarget resolves: a catalogue
     // id, a calibrated `profile:PATH` JSON, or a real-target spec.
     let devices = match opts.device.as_deref().map(DeviceTarget::resolve_or_exit) {
         Some(DeviceTarget::Real(spec)) => {
-            sweep_real(&spec, &opts, &mut points);
+            sweep_real(&spec, &opts, &sink, &mut points);
             write_outputs(&opts, &points);
+            if let Some(m) = &metrics_out {
+                m.finish(!opts.json);
+            }
             return;
         }
         Some(DeviceTarget::Sim(profile)) => vec![*profile],
@@ -154,7 +163,8 @@ fn main() {
                 let mut dev = prepared_device(&profile, opts.quick);
                 dev.idle(Duration::from_secs(5));
                 let par = ParallelSpec::new(base, 16).with_queue_depth(depth);
-                let run = execute_parallel(dev.as_mut(), &par).expect("sweep point");
+                let run =
+                    execute_parallel_observed(dev.as_mut(), &par, &sink).expect("sweep point");
                 let secs = run.elapsed.as_secs_f64();
                 let iops = if secs > 0.0 {
                     run.len() as f64 / secs
@@ -187,6 +197,9 @@ fn main() {
         }
     }
     write_outputs(&opts, &points);
+    if let Some(m) = &metrics_out {
+        m.finish(!opts.json);
+    }
 }
 
 /// Shared tail: JSON-on-stdout mode plus the CSV/JSON artifacts.

@@ -27,6 +27,7 @@
 //! ```text
 //! cargo run --release -p uflip_bench --bin sim_throughput [--quick]
 //!     [--device ID] [--out PATH] [--baseline PATH] [--check PATH]
+//!     [--metrics PATH]
 //! ```
 //!
 //! * `--baseline PATH` — compare against an archived record from an
@@ -37,6 +38,12 @@
 //!   geomean replay IOPS falls more than 20 % below the committed
 //!   record's (fingerprints are also compared when the workload sizes
 //!   match).
+//! * `--metrics PATH` — record a `uflip_obs` metrics snapshot (latency
+//!   histograms, counters, channel utilization) across the measured
+//!   workloads. Without it the timed regions run with the no-op sink,
+//!   whose cost is a cached boolean test — fingerprints and the gate
+//!   are unaffected. Recording does not perturb fingerprints either:
+//!   they hash *simulated* nanoseconds, not wall time.
 //!
 //! `BENCH_sim_baseline.json` archives the pre-rewrite executor's
 //! numbers and fingerprints; `BENCH_sim.json` is the current record.
@@ -44,12 +51,12 @@
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use uflip_core::executor::execute_parallel;
+use uflip_core::executor::execute_parallel_observed;
 use uflip_core::methodology::plan::BenchmarkPlan;
 use uflip_core::micro::MicroConfig;
-use uflip_core::replay::{replay_trace, ReplayMode};
+use uflip_core::replay::{replay_trace_observed, ReplayMode};
 use uflip_core::run::RunResult;
-use uflip_core::suite::{execute_plan, full_suite, SuiteOptions, SuiteResult};
+use uflip_core::suite::{execute_plan_observed, full_suite, SuiteOptions, SuiteResult};
 use uflip_device::profiles::catalog;
 use uflip_device::SimDevice;
 use uflip_patterns::{LbaFn, Mode, ParallelSpec, PatternSpec};
@@ -70,6 +77,7 @@ struct Cli {
     out: PathBuf,
     baseline: Option<PathBuf>,
     check: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse() -> Cli {
@@ -79,6 +87,7 @@ fn parse() -> Cli {
         out: PathBuf::from("BENCH_sim.json"),
         baseline: None,
         check: None,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +101,7 @@ fn parse() -> Cli {
             }
             "--baseline" => cli.baseline = args.next().map(PathBuf::from),
             "--check" => cli.check = args.next().map(PathBuf::from),
+            "--metrics" => cli.metrics = args.next().map(PathBuf::from),
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -277,9 +287,14 @@ fn best_of(mut measure: impl FnMut() -> Measure) -> Measure {
     best
 }
 
-fn timed_replay(dev: &mut SimDevice, trace: &Trace, mode: ReplayMode) -> Measure {
+fn timed_replay(
+    dev: &mut SimDevice,
+    trace: &Trace,
+    mode: ReplayMode,
+    sink: &uflip_obs::SinkHandle,
+) -> Measure {
     let t = Instant::now();
-    let run = replay_trace(dev, trace, mode).expect("replay");
+    let run = replay_trace_observed(dev, trace, mode, sink).expect("replay");
     let host_s = t.elapsed().as_secs_f64();
     Measure {
         host_s,
@@ -288,9 +303,13 @@ fn timed_replay(dev: &mut SimDevice, trace: &Trace, mode: ReplayMode) -> Measure
     }
 }
 
-fn timed_parallel(dev: &mut SimDevice, par: &ParallelSpec) -> Measure {
+fn timed_parallel(
+    dev: &mut SimDevice,
+    par: &ParallelSpec,
+    sink: &uflip_obs::SinkHandle,
+) -> Measure {
     let t = Instant::now();
-    let run = execute_parallel(dev, par).expect("parallel run");
+    let run = execute_parallel_observed(dev, par, sink).expect("parallel run");
     let host_s = t.elapsed().as_secs_f64();
     Measure {
         host_s,
@@ -309,6 +328,10 @@ fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
 
 fn main() {
     let cli = parse();
+    // Default: the no-op null sink — the timed regions then carry only
+    // the cached-bool guards, keeping fingerprints identical to an
+    // uninstrumented tree (the --check gate runs this way).
+    let (metrics_out, sink) = uflip_bench::metrics_sink(cli.metrics.as_deref());
     let devices = match cli.device.as_deref() {
         None => catalog::representative(),
         Some(arg) => vec![uflip_bench::sim_profile_or_exit(arg)],
@@ -321,7 +344,7 @@ fn main() {
         let replay_at = |mode: ReplayMode| {
             best_of(|| {
                 let mut dev = profile.build_sim(7);
-                timed_replay(&mut dev, &trace, mode)
+                timed_replay(&mut dev, &trace, mode, &sink)
             })
         };
         let replay_open_qd16 = replay_at(ReplayMode::OpenLoop { queue_depth: 16 });
@@ -332,7 +355,7 @@ fn main() {
             let spec = parallel_spec(cap, cli.quick, qd);
             best_of(|| {
                 let mut dev = profile.build_sim(7);
-                timed_parallel(&mut dev, &spec)
+                timed_parallel(&mut dev, &spec, &sink)
             })
         };
         let parallel_qd16 = parallel_at(16);
@@ -356,7 +379,8 @@ fn main() {
         for _ in 0..REPEATS {
             let mut dev = profile.build_sim(opts.seed);
             let t = Instant::now();
-            let plan_result = execute_plan(dev.as_mut(), &plan, &opts).expect("plan");
+            let plan_result =
+                execute_plan_observed(dev.as_mut(), &plan, &opts, &sink).expect("plan");
             let host_s = t.elapsed().as_secs_f64();
             let fp = fingerprint_plan(&plan_result);
             if !plan_fingerprint.is_empty() {
@@ -425,6 +449,9 @@ fn main() {
     }
     write_json(&record, &cli.out).expect("write BENCH_sim.json");
     eprintln!("wrote {}", cli.out.display());
+    if let Some(m) = &metrics_out {
+        m.finish(false);
+    }
 
     if let Some(path) = &cli.check {
         check_regression(&record, &load(path), path);

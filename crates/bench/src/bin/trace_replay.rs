@@ -31,8 +31,8 @@
 
 use serde::Serialize;
 use uflip_bench::{prefill_real_device, HarnessOptions, RealDeviceSpec};
-use uflip_core::executor::execute_run;
-use uflip_core::replay::{replay_trace, ReplayMode};
+use uflip_core::executor::execute_run_observed;
+use uflip_core::replay::{replay_trace_observed, ReplayMode};
 use uflip_core::RunResult;
 use uflip_device::profiles::catalog;
 use uflip_device::{BlockDevice, TracingDevice};
@@ -59,7 +59,7 @@ struct ReplayPoint {
 
 /// Capture + replay against a real file/block device: the same three
 /// sections as the simulated pipeline, all on one wall-clock target.
-fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions) {
+fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions, sink: &uflip_obs::SinkHandle) {
     let count = if opts.quick { 128 } else { 512 };
     let ops = if opts.quick { 64 } else { 256 };
     let seed = 0xF11B;
@@ -73,7 +73,7 @@ fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions) {
     // --- 1. Capture -------------------------------------------------
     let pattern = PatternSpec::baseline_rr(16 * 1024, window, count);
     let mut traced = TracingDevice::new(dev).with_label("RR");
-    let capture = execute_run(&mut traced, &pattern).expect("capture run");
+    let capture = execute_run_observed(&mut traced, &pattern, sink).expect("capture run");
     let (mut dev, trace) = traced.into_parts();
     let profile = profile_trace(&trace);
     if opts.json {
@@ -117,7 +117,7 @@ fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions) {
     }
     for (name, workload) in &workloads {
         let mut run_mode = |mode: ReplayMode| -> RunResult {
-            let run = replay_trace(&mut dev, workload, mode).expect("replay");
+            let run = replay_trace_observed(&mut dev, workload, mode, sink).expect("replay");
             if let Some(e) = dev.take_async_error() {
                 eprintln!("asynchronous IO error replaying {name}: {e}");
                 std::process::exit(1);
@@ -176,12 +176,16 @@ fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions) {
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let (metrics_out, sink) = opts.metrics_sink();
     if let Some(spec) = opts
         .device
         .as_deref()
         .and_then(RealDeviceSpec::parse_or_exit)
     {
-        main_real(&spec, &opts);
+        main_real(&spec, &opts, &sink);
+        if let Some(m) = &metrics_out {
+            m.finish(!opts.json);
+        }
         return;
     }
     let capture_profile = match opts.device.as_deref() {
@@ -196,7 +200,7 @@ fn main() {
     // --- 1. Capture -------------------------------------------------
     let spec = PatternSpec::baseline_rr(2 * 1024, window, count);
     let mut traced = TracingDevice::new(*capture_profile.build_sim(seed)).with_label("RR");
-    let capture = execute_run(&mut traced, &spec).expect("capture run");
+    let capture = execute_run_observed(&mut traced, &spec, &sink).expect("capture run");
     let (_, trace) = traced.into_parts();
     let profile = profile_trace(&trace);
     if opts.json {
@@ -245,7 +249,7 @@ fn main() {
         for dev_profile in catalog::representative() {
             let run_mode = |mode: ReplayMode| -> RunResult {
                 let mut dev = dev_profile.build_sim(seed);
-                replay_trace(dev.as_mut(), workload, mode).expect("replay")
+                replay_trace_observed(dev.as_mut(), workload, mode, &sink).expect("replay")
             };
             let faithful = run_mode(ReplayMode::TimingFaithful);
             let mut open = Vec::new();
@@ -296,6 +300,9 @@ fn main() {
         println!("{}", to_json(&points));
     }
     write_artifacts(&opts, &trace, &points);
+    if let Some(m) = &metrics_out {
+        m.finish(!opts.json);
+    }
 }
 
 /// Section 3, shared by the simulated and real pipelines: persist the

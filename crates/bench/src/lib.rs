@@ -26,6 +26,61 @@ pub struct HarnessOptions {
     /// instead of the human-readable table. Honored by `qd_sweep` and
     /// `trace_replay`; the figure binaries ignore it.
     pub json: bool,
+    /// Write a `uflip_obs::MetricsSnapshot` JSON document here after
+    /// the run (`--metrics PATH`): counters, latency histograms,
+    /// channel utilization, per-workload write amplification. Without
+    /// the flag the stack runs with the no-op sink — bit-identical
+    /// timing, no recording.
+    pub metrics: Option<PathBuf>,
+}
+
+/// The recording side of `--metrics PATH`: the shared
+/// [`uflip_obs::Metrics`] recorder and where to write its snapshot.
+#[derive(Debug)]
+pub struct MetricsOut {
+    /// The live recorder (the attached sink feeds it).
+    pub metrics: std::sync::Arc<uflip_obs::Metrics>,
+    /// Snapshot destination.
+    pub path: PathBuf,
+}
+
+impl MetricsOut {
+    /// Snapshot the recorder and write the versioned JSON document;
+    /// with `render`, also print the ASCII report (histograms,
+    /// channel-utilization timeline, write-amp table) to stdout.
+    pub fn finish(&self, render: bool) {
+        let snap = self.metrics.snapshot();
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("mkdir metrics dir");
+            }
+        }
+        snap.save(&self.path).expect("write metrics snapshot");
+        if render {
+            println!("\n{}", uflip_report::obs::render_metrics(&snap));
+        }
+        eprintln!("wrote metrics snapshot to {}", self.path.display());
+    }
+}
+
+/// Build the observability sink for an optional `--metrics PATH`
+/// value: with a path, a live [`uflip_obs::Metrics`] recorder plus its
+/// attach handle; without, the no-op null sink (zero overhead — see
+/// `uflip_device::queue`'s observability contract).
+pub fn metrics_sink(path: Option<&Path>) -> (Option<MetricsOut>, uflip_obs::SinkHandle) {
+    match path {
+        Some(path) => {
+            let (metrics, handle) = uflip_obs::Metrics::shared();
+            (
+                Some(MetricsOut {
+                    metrics,
+                    path: path.to_path_buf(),
+                }),
+                handle,
+            )
+        }
+        None => (None, uflip_obs::SinkHandle::null()),
+    }
 }
 
 /// How to open a real target (see [`RealDeviceSpec`]).
@@ -219,13 +274,14 @@ pub fn sim_profile_or_exit(arg: &str) -> DeviceProfile {
 
 impl HarnessOptions {
     /// Parse from `std::env::args` (flags: `--out DIR`, `--quick`,
-    /// `--device ID`, `--json`).
+    /// `--device ID`, `--json`, `--metrics PATH`).
     pub fn from_args() -> Self {
         let mut out = HarnessOptions {
             out_dir: PathBuf::from("results"),
             quick: false,
             device: None,
             json: false,
+            metrics: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -238,10 +294,12 @@ impl HarnessOptions {
                 "--quick" => out.quick = true,
                 "--device" => out.device = args.next(),
                 "--json" => out.json = true,
+                "--metrics" => out.metrics = args.next().map(PathBuf::from),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --out DIR  --quick  --device ID  \
-                         --json (qd_sweep/trace_replay only)"
+                         --json (qd_sweep/trace_replay only)  \
+                         --metrics PATH (observability snapshot)"
                     );
                     std::process::exit(0);
                 }
@@ -249,6 +307,11 @@ impl HarnessOptions {
             }
         }
         out
+    }
+
+    /// [`metrics_sink`] for this invocation's `--metrics` flag.
+    pub fn metrics_sink(&self) -> (Option<MetricsOut>, uflip_obs::SinkHandle) {
+        metrics_sink(self.metrics.as_deref())
     }
 }
 

@@ -55,6 +55,7 @@
 //! descriptor per process, the OS scheduler doing the interleaving)
 //! rather than a shared submission queue.
 
+use crate::observe;
 use crate::run::RunResult;
 use crate::slab::TokenSlab;
 use crate::Result;
@@ -137,6 +138,73 @@ pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result
     } else {
         execute_parallel_serial(dev, par)
     }
+}
+
+/// Observed [`execute_run`]: attach `sink` to the device, execute the
+/// pattern, then record the running-phase response times under the
+/// pattern's latency class and emit the run's counter delta as a
+/// [`uflip_obs::WorkloadMetrics`] record. With a null sink this is
+/// exactly [`execute_run`] (the sink attach is a no-op handle store).
+pub fn execute_run_observed(
+    dev: &mut dyn BlockDevice,
+    spec: &PatternSpec,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    dev.set_sink(sink.clone());
+    let observed = sink.is_enabled();
+    let before = observed.then(|| observe::counters_now(sink));
+    let run = execute_run(dev, spec)?;
+    if observed {
+        let class = match spec.mode {
+            Mode::Read => uflip_obs::LatencyClass::Read,
+            Mode::Write => uflip_obs::LatencyClass::Write,
+        };
+        observe::record_run_latencies(sink, class, &run);
+        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+    }
+    Ok(run)
+}
+
+/// Observed [`execute_mixed`]: as [`execute_run_observed`], with the
+/// response times recorded under [`uflip_obs::LatencyClass::Mixed`]
+/// (mix runs interleave reads and writes in one stream).
+pub fn execute_mixed_observed(
+    dev: &mut dyn BlockDevice,
+    mix: &MixSpec,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<(RunResult, Vec<u16>)> {
+    dev.set_sink(sink.clone());
+    let observed = sink.is_enabled();
+    let before = observed.then(|| observe::counters_now(sink));
+    let (run, procs) = execute_mixed(dev, mix)?;
+    if observed {
+        observe::record_run_latencies(sink, uflip_obs::LatencyClass::Mixed, &run);
+        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+    }
+    Ok((run, procs))
+}
+
+/// Observed [`execute_parallel`]: as [`execute_run_observed`], with
+/// the latency class taken from the base pattern's mode (every
+/// process replays the same single-mode pattern).
+pub fn execute_parallel_observed(
+    dev: &mut dyn BlockDevice,
+    par: &ParallelSpec,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    dev.set_sink(sink.clone());
+    let observed = sink.is_enabled();
+    let before = observed.then(|| observe::counters_now(sink));
+    let run = execute_parallel(dev, par)?;
+    if observed {
+        let class = match par.base.mode {
+            Mode::Read => uflip_obs::LatencyClass::Read,
+            Mode::Write => uflip_obs::LatencyClass::Write,
+        };
+        observe::record_run_latencies(sink, class, &run);
+        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+    }
+    Ok(run)
 }
 
 /// Drive a queue-capable device with the parallel pattern's processes.

@@ -32,6 +32,23 @@ impl Workload {
         }
     }
 
+    /// The latency population this workload's response times belong
+    /// to: read or write for single-mode patterns (parallel runs take
+    /// their base pattern's mode), mixed for read/write mixes.
+    pub fn latency_class(&self) -> uflip_obs::LatencyClass {
+        use uflip_obs::LatencyClass;
+        use uflip_patterns::Mode;
+        let by_mode = |mode: Mode| match mode {
+            Mode::Read => LatencyClass::Read,
+            Mode::Write => LatencyClass::Write,
+        };
+        match self {
+            Workload::Basic(spec) => by_mode(spec.mode),
+            Workload::Mixed(_) => LatencyClass::Mixed,
+            Workload::Parallel(par) => by_mode(par.base.mode),
+        }
+    }
+
     /// Label for reports.
     pub fn label(&self) -> String {
         match self {

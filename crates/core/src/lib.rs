@@ -41,6 +41,7 @@ pub mod executor;
 pub mod experiment;
 pub mod methodology;
 pub mod micro;
+pub(crate) mod observe;
 pub mod replay;
 pub mod run;
 pub mod slab;
@@ -51,14 +52,18 @@ pub use calibrate::{
     calibrate, fit as fit_profile, measure as measure_device, CalibrationConfig,
     CalibrationMeasurement, CalibrationOutcome,
 };
-pub use executor::{execute_mixed, execute_parallel, execute_run};
+pub use executor::{
+    execute_mixed, execute_mixed_observed, execute_parallel, execute_parallel_observed,
+    execute_run, execute_run_observed,
+};
 pub use experiment::{Experiment, ExperimentResult, Workload};
-pub use replay::{replay_trace, ReplayMode};
+pub use replay::{replay_trace, replay_trace_observed, ReplayMode};
 pub use run::RunResult;
-pub use stats::RunStats;
+pub use stats::{RunStats, StreamingStats};
 pub use suite::{
-    execute_plan, execute_plan_sharded, full_suite, run_full_suite, run_full_suite_sharded,
-    SuiteOptions, SuiteResult,
+    execute_plan, execute_plan_observed, execute_plan_sharded, execute_plan_sharded_observed,
+    full_suite, run_full_suite, run_full_suite_observed, run_full_suite_sharded,
+    run_full_suite_sharded_observed, SuiteOptions, SuiteResult,
 };
 
 /// Result alias shared with the device layer.

@@ -97,6 +97,35 @@ pub fn replay_trace(
     }
 }
 
+/// Observed [`replay_trace`]: attach `sink` to the device, replay the
+/// trace, then record each IO's response time under the latency class
+/// of its *recorded op* (reads and writes land in separate
+/// histograms, unlike the single-class pattern executors) and emit
+/// the replay's counter delta as a [`uflip_obs::WorkloadMetrics`]
+/// record. With a null sink this is exactly [`replay_trace`].
+pub fn replay_trace_observed(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    mode: ReplayMode,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    dev.set_sink(sink.clone());
+    if !sink.is_enabled() {
+        return replay_trace(dev, trace, mode);
+    }
+    let before = crate::observe::counters_now(sink);
+    let run = replay_trace(dev, trace, mode)?;
+    for (rec, rt) in trace.records.iter().zip(&run.rts) {
+        let class = match rec.op {
+            Mode::Read => uflip_obs::LatencyClass::Read,
+            Mode::Write => uflip_obs::LatencyClass::Write,
+        };
+        sink.latency(class, rt.as_nanos() as u64);
+    }
+    crate::observe::emit_workload_delta(sink, &run.label, &before);
+    Ok(run)
+}
+
 /// Queued replay: one event loop serves both modes. In faithful mode
 /// each IO targets its recorded offset from the start of the replay;
 /// in open-loop mode it targets the earliest instant admission

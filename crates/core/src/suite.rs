@@ -145,13 +145,24 @@ fn enforce_and_settle(dev: &mut dyn BlockDevice, opts: &SuiteOptions) -> Result<
 /// Execute one contiguous slice of plan steps (no [`PlanStep::
 /// ResetState`] inside) — the shared inner loop of the serial and
 /// sharded executors.
+///
+/// With an enabled sink, each run's running-phase response times are
+/// recorded under the workload's latency class. `per_run_deltas`
+/// additionally brackets every run with a counter snapshot and emits
+/// the delta as a [`uflip_obs::WorkloadMetrics`] record; the sharded
+/// executor turns this off because concurrent segments would bleed
+/// into each other's deltas (the global counters, histograms and
+/// channel samples stay exact — they are sums, not differences).
 fn execute_steps(
     dev: &mut dyn BlockDevice,
     plan: &BenchmarkPlan,
     opts: &SuiteOptions,
     steps: &[PlanStep],
     points: &mut Vec<SuitePointResult>,
+    sink: &uflip_obs::SinkHandle,
+    per_run_deltas: bool,
 ) -> Result<()> {
+    let observed = sink.is_enabled();
     for step in steps {
         match step {
             PlanStep::Pause => dev.idle(opts.inter_run_pause),
@@ -166,7 +177,15 @@ fn execute_steps(
                 let e = &plan.experiments[*experiment];
                 let p = &e.points[*point];
                 let workload = p.workload.relocated(*offset);
+                let before =
+                    (observed && per_run_deltas).then(|| crate::observe::counters_now(sink));
                 let run: RunResult = workload.execute(dev)?;
+                if observed {
+                    crate::observe::record_run_latencies(sink, workload.latency_class(), &run);
+                    if let Some(before) = &before {
+                        crate::observe::emit_workload_delta(sink, &workload.label(), before);
+                    }
+                }
                 points.push(SuitePointResult {
                     experiment: e.name.clone(),
                     varying: e.varying,
@@ -213,6 +232,22 @@ pub fn execute_plan(
     plan: &BenchmarkPlan,
     opts: &SuiteOptions,
 ) -> Result<SuiteResult> {
+    execute_plan_observed(dev, plan, opts, &uflip_obs::SinkHandle::null())
+}
+
+/// Observed [`execute_plan`]: attach `sink` to the device before the
+/// plan runs, so state enforcement and every workload feed its
+/// counters, histograms and channel samples; each run additionally
+/// emits a per-workload [`uflip_obs::WorkloadMetrics`] delta (write
+/// amplification, host vs flash bytes). With a null sink this is
+/// exactly [`execute_plan`].
+pub fn execute_plan_observed(
+    dev: &mut dyn BlockDevice,
+    plan: &BenchmarkPlan,
+    opts: &SuiteOptions,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<SuiteResult> {
+    dev.set_sink(sink.clone());
     let t0 = dev.now();
     if opts.enforce_state {
         enforce_and_settle(dev, opts)?;
@@ -238,7 +273,15 @@ pub fn execute_plan(
         if !matches!(step, PlanStep::ResetState) {
             continue;
         }
-        execute_steps(dev, plan, opts, &plan.steps[cursor..i], &mut points)?;
+        execute_steps(
+            dev,
+            plan,
+            opts,
+            &plan.steps[cursor..i],
+            &mut points,
+            sink,
+            true,
+        )?;
         cursor = i + 1;
         resets += 1;
         match &snapshot {
@@ -256,7 +299,15 @@ pub fn execute_plan(
             }
         }
     }
-    execute_steps(dev, plan, opts, &plan.steps[cursor..], &mut points)?;
+    execute_steps(
+        dev,
+        plan,
+        opts,
+        &plan.steps[cursor..],
+        &mut points,
+        sink,
+        true,
+    )?;
     device_time += dev.now() - seg_start;
     Ok(SuiteResult {
         points,
@@ -288,12 +339,32 @@ pub fn execute_plan_sharded(
     opts: &SuiteOptions,
     threads: usize,
 ) -> Result<SuiteResult> {
+    execute_plan_sharded_observed(dev, plan, opts, threads, &uflip_obs::SinkHandle::null())
+}
+
+/// Observed [`execute_plan_sharded`]: the sink is attached to the
+/// enforcing device *and* to every worker fork, so counters,
+/// histograms and channel samples aggregate across all segments
+/// (sharded sinks like `uflip_obs::Metrics` are thread-safe by
+/// construction). Per-workload [`uflip_obs::WorkloadMetrics`] deltas
+/// are **not** emitted here — concurrent segments would bleed into
+/// each other's differences; use the serial [`execute_plan_observed`]
+/// when per-workload write amplification matters. The measured
+/// `SuiteResult` stays bit-identical to the serial path's.
+pub fn execute_plan_sharded_observed(
+    dev: &mut dyn BlockDevice,
+    plan: &BenchmarkPlan,
+    opts: &SuiteOptions,
+    threads: usize,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<SuiteResult> {
     let segments = plan_segments(plan);
     let shardable =
         opts.enforce_state && opts.snapshot_resets && segments.len() > 1 && dev.snapshot_capable();
     if !shardable {
-        return execute_plan(dev, plan, opts);
+        return execute_plan_observed(dev, plan, opts, sink);
     }
+    dev.set_sink(sink.clone());
     let t0 = dev.now();
     enforce_and_settle(dev, opts)?;
     let base = dev.now();
@@ -313,6 +384,7 @@ pub fn execute_plan_sharded(
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let mut fork = dev.fork().expect("snapshot_capable devices support fork");
+                fork.set_sink(sink.clone());
                 let state = snapshot.clone();
                 let segments = &segments;
                 let assigned: Vec<usize> = (w..segments.len()).step_by(workers).collect();
@@ -327,6 +399,8 @@ pub fn execute_plan_sharded(
                             opts,
                             &plan.steps[segments[seg].clone()],
                             &mut points,
+                            sink,
+                            false,
                         )?;
                         out.push((seg, points, fork.now() - base));
                     }
@@ -371,6 +445,19 @@ pub fn run_full_suite(
     Ok((plan, result))
 }
 
+/// Convenience: [`run_full_suite`] with an observability sink attached
+/// (see [`execute_plan_observed`]).
+pub fn run_full_suite_observed(
+    dev: &mut dyn BlockDevice,
+    cfg: &MicroConfig,
+    opts: &SuiteOptions,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<(BenchmarkPlan, SuiteResult)> {
+    let plan = BenchmarkPlan::build(full_suite(cfg), dev.capacity_bytes());
+    let result = execute_plan_observed(dev, &plan, opts, sink)?;
+    Ok((plan, result))
+}
+
 /// Convenience: build the plan for a device and run the full suite
 /// with reset-delimited segments sharded across `threads` workers
 /// (0 = one per CPU). See [`execute_plan_sharded`].
@@ -380,8 +467,21 @@ pub fn run_full_suite_sharded(
     opts: &SuiteOptions,
     threads: usize,
 ) -> Result<(BenchmarkPlan, SuiteResult)> {
+    run_full_suite_sharded_observed(dev, cfg, opts, threads, &uflip_obs::SinkHandle::null())
+}
+
+/// Convenience: [`run_full_suite_sharded`] with an observability sink
+/// attached (see [`execute_plan_sharded_observed`] for what sharded
+/// execution does and does not record).
+pub fn run_full_suite_sharded_observed(
+    dev: &mut dyn BlockDevice,
+    cfg: &MicroConfig,
+    opts: &SuiteOptions,
+    threads: usize,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<(BenchmarkPlan, SuiteResult)> {
     let plan = BenchmarkPlan::build(full_suite(cfg), dev.capacity_bytes());
-    let result = execute_plan_sharded(dev, &plan, opts, threads)?;
+    let result = execute_plan_sharded_observed(dev, &plan, opts, threads, sink)?;
     Ok((plan, result))
 }
 

@@ -57,6 +57,20 @@ pub trait BlockDevice {
         None
     }
 
+    /// Attach an observability sink (see `uflip_obs`). Implementations
+    /// forward the handle to their FTL / queue engine so NAND, merge,
+    /// host-IO and queue events flow into it.
+    ///
+    /// **Overhead guarantee**: with the default no-op sink attached (or
+    /// none at all), the instrumentation cost is a single cached `bool`
+    /// test per event site — no atomics, no allocation — and response
+    /// times are bit-identical to an uninstrumented build. Sinks
+    /// observe; they must never influence timing. The default drops the
+    /// handle (devices without instrumentation).
+    fn set_sink(&mut self, sink: uflip_obs::SinkHandle) {
+        let _ = sink;
+    }
+
     /// Take the device's parked asynchronous IO error, if any. Queued
     /// backends have no error channel in `poll` (a completion is a
     /// token and a time), so a failed queued IO completes normally and

@@ -116,6 +116,11 @@ pub struct DirectIoFile {
     epoch: Instant,
     fill: u8,
     queue: ThreadedIoQueue,
+    /// Observability sink for the synchronous path; the queued path
+    /// emits through the embedded [`ThreadedIoQueue`]'s own handle.
+    sink: uflip_obs::SinkHandle,
+    /// Cached `sink.is_enabled()` so the no-op path costs one bool test.
+    sink_enabled: bool,
 }
 
 impl DirectIoFile {
@@ -210,6 +215,8 @@ impl DirectIoFile {
             epoch,
             fill: 0xA5,
             queue,
+            sink: uflip_obs::SinkHandle::null(),
+            sink_enabled: false,
         })
     }
 
@@ -236,6 +243,10 @@ impl BlockDevice for DirectIoFile {
         let t0 = Instant::now();
         self.file
             .read_exact_at(&mut self.buf.as_mut_slice()[..len as usize], offset)?;
+        if self.sink_enabled {
+            self.sink.add(uflip_obs::CounterId::HostReads, 1);
+            self.sink.add(uflip_obs::CounterId::LogicalBytesRead, len);
+        }
         Ok(t0.elapsed())
     }
 
@@ -250,6 +261,11 @@ impl BlockDevice for DirectIoFile {
         let t0 = Instant::now();
         self.file
             .write_all_at(&self.buf.as_slice()[..len as usize], offset)?;
+        if self.sink_enabled {
+            self.sink.add(uflip_obs::CounterId::HostWrites, 1);
+            self.sink
+                .add(uflip_obs::CounterId::LogicalBytesWritten, len);
+        }
         Ok(t0.elapsed())
     }
 
@@ -287,6 +303,12 @@ impl BlockDevice for DirectIoFile {
 
     fn take_async_error(&mut self) -> Option<std::io::Error> {
         self.queue.take_error()
+    }
+
+    fn set_sink(&mut self, sink: uflip_obs::SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.queue.set_sink(sink.clone());
+        self.sink = sink;
     }
 }
 

@@ -51,6 +51,16 @@
 //! transitions (mapping updates, garbage collection) still happen in
 //! submission order — what the queue reorders and overlaps is timing,
 //! which is precisely what the black-box benchmark measures.
+//!
+//! ## Observability
+//!
+//! Queue implementations emit submission/completion/rejection counters
+//! and per-channel busy intervals into an attached `uflip_obs` sink
+//! (see `BlockDevice::set_sink`). The contract is the same as
+//! everywhere in the stack: with the default no-op sink the cost is
+//! one cached `bool` test per event site — no atomics, no allocation —
+//! and every completion time is bit-identical to an uninstrumented
+//! run. A sink can observe a queue; it can never steer it.
 
 use crate::Result;
 use std::time::Duration;

@@ -32,6 +32,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
 use uflip_ftl::Ftl;
+use uflip_obs::{CounterId, SinkHandle};
 use uflip_patterns::{IoRequest, Mode};
 
 /// Controller and interconnect model.
@@ -165,6 +166,12 @@ pub struct SimDevice {
     controller: ControllerConfig,
     stride_quirk: Option<StrideQuirk>,
     state: SimState,
+    /// Observability sink; never affects timing. Kept outside
+    /// [`SimState`] — snapshots capture device behaviour, not who is
+    /// watching it.
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()` so the no-op path costs one bool test.
+    sink_enabled: bool,
     /// Scratch buffers for per-channel busy accounting (hot path:
     /// reused across queued IOs so submission never allocates). Not
     /// semantic state: filled and consumed within one queued IO.
@@ -224,6 +231,8 @@ impl Clone for SimDevice {
             controller: self.controller,
             stride_quirk: self.stride_quirk,
             state: self.state.clone(),
+            sink: self.sink.clone(),
+            sink_enabled: self.sink_enabled,
             // Scratch buffers carry no state, but a clone that starts
             // them empty pays three fresh channel-sized growths on its
             // first queued IO — measurable when forks run short
@@ -271,6 +280,8 @@ impl SimDevice {
                 queue_busy_end_ns: 0,
                 slots: BinaryHeap::new(),
             },
+            sink: SinkHandle::null(),
+            sink_enabled: false,
             busy_before: Vec::new(),
             busy_after: Vec::new(),
             busy_delta: Vec::new(),
@@ -352,6 +363,44 @@ impl SimDevice {
         self.ftl = snap.ftl.clone_box();
         self.state = snap.state.clone();
         self.busy_delta.clear();
+        // The restored FTL carries whatever sink was attached when the
+        // snapshot was taken; re-attach this device's sink so counters
+        // keep flowing to the current observer (obs counters are
+        // monotonic — a restore never rewinds them).
+        self.ftl.set_sink(self.sink.clone());
+    }
+
+    /// Snapshot the FTL's cumulative per-channel busy totals before a
+    /// synchronous IO (enabled sinks only).
+    fn sync_busy_before(&mut self) {
+        let mut before = std::mem::take(&mut self.busy_before);
+        self.ftl.channel_busy_ns(&mut before);
+        self.busy_before = before;
+    }
+
+    /// Diff the busy totals after a synchronous IO and attribute the
+    /// flash time to channels on the sink's utilization timeline. FTLs
+    /// without channel attribution collapse to channel 0.
+    fn sync_busy_emit(&mut self, start_ns: u64, flash_ns: u64) {
+        let mut after = std::mem::take(&mut self.busy_after);
+        self.ftl.channel_busy_ns(&mut after);
+        if after.is_empty() {
+            if flash_ns > 0 {
+                self.sink.channel_busy(0, start_ns, flash_ns);
+            }
+        } else {
+            for (ch, (a, b)) in after
+                .iter()
+                .zip(self.busy_before.iter().chain(std::iter::repeat(&0)))
+                .enumerate()
+            {
+                let d = a.saturating_sub(*b);
+                if d > 0 {
+                    self.sink.channel_busy(ch, start_ns, d);
+                }
+            }
+        }
+        self.busy_after = after;
     }
 
     /// Update stride detection; returns the flash-time multiplier for
@@ -391,21 +440,35 @@ impl BlockDevice for SimDevice {
 
     fn read(&mut self, offset: u64, len: u64) -> Result<Duration> {
         self.check(offset, len)?;
+        let start_ns = self.state.clock_ns;
+        if self.sink_enabled {
+            self.sync_busy_before();
+        }
         let flash = self.ftl.read(offset / 512, (len / 512) as u32)?;
         let rt = self.compose(flash, len) + self.draw_jitter();
         self.state.clock_ns += rt;
         self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
+        if self.sink_enabled {
+            self.sync_busy_emit(start_ns, flash);
+        }
         Ok(Duration::from_nanos(rt))
     }
 
     fn write(&mut self, offset: u64, len: u64) -> Result<Duration> {
         self.check(offset, len)?;
+        let start_ns = self.state.clock_ns;
         let factor = self.stride_factor(offset);
+        if self.sink_enabled {
+            self.sync_busy_before();
+        }
         let flash = self.ftl.write(offset / 512, (len / 512) as u32)?;
         let flash = (flash as f64 * factor) as u64;
         let rt = self.compose(flash, len) + self.draw_jitter();
         self.state.clock_ns += rt;
         self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.max(self.state.clock_ns);
+        if self.sink_enabled {
+            self.sync_busy_emit(start_ns, flash);
+        }
         Ok(Duration::from_nanos(rt))
     }
 
@@ -429,6 +492,12 @@ impl BlockDevice for SimDevice {
 
     fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
         Some(self)
+    }
+
+    fn set_sink(&mut self, sink: uflip_obs::SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.ftl.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     fn snapshot_capable(&self) -> bool {
@@ -525,6 +594,9 @@ impl IoQueue for SimDevice {
 
     fn submit(&mut self, io: &IoRequest, at: Duration) -> Result<Token> {
         if self.state.inflight.len() >= self.state.queue_depth as usize {
+            if self.sink_enabled {
+                self.sink.add(CounterId::QueueFullRejections, 1);
+            }
             return Err(crate::DeviceError::QueueFull {
                 depth: self.state.queue_depth,
             });
@@ -546,6 +618,14 @@ impl IoQueue for SimDevice {
         let busy = std::mem::take(&mut self.busy_delta);
         let start = self.state.tracks.start_ns(admit, &busy);
         self.state.tracks.occupy(start, &busy);
+        if self.sink_enabled {
+            self.sink.add(CounterId::QueueSubmissions, 1);
+            for (ch, &b) in busy.iter().enumerate() {
+                if b > 0 {
+                    self.sink.channel_busy(ch, start, b);
+                }
+            }
+        }
         self.busy_delta = busy;
         let rt = self.compose(flash, io.size) + self.draw_jitter();
         let completion = start + rt;
@@ -566,10 +646,15 @@ impl IoQueue for SimDevice {
     }
 
     fn poll(&mut self) -> Option<(Token, Duration)> {
-        self.state
+        let done = self
+            .state
             .inflight
             .pop()
-            .map(|Reverse((ns, tok))| (Token::from_raw(tok), Duration::from_nanos(ns)))
+            .map(|Reverse((ns, tok))| (Token::from_raw(tok), Duration::from_nanos(ns)));
+        if done.is_some() && self.sink_enabled {
+            self.sink.add(CounterId::QueueCompletions, 1);
+        }
+        done
     }
 }
 

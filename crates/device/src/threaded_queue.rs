@@ -48,6 +48,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use uflip_obs::{CounterId, SinkHandle};
 use uflip_patterns::{IoRequest, Mode};
 
 #[cfg(unix)]
@@ -129,6 +130,11 @@ pub struct ThreadedIoQueue {
     done_tx: Sender<Completion>,
     lane: Mutex<CompletionLane>,
     workers: Vec<JoinHandle<()>>,
+    /// Observability sink; never affects timing. No FTL behind a real
+    /// device, so host-IO counters are emitted here at submission.
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()` so the no-op path costs one bool test.
+    sink_enabled: bool,
 }
 
 impl std::fmt::Debug for ThreadedIoQueue {
@@ -166,7 +172,15 @@ impl ThreadedIoQueue {
                 failed: None,
             }),
             workers: Vec::new(),
+            sink: SinkHandle::null(),
+            sink_enabled: false,
         }
+    }
+
+    /// Attach an observability sink (queue and host-IO counters).
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.sink = sink;
     }
 
     /// Take the parked asynchronous IO error, if any (see the module
@@ -291,6 +305,9 @@ impl IoQueue for ThreadedIoQueue {
 
     fn submit(&mut self, io: &IoRequest, at: Duration) -> Result<Token> {
         if self.in_flight >= self.depth as usize {
+            if self.sink_enabled {
+                self.sink.add(CounterId::QueueFullRejections, 1);
+            }
             return Err(crate::DeviceError::QueueFull { depth: self.depth });
         }
         self.validate(io)?;
@@ -321,6 +338,19 @@ impl IoQueue for ThreadedIoQueue {
             })?;
         self.next_token += 1;
         self.in_flight += 1;
+        if self.sink_enabled {
+            self.sink.add(CounterId::QueueSubmissions, 1);
+            match io.mode {
+                Mode::Read => {
+                    self.sink.add(CounterId::HostReads, 1);
+                    self.sink.add(CounterId::LogicalBytesRead, io.size);
+                }
+                Mode::Write => {
+                    self.sink.add(CounterId::HostWrites, 1);
+                    self.sink.add(CounterId::LogicalBytesWritten, io.size);
+                }
+            }
+        }
         Ok(token)
     }
 
@@ -352,6 +382,9 @@ impl IoQueue for ThreadedIoQueue {
         }
         let Reverse((ns, tok)) = lane.ready.pop().expect("ready checked non-empty");
         self.in_flight -= 1;
+        if self.sink_enabled {
+            self.sink.add(CounterId::QueueCompletions, 1);
+        }
         Some((Token::from_raw(tok), Duration::from_nanos(ns)))
     }
 }

@@ -155,6 +155,10 @@ impl<D: BlockDevice> BlockDevice for TracingDevice<D> {
         self.inner.take_async_error()
     }
 
+    fn set_sink(&mut self, sink: uflip_obs::SinkHandle) {
+        self.inner.set_sink(sink);
+    }
+
     // Snapshots are deliberately NOT forwarded to the backend (the
     // defaults report "unsupported"): restoring would rewind the
     // inner device's virtual clock mid-capture, producing a trace

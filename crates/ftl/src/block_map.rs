@@ -32,13 +32,14 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-use crate::addr::LogicalLayout;
+use crate::addr::{LogicalLayout, SECTOR_BYTES};
 use crate::error::FtlError;
 use crate::group::StripeGroups;
 use crate::stats::FtlStats;
 use crate::traits::Ftl;
 use crate::Result;
 use uflip_nand::{BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
+use uflip_obs::{CounterId, SinkHandle};
 
 const UNMAPPED: u32 = u32::MAX;
 
@@ -155,6 +156,10 @@ pub struct BlockMapFtl {
     free: VecDeque<u32>,
     open: Vec<OpenAu>,
     tick: u64,
+    /// Observability sink; never affects timing.
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()` so the no-op path costs one bool test.
+    sink_enabled: bool,
     stats: FtlStats,
 }
 
@@ -185,6 +190,8 @@ impl BlockMapFtl {
             free: (0..groups.group_count()).collect(),
             open: Vec::with_capacity(cfg.open_aus),
             tick: 0,
+            sink: SinkHandle::null(),
+            sink_enabled: false,
             stats: FtlStats::default(),
             groups,
             cfg,
@@ -313,8 +320,15 @@ impl BlockMapFtl {
             if copied > 0 {
                 self.stats.full_merges += 1;
                 self.stats.sync_merges += 1;
+                if self.sink_enabled {
+                    self.sink.add(CounterId::FullMerges, 1);
+                    self.sink.add(CounterId::SyncMerges, 1);
+                }
             } else {
                 self.stats.switch_merges += 1;
+                if self.sink_enabled {
+                    self.sink.add(CounterId::SwitchMerges, 1);
+                }
             }
         } else {
             // Rebuild: merge replacement + old into a fresh group.
@@ -342,6 +356,10 @@ impl BlockMapFtl {
             self.data_map[au.lau as usize] = fresh;
             self.stats.full_merges += 1;
             self.stats.sync_merges += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::FullMerges, 1);
+                self.sink.add(CounterId::SyncMerges, 1);
+            }
         }
         Ok(ns)
     }
@@ -409,6 +427,10 @@ impl BlockMapFtl {
         }
         self.stats.full_merges += 1;
         self.stats.sync_merges += 1;
+        if self.sink_enabled {
+            self.sink.add(CounterId::FullMerges, 1);
+            self.sink.add(CounterId::SyncMerges, 1);
+        }
         Ok(ns)
     }
 
@@ -442,6 +464,9 @@ impl BlockMapFtl {
             }
             self.data_map[lau as usize] = repl;
             self.stats.switch_merges += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::SwitchMerges, 1);
+            }
         } else {
             let fresh = self.alloc_group()?;
             self.array.stream_begin();
@@ -458,6 +483,10 @@ impl BlockMapFtl {
             self.data_map[lau as usize] = fresh;
             self.stats.full_merges += 1;
             self.stats.sync_merges += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::FullMerges, 1);
+                self.sink.add(CounterId::SyncMerges, 1);
+            }
         }
         // Fresh episode with a new lazy replacement.
         let new_repl = self.alloc_group()?;
@@ -493,6 +522,9 @@ impl BlockMapFtl {
             // the whole chunk whenever the host covers only part of it —
             // the Figure 7 small-write penalty.
             self.stats.rmw_events += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::RmwEvents, 1);
+            }
         }
         match self.cfg.policy {
             ReplacementPolicy::Ordered {
@@ -620,6 +652,11 @@ impl Ftl for BlockMapFtl {
         let ns = self.array.stream_finish();
         self.stats.host_reads += 1;
         self.stats.sectors_read += sectors as u64;
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostReads, 1);
+            self.sink
+                .add(CounterId::LogicalBytesRead, sectors as u64 * SECTOR_BYTES);
+        }
         Ok(ns)
     }
 
@@ -643,7 +680,20 @@ impl Ftl for BlockMapFtl {
         }
         self.stats.host_writes += 1;
         self.stats.sectors_written += sectors as u64;
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostWrites, 1);
+            self.sink.add(
+                CounterId::LogicalBytesWritten,
+                sectors as u64 * SECTOR_BYTES,
+            );
+        }
         Ok(ns)
+    }
+
+    fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.array.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     fn clone_box(&self) -> Box<dyn Ftl + Send> {

@@ -30,6 +30,7 @@ use crate::traits::Ftl;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use uflip_nand::NandStats;
+use uflip_obs::{CounterId, SinkHandle};
 
 /// A measured `(io_bytes, mean latency ns)` curve, interpolated
 /// piecewise-linearly and clamped at both ends.
@@ -176,6 +177,11 @@ pub struct FittedFtl {
     write_cursor: Option<u64>,
     /// Cumulative per-channel busy ns (the queue engine diffs these).
     busy_totals: Vec<u64>,
+    /// Observability sink; never affects timing. No NAND array behind a
+    /// fitted model, so only host-level counters are emitted.
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()` so the no-op path costs one bool test.
+    sink_enabled: bool,
     stats: FtlStats,
 }
 
@@ -189,6 +195,8 @@ impl FittedFtl {
             read_cursor: None,
             write_cursor: None,
             busy_totals: vec![0; channels],
+            sink: SinkHandle::null(),
+            sink_enabled: false,
             stats: FtlStats::default(),
         })
     }
@@ -225,6 +233,10 @@ impl Ftl for FittedFtl {
         self.charge(lba, ns);
         self.stats.host_reads += 1;
         self.stats.sectors_read += u64::from(sectors);
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostReads, 1);
+            self.sink.add(CounterId::LogicalBytesRead, bytes);
+        }
         Ok(ns)
     }
 
@@ -248,13 +260,25 @@ impl Ftl for FittedFtl {
         if g > 0 && bytes >= g && !(lba * 512).is_multiple_of(g) {
             ns *= self.config.align_penalty;
             self.stats.rmw_events += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::RmwEvents, 1);
+            }
         }
         let ns = ns.round() as u64;
         self.charge(lba, ns);
         self.stats.host_writes += 1;
         self.stats.sectors_written += u64::from(sectors);
         self.stats.logical_pages_written += u64::from(sectors).div_ceil(8); // 4 KB pages
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostWrites, 1);
+            self.sink.add(CounterId::LogicalBytesWritten, bytes);
+        }
         Ok(ns)
+    }
+
+    fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.sink = sink;
     }
 
     fn channels(&self) -> u32 {

@@ -26,7 +26,7 @@
 //!   drive background reclamation, so a read-only phase after a write
 //!   burst gradually returns to full speed (Figure 5).
 
-use crate::addr::LogicalLayout;
+use crate::addr::{LogicalLayout, SECTOR_BYTES};
 use crate::error::FtlError;
 use crate::free_pool::FreePool;
 use crate::stats::FtlStats;
@@ -34,6 +34,7 @@ use crate::traits::Ftl;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use uflip_nand::{Batch, NandArray, NandArrayConfig, NandOp, NandStats, PageAddr};
+use uflip_obs::{CounterId, SinkHandle};
 
 const UNMAPPED: u32 = u32::MAX;
 
@@ -140,6 +141,10 @@ pub struct PageMapFtl {
     /// not allocate; execution stays deferred to the end of the span —
     /// victim selection must not observe this write's own programs).
     scratch: Batch,
+    /// Observability sink (host-IO and merge events).
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()`.
+    sink_enabled: bool,
     stats: FtlStats,
     pages_per_block: u32,
     blocks_per_chip: u32,
@@ -176,6 +181,8 @@ impl PageMapFtl {
             gc_active: vec![None; chips],
             bg_credit_ns: 0,
             scratch: Batch::new(),
+            sink: SinkHandle::null(),
+            sink_enabled: false,
             stats: FtlStats::default(),
             pages_per_block,
             blocks_per_chip,
@@ -375,6 +382,17 @@ impl PageMapFtl {
             self.stats.async_merges += 1;
         }
         self.stats.full_merges += 1;
+        if self.sink_enabled {
+            self.sink.add(
+                if sync {
+                    CounterId::SyncMerges
+                } else {
+                    CounterId::AsyncMerges
+                },
+                1,
+            );
+            self.sink.add(CounterId::FullMerges, 1);
+        }
         Ok(ns)
     }
 
@@ -449,6 +467,11 @@ impl Ftl for PageMapFtl {
         }
         self.stats.host_reads += 1;
         self.stats.sectors_read += sectors as u64;
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostReads, 1);
+            self.sink
+                .add(CounterId::LogicalBytesRead, sectors as u64 * SECTOR_BYTES);
+        }
         Ok(ns)
     }
 
@@ -468,6 +491,9 @@ impl Ftl for PageMapFtl {
                 }
             }
             self.stats.rmw_events += 1;
+            if self.sink_enabled {
+                self.sink.add(CounterId::RmwEvents, 1);
+            }
         }
         for lpn in first..last {
             self.unmap(lpn);
@@ -485,11 +511,24 @@ impl Ftl for PageMapFtl {
         self.scratch = batch;
         self.stats.host_writes += 1;
         self.stats.sectors_written += sectors as u64;
+        if self.sink_enabled {
+            self.sink.add(CounterId::HostWrites, 1);
+            self.sink.add(
+                CounterId::LogicalBytesWritten,
+                sectors as u64 * SECTOR_BYTES,
+            );
+        }
         Ok(total_ns)
     }
 
     fn on_idle(&mut self, ns: u64) {
         self.background_work(ns);
+    }
+
+    fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.array.set_sink(sink.clone());
+        self.sink = sink;
     }
 
     fn clone_box(&self) -> Box<dyn Ftl + Send> {

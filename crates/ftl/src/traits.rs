@@ -4,6 +4,7 @@
 use crate::stats::FtlStats;
 use crate::Result;
 use uflip_nand::NandStats;
+use uflip_obs::SinkHandle;
 
 /// A flash translation layer: a timed block manager over a NAND array.
 ///
@@ -28,6 +29,14 @@ pub trait Ftl {
     /// work (asynchronous page reclamation). Default: nothing.
     fn on_idle(&mut self, ns: u64) {
         let _ = ns;
+    }
+
+    /// Attach an observability sink. Implementations store the handle,
+    /// forward it to their backing [`uflip_nand::NandArray`], and emit
+    /// host-IO and merge events into it; the sink must never influence
+    /// timing. Default: events are dropped (the no-op sink).
+    fn set_sink(&mut self, sink: SinkHandle) {
+        let _ = sink;
     }
 
     /// Number of independent flash channels in the backing array.

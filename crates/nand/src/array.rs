@@ -18,6 +18,7 @@ use crate::error::NandError;
 use crate::ops::NandOp;
 use crate::Result;
 use serde::{Deserialize, Serialize};
+use uflip_obs::{CounterId, SinkHandle};
 
 /// Configuration of a [`NandArray`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -113,6 +114,10 @@ pub struct NandArray {
     /// Consumers (the device queue engine) diff these around an FTL
     /// call to attribute an IO's flash time to channels.
     busy_totals: Vec<u64>,
+    /// Observability sink; events mirror the chip stats exactly.
+    sink: SinkHandle,
+    /// Cached `sink.is_enabled()` so the disabled path is one branch.
+    sink_enabled: bool,
 }
 
 impl NandArray {
@@ -127,8 +132,21 @@ impl NandArray {
             chips: (0..config.chips).map(|_| Chip::new(config.chip)).collect(),
             channel_busy: vec![0; config.channels as usize],
             busy_totals: vec![0; config.channels as usize],
+            sink: SinkHandle::null(),
+            sink_enabled: false,
             config,
         }
+    }
+
+    /// Attach an observability sink. Every executed NAND operation is
+    /// mirrored into its counters ([`CounterId::PageReads`],
+    /// [`CounterId::PagePrograms`], [`CounterId::BlockErases`], …,
+    /// plus the derived byte counters), so after any sequence of
+    /// batches the sink totals reconcile exactly with
+    /// [`NandArray::stats`]. The sink never affects timing.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink_enabled = sink.is_enabled();
+        self.sink = sink;
     }
 
     /// Array configuration.
@@ -186,6 +204,42 @@ impl NandArray {
         total
     }
 
+    /// Mirror one successfully executed op into the sink, matching
+    /// the chip-stats accounting byte for byte: a copy-back counts as
+    /// a program (not a page read), a dual-plane erase counts as one
+    /// dual-plane event (its two internal erases are not block
+    /// erases), exactly as [`crate::stats::NandStats`] nets them out.
+    fn emit_op(&self, op: NandOp) {
+        let page = u64::from(self.config.chip.geometry.page_data_bytes);
+        let block = self.config.chip.geometry.block_bytes();
+        match op {
+            NandOp::ReadPage(_) => {
+                self.sink.add(CounterId::PageReads, 1);
+                self.sink.add(CounterId::ReadBytes, page);
+            }
+            NandOp::ProgramPage(_) => {
+                self.sink.add(CounterId::PagePrograms, 1);
+                self.sink.add(CounterId::ProgramBytes, page);
+            }
+            NandOp::EraseBlock(_) => {
+                self.sink.add(CounterId::BlockErases, 1);
+                self.sink.add(CounterId::EraseBytes, block);
+            }
+            NandOp::CopyBack { .. } => {
+                self.sink.add(CounterId::CopyBacks, 1);
+                self.sink.add(CounterId::ProgramBytes, page);
+            }
+            NandOp::DualPlaneProgram(..) => {
+                self.sink.add(CounterId::DualPlanePrograms, 1);
+                self.sink.add(CounterId::ProgramBytes, 2 * page);
+            }
+            NandOp::DualPlaneErase(..) => {
+                self.sink.add(CounterId::DualPlaneErases, 1);
+                self.sink.add(CounterId::EraseBytes, 2 * block);
+            }
+        }
+    }
+
     fn execute_one(&mut self, op: NandOp) -> Result<u64> {
         let chip_idx = op.chip();
         if chip_idx >= self.config.chips {
@@ -195,7 +249,7 @@ impl NandArray {
             });
         }
         let chip = &mut self.chips[chip_idx as usize];
-        match op {
+        let ns = match op {
             NandOp::ReadPage(p) => chip.read_page(strip_chip(p), None),
             NandOp::ProgramPage(p) => chip.program_page(strip_chip(p), None),
             NandOp::EraseBlock(b) => chip.erase_block(b.block),
@@ -223,7 +277,11 @@ impl NandArray {
                 }
                 chip.dual_plane_erase(a.block, b.block)
             }
+        }?;
+        if self.sink_enabled {
+            self.emit_op(op);
         }
+        Ok(ns)
     }
 
     /// Execute a batch: every op runs (mutating chip state); ops serialize
@@ -295,6 +353,13 @@ impl NandArray {
         let ch = self.channel_of_chip(chip) as usize;
         let ns = self.chips[chip as usize].read_run(block, first, n)?;
         self.channel_busy[ch] += ns;
+        if self.sink_enabled {
+            self.sink.add(CounterId::PageReads, u64::from(n));
+            self.sink.add(
+                CounterId::ReadBytes,
+                u64::from(n) * u64::from(self.config.chip.geometry.page_data_bytes),
+            );
+        }
         Ok(())
     }
 
@@ -312,6 +377,13 @@ impl NandArray {
         let ch = self.channel_of_chip(chip) as usize;
         let ns = self.chips[chip as usize].program_run(block, first, n)?;
         self.channel_busy[ch] += ns;
+        if self.sink_enabled {
+            self.sink.add(CounterId::PagePrograms, u64::from(n));
+            self.sink.add(
+                CounterId::ProgramBytes,
+                u64::from(n) * u64::from(self.config.chip.geometry.page_data_bytes),
+            );
+        }
         Ok(())
     }
 
@@ -324,6 +396,13 @@ impl NandArray {
         let ch = self.channel_of_chip(chip) as usize;
         let ns = self.chips[chip as usize].read_tally(n);
         self.channel_busy[ch] += ns;
+        if self.sink_enabled {
+            self.sink.add(CounterId::PageReads, u64::from(n));
+            self.sink.add(
+                CounterId::ReadBytes,
+                u64::from(n) * u64::from(self.config.chip.geometry.page_data_bytes),
+            );
+        }
     }
 
     /// Finish a streaming batch: fold channel times into the running
@@ -539,6 +618,46 @@ mod tests {
             a.busy_totals(),
             &[2 * single, 2 * single],
             "a non-pipelining batch keeps the whole device busy"
+        );
+    }
+
+    #[test]
+    fn sink_counters_reconcile_with_stats() {
+        use uflip_obs::Metrics;
+        let (metrics, handle) = Metrics::shared();
+        let mut a = NandArray::new(NandArrayConfig::tiny());
+        a.set_sink(handle);
+        let batch: Batch = [
+            NandOp::ProgramPage(pa(0, 0, 0)),
+            NandOp::ProgramPage(pa(1, 0, 0)),
+            NandOp::ReadPage(pa(0, 0, 0)),
+            NandOp::EraseBlock(pa(1, 0, 0).block_addr()),
+        ]
+        .into_iter()
+        .collect();
+        a.execute(&batch).unwrap();
+        a.stream_begin();
+        a.stream_read_tally(0, 3);
+        a.stream_finish();
+        let stats = a.stats();
+        let page = u64::from(a.config().chip.geometry.page_data_bytes);
+        assert_eq!(
+            metrics.counter(CounterId::PagePrograms),
+            stats.page_programs
+        );
+        assert_eq!(metrics.counter(CounterId::PageReads), stats.page_reads);
+        assert_eq!(metrics.counter(CounterId::BlockErases), stats.block_erases);
+        assert_eq!(
+            metrics.counter(CounterId::ProgramBytes),
+            stats.physical_pages_written() * page
+        );
+        assert_eq!(
+            metrics.counter(CounterId::ReadBytes),
+            stats.page_reads * page
+        );
+        assert_eq!(
+            metrics.counter(CounterId::EraseBytes),
+            stats.physical_blocks_erased() * a.config().chip.geometry.block_bytes()
         );
     }
 

@@ -1,0 +1,331 @@
+//! HDR-style log-bucketed latency histograms.
+//!
+//! Values (response times in nanoseconds) land in buckets whose width
+//! grows with magnitude: each power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so the relative bucket width —
+//! and therefore the worst-case quantile error — is bounded by
+//! `1/SUB_BUCKETS` (6.25 %). The bucket array is a fixed-size block of
+//! atomics covering the full `u64` range: the record path is two
+//! relaxed `fetch_add`s and two `fetch_min`/`fetch_max`es, with no
+//! allocation and no locks, so histograms can sit on concurrent paths
+//! (sharded suite workers, queue completion threads).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave `[2^k, 2^{k+1})` is split into
+/// this many linear buckets.
+pub const SUB_BUCKETS: usize = 16;
+
+const SUB_BITS: usize = SUB_BUCKETS.trailing_zeros() as usize;
+
+/// Total bucket count: `SUB_BUCKETS` exact unit buckets for values
+/// below [`SUB_BUCKETS`], then `64 - SUB_BITS` octaves of
+/// `SUB_BUCKETS` buckets each — the whole `u64` range.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index for a value. Total order preserving.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let k = 63 - v.leading_zeros() as usize; // 2^k <= v, k >= SUB_BITS
+    let sub = (v >> (k - SUB_BITS)) as usize - SUB_BUCKETS;
+    (k - SUB_BITS) * SUB_BUCKETS + SUB_BUCKETS + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let octave = (i - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub) as u64) << octave
+}
+
+/// Width of bucket `i` (its bounds are `[low, low + width)`).
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        1
+    } else {
+        1u64 << ((i - SUB_BUCKETS) / SUB_BUCKETS)
+    }
+}
+
+/// Width of the bucket a value falls in — the quantile error bound
+/// around that value (used by the correctness proptest).
+pub fn bucket_width_at(v: u64) -> u64 {
+    bucket_width(bucket_index(v))
+}
+
+/// A log-bucketed latency histogram over nanosecond values.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]`, linearly interpolated inside the
+    /// containing bucket and clamped to the recorded `[min, max]`.
+    /// Within [`bucket_width_at`] of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Same rank convention as `RunStats` (type-7): the quantile
+        // sits at fractional rank q * (n - 1) of the sorted values.
+        let rank = q.clamp(0.0, 1.0) * (n - 1) as f64;
+        let mut cum = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let c = self.buckets[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 > rank {
+                // Ranks [cum, cum + c) live here; spread them evenly.
+                let within = ((rank - cum as f64) + 0.5) / c as f64;
+                let est = bucket_low(i) as f64 + bucket_width(i) as f64 * within.clamp(0.0, 1.0);
+                return (est.round() as u64).clamp(self.min(), self.max());
+            }
+            cum += c;
+        }
+        self.max()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for i in 0..NUM_BUCKETS {
+            let c = other.buckets[i].load(Ordering::Relaxed);
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Plain serializable copy: summary quantiles plus the non-empty
+    /// buckets (sparse — the fixed array never serializes whole).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..NUM_BUCKETS)
+            .filter_map(|i| {
+                let count = self.buckets[i].load(Ordering::Relaxed);
+                (count > 0).then(|| HistogramBucket {
+                    low_ns: bucket_low(i),
+                    width_ns: bucket_width(i),
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            min_ns: self.min(),
+            max_ns: self.max(),
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a serialized histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket, nanoseconds.
+    pub low_ns: u64,
+    /// Bucket width; values lie in `[low_ns, low_ns + width_ns)`.
+    pub width_ns: u64,
+    /// Recorded values in this bucket.
+    pub count: u64,
+}
+
+/// Serializable summary + sparse buckets of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact minimum, nanoseconds.
+    pub min_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Exact arithmetic mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median (interpolated log-bucket quantile).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotonic_and_total() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            1000,
+            4096,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= prev, "index not monotonic at {v}");
+            assert!(bucket_low(i) <= v, "low bound above value {v}");
+            assert!(
+                v - bucket_low(i) < bucket_width(i),
+                "value {v} outside bucket {i}"
+            );
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+            assert_eq!(bucket_width_at(v), 1);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_track_uniform_data() {
+        let h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1 µs .. 10 ms
+        }
+        for (q, exact) in [(0.5, 5_000_500u64), (0.95, 9_500_050), (0.99, 9_900_010)] {
+            let got = h.quantile(q);
+            let tol = bucket_width_at(exact).max(bucket_width_at(got));
+            assert!(
+                got.abs_diff(exact) <= tol,
+                "q={q}: got {got}, exact {exact}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 50);
+        assert_eq!(a.max(), 200);
+    }
+
+    #[test]
+    fn snapshot_is_sparse() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_000);
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(snap.buckets[0].count, 2);
+    }
+}

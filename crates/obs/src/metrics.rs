@@ -1,0 +1,239 @@
+//! The recording sink and its versioned JSON snapshot.
+
+use crate::channel::{ChannelUtilization, UtilizationSnapshot};
+use crate::counter::{CounterId, CounterSnapshot, ShardedCounters};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::sink::{LatencyClass, ObsSink, SinkHandle, WorkloadMetrics};
+use crate::SNAPSHOT_VERSION;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// The standard recording sink: sharded counters, one latency
+/// histogram per [`LatencyClass`], a channel-utilization timeline and
+/// the per-workload derived metrics.
+///
+/// Counter and histogram recording is lock-free; only channel-busy
+/// events and workload summaries (rare) take a mutex.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: ShardedCounters,
+    latency: [LatencyHistogram; LatencyClass::COUNT],
+    utilization: Mutex<ChannelUtilization>,
+    workloads: Mutex<Vec<(String, WorkloadMetrics)>>,
+}
+
+impl Metrics {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared recorder plus the handle to attach to the stack.
+    pub fn shared() -> (Arc<Metrics>, SinkHandle) {
+        let metrics = Arc::new(Metrics::new());
+        let handle = SinkHandle::from(metrics.clone());
+        (metrics, handle)
+    }
+
+    /// Current total of one counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters.get(id)
+    }
+
+    /// The latency histogram of one class.
+    pub fn latency(&self, class: LatencyClass) -> &LatencyHistogram {
+        &self.latency[class as usize]
+    }
+
+    /// Serializable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = CounterSnapshot::new();
+        self.counters.snapshot(&mut counters);
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: counters
+                .iter()
+                .map(|(id, value)| CounterEntry {
+                    name: id.name().to_string(),
+                    value,
+                })
+                .collect(),
+            latency: LatencyClass::ALL
+                .into_iter()
+                .filter(|class| !self.latency[*class as usize].is_empty())
+                .map(|class| LatencySnapshot {
+                    class: class.name().to_string(),
+                    histogram: self.latency[class as usize].snapshot(),
+                })
+                .collect(),
+            utilization: {
+                let util = self.utilization.lock().expect("utilization lock");
+                (util.channels() > 0).then(|| util.snapshot())
+            },
+            workloads: self
+                .workloads
+                .lock()
+                .expect("workloads lock")
+                .iter()
+                .map(|(label, metrics)| WorkloadSnapshot {
+                    label: label.clone(),
+                    metrics: *metrics,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ObsSink for Metrics {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, id: CounterId, n: u64) {
+        self.counters.add(id, n);
+    }
+
+    fn latency(&self, class: LatencyClass, ns: u64) {
+        self.latency[class as usize].record(ns);
+    }
+
+    fn channel_busy(&self, channel: usize, start_ns: u64, busy_ns: u64) {
+        self.utilization
+            .lock()
+            .expect("utilization lock")
+            .record(channel, start_ns, busy_ns);
+    }
+
+    fn counters(&self, out: &mut CounterSnapshot) {
+        self.counters.snapshot(out);
+    }
+
+    fn workload(&self, label: &str, metrics: WorkloadMetrics) {
+        self.workloads
+            .lock()
+            .expect("workloads lock")
+            .push((label.to_string(), metrics));
+    }
+}
+
+/// One named counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Counter name ([`CounterId::name`]).
+    pub name: String,
+    /// Total events.
+    pub value: u64,
+}
+
+/// One latency class's histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Class name ([`LatencyClass::name`]).
+    pub class: String,
+    /// The histogram.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Derived metrics of one workload run in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSnapshot {
+    /// Workload label (e.g. `"RW"` or a plan step name).
+    pub label: String,
+    /// The derived metrics.
+    pub metrics: WorkloadMetrics,
+}
+
+/// The versioned JSON document written by `--metrics PATH`.
+///
+/// Schema (`version` 1): `counters` lists every [`CounterId`] by
+/// stable name (zeros included, so consumers need no defaulting);
+/// `latency` holds one sparse histogram per non-empty class;
+/// `utilization` is present when any channel reported busy time;
+/// `workloads` one entry per observed run, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Every counter, by stable name, zeros included.
+    pub counters: Vec<CounterEntry>,
+    /// Per-class latency histograms (non-empty classes only).
+    pub latency: Vec<LatencySnapshot>,
+    /// Channel busy-time timeline, when any was recorded.
+    pub utilization: Option<UtilizationSnapshot>,
+    /// Per-workload derived metrics, in execution order.
+    pub workloads: Vec<WorkloadSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name (0 when absent).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters
+            .iter()
+            .find(|e| e.name == id.name())
+            .map_or(0, |e| e.value)
+    }
+
+    /// Pretty JSON text of the snapshot.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Write the snapshot as pretty JSON.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Read a snapshot back from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Read a snapshot back from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let (metrics, handle) = Metrics::shared();
+        assert!(handle.is_enabled());
+        handle.add(CounterId::PagePrograms, 7);
+        handle.add(CounterId::ProgramBytes, 7 * 2048);
+        handle.latency(LatencyClass::Write, 250_000);
+        handle.channel_busy(0, 0, 100_000);
+        handle.workload(
+            "RW",
+            WorkloadMetrics {
+                host_writes: 7,
+                logical_bytes_written: 7 * 2048,
+                bytes_programmed: 7 * 2048,
+                write_amplification: 1.0,
+                ..Default::default()
+            },
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.counter(CounterId::PagePrograms), 7);
+        assert_eq!(snap.counters.len(), CounterId::COUNT);
+        assert_eq!(snap.latency.len(), 1);
+        assert_eq!(snap.latency[0].class, "write");
+        assert!(snap.utilization.is_some());
+        let back = MetricsSnapshot::from_json(&snap.to_json_pretty()).expect("parse back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_cleanly() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.latency.len(), 0);
+        assert!(snap.utilization.is_none());
+        assert_eq!(snap.counters.len(), CounterId::COUNT);
+    }
+}

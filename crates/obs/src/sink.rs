@@ -1,0 +1,202 @@
+//! The sink trait instrumented layers emit into, and the attach
+//! handle threaded through the stack.
+//!
+//! Design rule: observation must never perturb measurement. Sinks
+//! receive events *about* simulated or wall-clock time but never
+//! advance either; every default method is an empty no-op so the
+//! disabled path compiles to nothing. Instrumented components
+//! additionally cache [`ObsSink::is_enabled`] in a plain `bool` at
+//! attach time, making the per-event cost of a disabled sink one
+//! predictable branch.
+
+use crate::counter::{CounterId, CounterSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which latency population a response time belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum LatencyClass {
+    /// Read IOs.
+    Read,
+    /// Write IOs.
+    Write,
+    /// IOs from mixed read/write workloads (not split by op).
+    Mixed,
+}
+
+impl LatencyClass {
+    /// Number of classes (dense index space).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in discriminant order.
+    pub const ALL: [LatencyClass; LatencyClass::COUNT] =
+        [LatencyClass::Read, LatencyClass::Write, LatencyClass::Mixed];
+
+    /// Stable lowercase name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyClass::Read => "read",
+            LatencyClass::Write => "write",
+            LatencyClass::Mixed => "mixed",
+        }
+    }
+}
+
+/// Derived per-workload metrics emitted once per completed run by the
+/// observed executors (counter deltas across the run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMetrics {
+    /// Host read requests during the run.
+    pub host_reads: u64,
+    /// Host write requests during the run.
+    pub host_writes: u64,
+    /// Logical bytes read by the host.
+    pub logical_bytes_read: u64,
+    /// Logical bytes written by the host.
+    pub logical_bytes_written: u64,
+    /// Bytes programmed to flash (copy-backs included).
+    pub bytes_programmed: u64,
+    /// Bytes of flash capacity erased.
+    pub bytes_erased: u64,
+    /// Write amplification: `bytes_programmed /
+    /// logical_bytes_written` (0.0 when nothing was written).
+    pub write_amplification: f64,
+}
+
+impl WorkloadMetrics {
+    /// Build from a per-run counter delta.
+    pub fn from_delta(delta: &CounterSnapshot) -> Self {
+        let logical = delta.get(CounterId::LogicalBytesWritten);
+        let programmed = delta.get(CounterId::ProgramBytes);
+        WorkloadMetrics {
+            host_reads: delta.get(CounterId::HostReads),
+            host_writes: delta.get(CounterId::HostWrites),
+            logical_bytes_read: delta.get(CounterId::LogicalBytesRead),
+            logical_bytes_written: logical,
+            bytes_programmed: programmed,
+            bytes_erased: delta.get(CounterId::EraseBytes),
+            write_amplification: if logical == 0 {
+                0.0
+            } else {
+                programmed as f64 / logical as f64
+            },
+        }
+    }
+}
+
+/// Receiver for observability events from every layer of the stack.
+///
+/// All methods default to no-ops; a sink implements only what it
+/// records. Implementations must be cheap and non-blocking enough to
+/// sit on IO hot paths, and must never influence timing-visible
+/// behaviour of the emitting component.
+pub trait ObsSink: Send + Sync {
+    /// Whether events are recorded at all. Components cache this at
+    /// attach time and skip emission entirely when `false`.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `n` events to a monotonic counter.
+    fn add(&self, _id: CounterId, _n: u64) {}
+
+    /// Record one response time (nanoseconds) for a latency class.
+    fn latency(&self, _class: LatencyClass, _ns: u64) {}
+
+    /// Record `busy_ns` of channel occupancy starting at `start_ns`
+    /// (device time).
+    fn channel_busy(&self, _channel: usize, _start_ns: u64, _busy_ns: u64) {}
+
+    /// Read back the current counter totals (for derived per-run
+    /// metrics). No-op sinks leave `out` untouched.
+    fn counters(&self, _out: &mut CounterSnapshot) {}
+
+    /// Record derived metrics for one completed workload run.
+    fn workload(&self, _label: &str, _metrics: WorkloadMetrics) {}
+}
+
+/// The do-nothing sink: every method is the trait default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {}
+
+/// Cloneable handle to a shared sink, threaded from bench bins down
+/// to the NAND array. `Default` is a [`NullSink`], so instrumented
+/// structs can `#[derive(Default)]`-style initialize to "disabled".
+#[derive(Clone)]
+pub struct SinkHandle(Arc<dyn ObsSink>);
+
+impl SinkHandle {
+    /// Wrap a shared sink.
+    pub fn new(sink: Arc<dyn ObsSink>) -> Self {
+        SinkHandle(sink)
+    }
+
+    /// The disabled handle.
+    pub fn null() -> Self {
+        SinkHandle(Arc::new(NullSink))
+    }
+
+    /// Whether the underlying sink records events (cache this).
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_enabled()
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::null()
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SinkHandle")
+            .field(&if self.is_enabled() { "enabled" } else { "null" })
+            .finish()
+    }
+}
+
+impl std::ops::Deref for SinkHandle {
+    type Target = dyn ObsSink;
+
+    fn deref(&self) -> &(dyn ObsSink + 'static) {
+        &*self.0
+    }
+}
+
+impl<S: ObsSink + 'static> From<Arc<S>> for SinkHandle {
+    fn from(sink: Arc<S>) -> Self {
+        SinkHandle(sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_inert() {
+        let handle = SinkHandle::default();
+        assert!(!handle.is_enabled());
+        handle.add(CounterId::PageReads, 5);
+        handle.latency(LatencyClass::Read, 100);
+        let mut snap = CounterSnapshot::new();
+        handle.counters(&mut snap);
+        assert_eq!(snap.get(CounterId::PageReads), 0);
+        assert_eq!(format!("{handle:?}"), "SinkHandle(\"null\")");
+    }
+
+    #[test]
+    fn workload_metrics_derive_write_amp() {
+        let mut delta = CounterSnapshot::new();
+        delta.set(CounterId::LogicalBytesWritten, 1000);
+        delta.set(CounterId::ProgramBytes, 2500);
+        let m = WorkloadMetrics::from_delta(&delta);
+        assert!((m.write_amplification - 2.5).abs() < 1e-12);
+        let zero = WorkloadMetrics::from_delta(&CounterSnapshot::new());
+        assert_eq!(zero.write_amplification, 0.0);
+    }
+}

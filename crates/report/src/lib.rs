@@ -27,6 +27,7 @@ pub mod csv;
 pub mod hints;
 pub mod json;
 pub mod locality;
+pub mod obs;
 pub mod partition;
 pub mod residual;
 pub mod summary;
@@ -35,6 +36,7 @@ pub mod wear;
 
 pub use hints::{evaluate_hints, HintReport};
 pub use locality::locality_knee;
+pub use obs::render_metrics;
 pub use partition::partition_limit;
 pub use summary::{characterize, CharacterizeConfig, DeviceSummary};
 pub use trace::{profile_trace, TraceProfile};

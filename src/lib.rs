@@ -20,7 +20,10 @@
 //! * [`report`] — trace analysis, summaries (Table 3), design hints,
 //!   ASCII plots and serialization;
 //! * [`trace`] — IO trace capture/serialization and synthetic
-//!   DB-shaped workload generators, replayed via [`core::replay`].
+//!   DB-shaped workload generators, replayed via [`core::replay`];
+//! * [`obs`] — zero-overhead observability: sharded counters, latency
+//!   histograms and channel-utilization timelines behind the
+//!   [`obs::ObsSink`] trait every layer emits into.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use uflip_core as core;
 pub use uflip_device as device;
 pub use uflip_ftl as ftl;
 pub use uflip_nand as nand;
+pub use uflip_obs as obs;
 pub use uflip_patterns as patterns;
 pub use uflip_report as report;
 pub use uflip_trace as trace;
