@@ -31,7 +31,7 @@
 
 use std::time::Duration;
 use uflip_bench::{mean_ms, DeviceTarget, RealDeviceSpec, RealOpenMode};
-use uflip_core::executor::execute_run_observed;
+use uflip_core::executor::{execute_run_observed, execute_run_with_policy};
 use uflip_core::methodology::state::enforce_random_state;
 use uflip_core::micro::{
     alignment, bursts, granularity, locality, mix, order, parallelism, partitioning, pause,
@@ -39,6 +39,7 @@ use uflip_core::micro::{
 };
 use uflip_core::suite::{run_full_suite_sharded_observed, SuiteOptions, SuiteResult};
 use uflip_core::Experiment;
+use uflip_core::IoPolicy;
 use uflip_device::profiles::catalog;
 use uflip_device::BlockDevice;
 use uflip_obs::{CounterId, Metrics, ObsSink, SinkHandle};
@@ -59,6 +60,8 @@ struct Cli {
     threads: usize,
     out_dir: std::path::PathBuf,
     metrics: Option<std::path::PathBuf>,
+    faults: Option<std::path::PathBuf>,
+    io_policy: IoPolicy,
 }
 
 fn parse() -> Cli {
@@ -75,6 +78,8 @@ fn parse() -> Cli {
         threads: 0,
         out_dir: "results".into(),
         metrics: None,
+        faults: None,
+        io_policy: IoPolicy::none(),
     };
     let mut args = std::env::args().skip(1);
     cli.command = args.next().unwrap_or_else(|| "help".into());
@@ -97,6 +102,14 @@ fn parse() -> Cli {
                 }
             }
             "--metrics" => cli.metrics = args.next().map(std::path::PathBuf::from),
+            "--faults" => cli.faults = args.next().map(std::path::PathBuf::from),
+            "--io-policy" => {
+                let spec = args.next().unwrap_or_default();
+                cli.io_policy = IoPolicy::parse(&spec).unwrap_or_else(|msg| {
+                    eprintln!("bad --io-policy `{spec}`: {msg}");
+                    std::process::exit(2);
+                });
+            }
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -104,7 +117,7 @@ fn parse() -> Cli {
 }
 
 fn open_device(cli: &Cli, sink: &SinkHandle) -> Box<dyn BlockDevice> {
-    let mut dev: Box<dyn BlockDevice> = if let Some(path) = &cli.file {
+    let dev: Box<dyn BlockDevice> = if let Some(path) = &cli.file {
         let spec = RealDeviceSpec {
             path: path.into(),
             capacity: cli.size_mb * 1024 * 1024,
@@ -120,6 +133,18 @@ fn open_device(cli: &Cli, sink: &SinkHandle) -> Box<dyn BlockDevice> {
                 std::process::exit(2);
             })),
         }
+    };
+    // `--faults PLAN.json`: interpose the fault-injection decorator
+    // between the executors and the target.
+    let mut dev = match &cli.faults {
+        Some(path) => {
+            let plan = uflip_device::FaultPlan::load_json(path).unwrap_or_else(|msg| {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            });
+            Box::new(uflip_device::FaultyDevice::new(dev, plan)) as Box<dyn BlockDevice>
+        }
+        None => dev,
     };
     dev.set_sink(sink.clone());
     dev
@@ -250,7 +275,8 @@ fn main() {
                         .with_target(2 * window, window),
                 ),
             ] {
-                let run = execute_run_observed(dev.as_mut(), &spec, &sink).expect("run");
+                let run = execute_run_with_policy(dev.as_mut(), &spec, &cli.io_policy, &sink)
+                    .expect("run");
                 check_async_error(dev.as_mut(), name);
                 dev.idle(Duration::from_secs(5));
                 println!(
@@ -366,7 +392,10 @@ fn main() {
             } else {
                 let mut dev = open_device(&cli, &sink);
                 let cfg = suite_cfg(cli.quick, dev.capacity_bytes());
-                let opts = SuiteOptions::default();
+                let opts = SuiteOptions {
+                    io_policy: (!cli.io_policy.is_noop()).then_some(cli.io_policy),
+                    ..Default::default()
+                };
                 // Always run the suite observed: with --metrics the
                 // user's sink records everything; without it a local
                 // Metrics exists purely to surface write amplification.
@@ -407,7 +436,8 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let run = execute_run_observed(dev.as_mut(), &spec, &sink).expect("run");
+            let run =
+                execute_run_with_policy(dev.as_mut(), &spec, &cli.io_policy, &sink).expect("run");
             check_async_error(dev.as_mut(), &cli.pattern);
             let s = run.summary_all().expect("non-empty");
             println!(
@@ -449,7 +479,8 @@ fn main() {
                 "usage: flashio <list-devices|baselines|micro|suite|pattern|wear> \
                  [--device ID|all|profile:PATH|file:PATH[:SIZE] | --file PATH --size-mb N] \
                  [--bench NAME] [--pattern SR|RR|SW|RW] [--io-size BYTES] [--count N] \
-                 [--quick] [--threads N] [--out DIR] [--metrics PATH]\n\
+                 [--quick] [--threads N] [--out DIR] [--metrics PATH] \
+                 [--faults PLAN.json] [--io-policy SPEC]\n\
                  real targets: --device file:PATH[:SIZE] (auto O_DIRECT), \
                  direct:PATH[:SIZE], buffered:PATH[:SIZE]; SIZE takes K/M/G \
                  suffixes. Write patterns are DESTRUCTIVE on block devices.\n\

@@ -32,7 +32,7 @@
 use serde::Serialize;
 use uflip_bench::{prefill_real_device, HarnessOptions, RealDeviceSpec};
 use uflip_core::executor::execute_run_observed;
-use uflip_core::replay::{replay_trace_observed, ReplayMode};
+use uflip_core::replay::{replay_trace_with_policy, ReplayMode};
 use uflip_core::RunResult;
 use uflip_device::profiles::catalog;
 use uflip_device::{BlockDevice, TracingDevice};
@@ -74,7 +74,11 @@ fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions, sink: &uflip_obs::Sin
     let pattern = PatternSpec::baseline_rr(16 * 1024, window, count);
     let mut traced = TracingDevice::new(dev).with_label("RR");
     let capture = execute_run_observed(&mut traced, &pattern, sink).expect("capture run");
-    let (mut dev, trace) = traced.into_parts();
+    let (dev, trace) = traced.into_parts();
+    // Faults apply to the replays, not the capture — a fault-ridden
+    // capture would bake the injected latencies into the trace itself.
+    let mut dev: Box<dyn BlockDevice> = opts.apply_faults(Box::new(dev));
+    let dev = dev.as_mut();
     let profile = profile_trace(&trace);
     if opts.json {
         println!("{}", to_json(&profile));
@@ -117,7 +121,8 @@ fn main_real(spec: &RealDeviceSpec, opts: &HarnessOptions, sink: &uflip_obs::Sin
     }
     for (name, workload) in &workloads {
         let mut run_mode = |mode: ReplayMode| -> RunResult {
-            let run = replay_trace_observed(&mut dev, workload, mode, sink).expect("replay");
+            let run = replay_trace_with_policy(dev, workload, mode, &opts.io_policy, sink)
+                .expect("replay");
             if let Some(e) = dev.take_async_error() {
                 eprintln!("asynchronous IO error replaying {name}: {e}");
                 std::process::exit(1);
@@ -248,8 +253,9 @@ fn main() {
         }
         for dev_profile in catalog::representative() {
             let run_mode = |mode: ReplayMode| -> RunResult {
-                let mut dev = dev_profile.build_sim(seed);
-                replay_trace_observed(dev.as_mut(), workload, mode, &sink).expect("replay")
+                let mut dev = opts.apply_faults(dev_profile.build_sim(seed));
+                replay_trace_with_policy(dev.as_mut(), workload, mode, &opts.io_policy, &sink)
+                    .expect("replay")
             };
             let faithful = run_mode(ReplayMode::TimingFaithful);
             let mut open = Vec::new();

@@ -32,6 +32,18 @@ pub struct HarnessOptions {
     /// the flag the stack runs with the no-op sink — bit-identical
     /// timing, no recording.
     pub metrics: Option<PathBuf>,
+    /// Fault-injection plan (`--faults PLAN.json`): a serialized
+    /// [`uflip_device::FaultPlan`]. When present, [`HarnessOptions::
+    /// apply_faults`] wraps the measured device in a
+    /// [`uflip_device::FaultyDevice`] applying it; without the flag
+    /// the device is untouched — bit-identical behaviour.
+    pub faults: Option<PathBuf>,
+    /// IO policy (`--io-policy SPEC`, see
+    /// [`uflip_core::IoPolicy::parse`]): how the executors respond to
+    /// transient device faults — retry budget, backoff, timeout,
+    /// degrade-vs-abort. Defaults to `none` (the noop policy): plain
+    /// executors, no retries, bit-identical timing.
+    pub io_policy: uflip_core::IoPolicy,
 }
 
 /// The recording side of `--metrics PATH`: the shared
@@ -274,7 +286,8 @@ pub fn sim_profile_or_exit(arg: &str) -> DeviceProfile {
 
 impl HarnessOptions {
     /// Parse from `std::env::args` (flags: `--out DIR`, `--quick`,
-    /// `--device ID`, `--json`, `--metrics PATH`).
+    /// `--device ID`, `--json`, `--metrics PATH`, `--faults PLAN.json`,
+    /// `--io-policy SPEC`).
     pub fn from_args() -> Self {
         let mut out = HarnessOptions {
             out_dir: PathBuf::from("results"),
@@ -282,6 +295,8 @@ impl HarnessOptions {
             device: None,
             json: false,
             metrics: None,
+            faults: None,
+            io_policy: uflip_core::IoPolicy::none(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -295,11 +310,22 @@ impl HarnessOptions {
                 "--device" => out.device = args.next(),
                 "--json" => out.json = true,
                 "--metrics" => out.metrics = args.next().map(PathBuf::from),
+                "--faults" => out.faults = args.next().map(PathBuf::from),
+                "--io-policy" => {
+                    let spec = args.next().unwrap_or_default();
+                    out.io_policy = uflip_core::IoPolicy::parse(&spec).unwrap_or_else(|msg| {
+                        eprintln!("bad --io-policy `{spec}`: {msg}");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --out DIR  --quick  --device ID  \
                          --json (qd_sweep/trace_replay only)  \
-                         --metrics PATH (observability snapshot)"
+                         --metrics PATH (observability snapshot)  \
+                         --faults PLAN.json (fault-injection plan)  \
+                         --io-policy SPEC (none|default|retries=N,base-us=U,\
+                         factor=F,cap-ms=C,timeout-ms=T,seed=S,degrade)"
                     );
                     std::process::exit(0);
                 }
@@ -312,6 +338,29 @@ impl HarnessOptions {
     /// [`metrics_sink`] for this invocation's `--metrics` flag.
     pub fn metrics_sink(&self) -> (Option<MetricsOut>, uflip_obs::SinkHandle) {
         metrics_sink(self.metrics.as_deref())
+    }
+
+    /// Load and validate the `--faults` plan, exiting with the message
+    /// on a malformed file. `None` without the flag.
+    pub fn fault_plan(&self) -> Option<uflip_device::FaultPlan> {
+        let path = self.faults.as_deref()?;
+        match uflip_device::FaultPlan::load_json(path) {
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Wrap a prepared device in a [`uflip_device::FaultyDevice`]
+    /// applying the `--faults` plan. Without the flag the device is
+    /// returned untouched (no decorator in the IO path at all).
+    pub fn apply_faults(&self, dev: Box<dyn BlockDevice>) -> Box<dyn BlockDevice> {
+        match self.fault_plan() {
+            Some(plan) => Box::new(uflip_device::FaultyDevice::new(dev, plan)),
+            None => dev,
+        }
     }
 }
 

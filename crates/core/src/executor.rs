@@ -56,6 +56,7 @@
 //! rather than a shared submission queue.
 
 use crate::observe;
+use crate::policy::{self, IoPolicy, SubmitOutcome};
 use crate::run::RunResult;
 use crate::slab::TokenSlab;
 use crate::Result;
@@ -137,6 +138,89 @@ pub fn execute_parallel(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Result
         execute_parallel_queued(dev, par)
     } else {
         execute_parallel_serial(dev, par)
+    }
+}
+
+/// [`execute_run`] under an [`IoPolicy`]: transient IO failures are
+/// retried with backoff (spent as device idle time), slow completions
+/// are counted as timeouts, and a degrading policy records an
+/// exhausted IO's accumulated backoff instead of aborting. With the
+/// noop policy this *is* [`execute_run`] — same code path, bit-stable.
+pub fn execute_run_with_policy(
+    dev: &mut dyn BlockDevice,
+    spec: &PatternSpec,
+    policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    if policy.is_noop() {
+        return execute_run(dev, spec);
+    }
+    let enabled = sink.is_enabled();
+    let mut rng = policy.jitter_seed;
+    let start = dev.now();
+    let mut rts = Vec::with_capacity(spec.io_count as usize);
+    for io in spec.iter() {
+        if io.submit_delay > Duration::ZERO {
+            dev.idle(io.submit_delay);
+        }
+        rts.push(policy::issue_with_policy(
+            dev, &io, policy, &mut rng, sink, enabled,
+        )?);
+    }
+    Ok(RunResult::new(
+        spec.code(),
+        rts,
+        spec.io_ignore,
+        dev.now() - start,
+    ))
+}
+
+/// [`execute_mixed`] under an [`IoPolicy`] (see
+/// [`execute_run_with_policy`] for the semantics).
+pub fn execute_mixed_with_policy(
+    dev: &mut dyn BlockDevice,
+    mix: &MixSpec,
+    policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<(RunResult, Vec<u16>)> {
+    if policy.is_noop() {
+        return execute_mixed(dev, mix);
+    }
+    let enabled = sink.is_enabled();
+    let mut rng = policy.jitter_seed;
+    let start = dev.now();
+    let mut rts = Vec::with_capacity(mix.io_count as usize);
+    let mut procs = Vec::with_capacity(mix.io_count as usize);
+    for io in mix.iter() {
+        if io.submit_delay > Duration::ZERO {
+            dev.idle(io.submit_delay);
+        }
+        rts.push(policy::issue_with_policy(
+            dev, &io, policy, &mut rng, sink, enabled,
+        )?);
+        procs.push(io.process);
+    }
+    Ok((RunResult::new(mix.name(), rts, 0, dev.now() - start), procs))
+}
+
+/// [`execute_parallel`] under an [`IoPolicy`]: submit-time transient
+/// rejections retry with the backoff applied to the submission
+/// instant (the response time, completion − intended submission,
+/// includes it); queue back-pressure is handled by the event loop as
+/// always. With the noop policy this *is* [`execute_parallel`].
+pub fn execute_parallel_with_policy(
+    dev: &mut dyn BlockDevice,
+    par: &ParallelSpec,
+    policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    if policy.is_noop() {
+        return execute_parallel(dev, par);
+    }
+    if dev.io_queue().is_some() {
+        execute_parallel_queued_with_policy(dev, par, policy, sink)
+    } else {
+        execute_parallel_serial_with_policy(dev, par, policy, sink)
     }
 }
 
@@ -360,6 +444,165 @@ fn retire(
     if let Some(io) = &pending[p] {
         calendar.push(Reverse((completion + io.submit_delay, p)));
     }
+}
+
+/// The policy-aware twin of [`execute_parallel_queued`]: identical
+/// event loop, with submissions mediated by
+/// [`policy::submit_with_policy`]. Kept separate so the plain loop
+/// stays free of policy branches (and bit-stable).
+fn execute_parallel_queued_with_policy(
+    dev: &mut dyn BlockDevice,
+    par: &ParallelSpec,
+    policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    let enabled = sink.is_enabled();
+    let mut rng = policy.jitter_seed;
+    let specs = par.process_specs();
+    let total_ios: usize = specs.iter().map(|s| s.io_count as usize).sum();
+    let mut streams: Vec<_> = specs.into_iter().map(|s| s.iter()).collect();
+    let n = streams.len();
+    let base = dev.now();
+    let mut ready: Vec<Duration> = vec![base; n];
+    let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
+    let queue = dev
+        .io_queue()
+        .expect("caller verified the device is queue-capable");
+    let device_depth = queue.queue_depth();
+    if let Some(depth) = par.queue_depth {
+        queue.set_queue_depth(depth)?;
+    }
+    let mut calendar: BinaryHeap<Reverse<(Duration, usize)>> = BinaryHeap::with_capacity(n);
+    for (p, io) in pending.iter().enumerate() {
+        if let Some(io) = io {
+            calendar.push(Reverse((ready[p] + io.submit_delay, p)));
+        }
+    }
+    let mut inflight: TokenSlab<(usize, Duration, usize)> = TokenSlab::new();
+    let mut rts: Vec<Duration> = Vec::with_capacity(total_ios);
+    let mut seq = 0usize;
+    let mut last_completion = base;
+    loop {
+        let Some(&Reverse((submit, p))) = calendar.peek() else {
+            match queue.poll() {
+                Some((token, completion)) => {
+                    retire(
+                        &mut inflight,
+                        &mut calendar,
+                        &mut ready,
+                        &pending,
+                        &mut rts,
+                        token,
+                        completion,
+                    );
+                    last_completion = last_completion.max(completion);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        if let Some(next_done) = queue.next_completion() {
+            if next_done <= submit {
+                let (token, completion) = queue.poll().expect("peeked completion exists");
+                retire(
+                    &mut inflight,
+                    &mut calendar,
+                    &mut ready,
+                    &pending,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+                continue;
+            }
+        }
+        calendar.pop();
+        let io = pending[p].take().expect("calendar entries have an IO");
+        match policy::submit_with_policy(queue, &io, submit, policy, &mut rng, sink, enabled)? {
+            SubmitOutcome::Submitted(token) => {
+                inflight.insert(token, (p, submit, seq));
+                seq += 1;
+                rts.push(Duration::ZERO); // placeholder until completion
+                pending[p] = streams[p].next();
+            }
+            SubmitOutcome::Full => {
+                pending[p] = Some(io);
+                calendar.push(Reverse((submit, p)));
+                let (token, completion) = queue
+                    .poll()
+                    .expect("a full queue has in-flight IOs to poll");
+                retire(
+                    &mut inflight,
+                    &mut calendar,
+                    &mut ready,
+                    &pending,
+                    &mut rts,
+                    token,
+                    completion,
+                );
+                last_completion = last_completion.max(completion);
+            }
+            SubmitOutcome::Degraded(waited) => {
+                // The IO never reached the device: book its backoff as
+                // the response time and release its process.
+                rts.push(waited);
+                seq += 1;
+                ready[p] = submit + waited;
+                last_completion = last_completion.max(ready[p]);
+                pending[p] = streams[p].next();
+                if let Some(io) = &pending[p] {
+                    calendar.push(Reverse((ready[p] + io.submit_delay, p)));
+                }
+            }
+        }
+    }
+    // Timeouts are observed over final response times (a queued IO's
+    // slowness is only known at completion).
+    if policy.timeout.is_some() {
+        for &rt in &rts {
+            policy::observe_timeout(policy, rt, sink, enabled);
+        }
+    }
+    if queue.queue_depth() != device_depth {
+        queue.set_queue_depth(device_depth)?;
+    }
+    Ok(RunResult::new(par.name(), rts, 0, last_completion - base))
+}
+
+/// The policy-aware twin of [`execute_parallel_serial`].
+fn execute_parallel_serial_with_policy(
+    dev: &mut dyn BlockDevice,
+    par: &ParallelSpec,
+    policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    let enabled = sink.is_enabled();
+    let mut rng = policy.jitter_seed;
+    let mut streams: Vec<_> = par.process_specs().into_iter().map(|s| s.iter()).collect();
+    let base = dev.now();
+    let mut ready: Vec<Duration> = vec![base; streams.len()];
+    let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
+    let mut device_free = base;
+    let mut rts = Vec::new();
+    while let Some(p) = (0..streams.len())
+        .filter(|&p| pending[p].is_some())
+        .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay)
+    {
+        let io = pending[p].take().expect("selected process has an IO");
+        let submit = ready[p] + io.submit_delay;
+        if submit > device_free {
+            dev.idle(submit - device_free);
+            device_free = submit;
+        }
+        let service = policy::issue_with_policy(dev, &io, policy, &mut rng, sink, enabled)?;
+        let completion = device_free.max(submit) + service;
+        rts.push(completion - submit);
+        device_free = completion;
+        ready[p] = completion;
+        pending[p] = streams[p].next();
+    }
+    Ok(RunResult::new(par.name(), rts, 0, device_free - base))
 }
 
 /// The pre-calendar queued executor: per-iteration linear scan over

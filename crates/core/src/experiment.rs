@@ -4,7 +4,11 @@
 //! pattern is called an experiment. To enable sound analysis … we design
 //! each experiment around a single varying parameter."
 
-use crate::executor::{execute_mixed, execute_parallel, execute_run};
+use crate::executor::{
+    execute_mixed, execute_mixed_with_policy, execute_parallel, execute_parallel_with_policy,
+    execute_run, execute_run_with_policy,
+};
+use crate::policy::IoPolicy;
 use crate::run::RunResult;
 use crate::stats::RunStats;
 use crate::Result;
@@ -29,6 +33,24 @@ impl Workload {
             Workload::Basic(spec) => execute_run(dev, spec),
             Workload::Mixed(mix) => execute_mixed(dev, mix).map(|(run, _)| run),
             Workload::Parallel(par) => execute_parallel(dev, par),
+        }
+    }
+
+    /// Execute the workload under an [`IoPolicy`]: transient device
+    /// faults are retried with backoff and accounted to `sink`. With
+    /// the noop policy this is exactly [`Workload::execute`].
+    pub fn execute_with_policy(
+        &self,
+        dev: &mut dyn BlockDevice,
+        policy: &IoPolicy,
+        sink: &uflip_obs::SinkHandle,
+    ) -> Result<RunResult> {
+        match self {
+            Workload::Basic(spec) => execute_run_with_policy(dev, spec, policy, sink),
+            Workload::Mixed(mix) => {
+                execute_mixed_with_policy(dev, mix, policy, sink).map(|(run, _)| run)
+            }
+            Workload::Parallel(par) => execute_parallel_with_policy(dev, par, policy, sink),
         }
     }
 

@@ -42,6 +42,7 @@ pub mod experiment;
 pub mod methodology;
 pub mod micro;
 pub(crate) mod observe;
+pub mod policy;
 pub mod replay;
 pub mod run;
 pub mod slab;
@@ -53,11 +54,13 @@ pub use calibrate::{
     CalibrationMeasurement, CalibrationOutcome,
 };
 pub use executor::{
-    execute_mixed, execute_mixed_observed, execute_parallel, execute_parallel_observed,
-    execute_run, execute_run_observed,
+    execute_mixed, execute_mixed_observed, execute_mixed_with_policy, execute_parallel,
+    execute_parallel_observed, execute_parallel_with_policy, execute_run, execute_run_observed,
+    execute_run_with_policy,
 };
 pub use experiment::{Experiment, ExperimentResult, Workload};
-pub use replay::{replay_trace, replay_trace_observed, ReplayMode};
+pub use policy::{ExhaustionAction, IoPolicy};
+pub use replay::{replay_trace, replay_trace_observed, replay_trace_with_policy, ReplayMode};
 pub use run::RunResult;
 pub use stats::{RunStats, StreamingStats};
 pub use suite::{

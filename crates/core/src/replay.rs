@@ -33,6 +33,7 @@
 //! submission*: queueing delay behind a backlogged device counts, just
 //! as a host thread would measure it.
 
+use crate::policy::{self, IoPolicy, SubmitOutcome};
 use crate::run::RunResult;
 use crate::slab::TokenSlab;
 use crate::Result;
@@ -124,6 +125,195 @@ pub fn replay_trace_observed(
     }
     crate::observe::emit_workload_delta(sink, &run.label, &before);
     Ok(run)
+}
+
+/// Observed [`replay_trace`] under an [`IoPolicy`]: transient faults
+/// met during submission are retried with backoff, timeouts and
+/// exhaustions are counted, and a degrading policy lets the replay
+/// survive unservable IOs. With the noop policy this is exactly
+/// [`replay_trace_observed`].
+///
+/// The policy-aware queued path submits per IO (no
+/// [`uflip_device::IoQueue::submit_batch`] fast path): each submission
+/// is a fault-injection point and needs individual retry handling.
+pub fn replay_trace_with_policy(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    mode: ReplayMode,
+    io_policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+) -> Result<RunResult> {
+    if io_policy.is_noop() {
+        return replay_trace_observed(dev, trace, mode, sink);
+    }
+    dev.set_sink(sink.clone());
+    let enabled = sink.is_enabled();
+    let label = format!("replay({},{})", trace.label, mode.code());
+    if trace.is_empty() {
+        return Ok(RunResult::new(label, Vec::new(), 0, Duration::ZERO));
+    }
+    assert!(
+        trace.is_time_ordered(),
+        "replay requires submit-ordered records; call Trace::sort_by_submit first"
+    );
+    let before = enabled.then(|| crate::observe::counters_now(sink));
+    let queued = dev.io_queue().is_some();
+    let run = match (mode, queued) {
+        (ReplayMode::TimingFaithful, true) => {
+            let depth = trace.max_queue_depth().max(1);
+            replay_queued_with_policy(dev, trace, label, depth, true, io_policy, sink, enabled)
+        }
+        (ReplayMode::OpenLoop { queue_depth }, true) => replay_queued_with_policy(
+            dev,
+            trace,
+            label,
+            queue_depth.max(1),
+            false,
+            io_policy,
+            sink,
+            enabled,
+        ),
+        (_, false) => replay_serial_with_policy(dev, trace, label, mode, io_policy, sink, enabled),
+    }?;
+    if enabled {
+        for (rec, rt) in trace.records.iter().zip(&run.rts) {
+            let class = match rec.op {
+                Mode::Read => uflip_obs::LatencyClass::Read,
+                Mode::Write => uflip_obs::LatencyClass::Write,
+            };
+            sink.latency(class, rt.as_nanos() as u64);
+        }
+        crate::observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+    }
+    Ok(run)
+}
+
+/// The policy-aware twin of [`replay_queued`]: one per-record loop
+/// serves both modes (faithful targets the recorded schedule,
+/// open-loop targets the running cursor), with submissions mediated by
+/// [`policy::submit_with_policy`].
+#[allow(clippy::too_many_arguments)]
+fn replay_queued_with_policy(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    label: String,
+    depth: u32,
+    faithful: bool,
+    io_policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+    enabled: bool,
+) -> Result<RunResult> {
+    let mut rng = io_policy.jitter_seed;
+    let base = dev.now();
+    let queue = dev.io_queue().expect("caller verified the queue exists");
+    let device_depth = queue.queue_depth();
+    queue.set_queue_depth(depth)?;
+    let t0 = trace.records[0].submit_ns;
+    let n = trace.records.len();
+    let mut rts = vec![Duration::ZERO; n];
+    let mut inflight: TokenSlab<(usize, Duration)> = TokenSlab::new();
+    let mut retired: Vec<(Token, Duration)> = Vec::with_capacity(depth as usize + 1);
+    let mut last_completion = base;
+    let mut cursor = base;
+    macro_rules! bail {
+        ($queue:ident, $e:expr) => {{
+            while $queue.poll().is_some() {}
+            if $queue.queue_depth() != device_depth {
+                let _ = $queue.set_queue_depth(device_depth);
+            }
+            return Err($e);
+        }};
+    }
+    for (i, rec) in trace.records.iter().enumerate() {
+        let target = if faithful {
+            base + Duration::from_nanos(rec.submit_ns - t0)
+        } else {
+            cursor
+        };
+        if faithful {
+            queue.poll_upto(target, &mut retired);
+            for &(token, completion) in &retired {
+                book(&mut inflight, &mut rts, token, completion);
+                last_completion = last_completion.max(completion);
+            }
+            retired.clear();
+        }
+        let io = rec.io_request(i as u64);
+        let mut at = target.max(cursor);
+        loop {
+            match policy::submit_with_policy(queue, &io, at, io_policy, &mut rng, sink, enabled) {
+                Ok(SubmitOutcome::Submitted(token)) => {
+                    inflight.insert(token, (i, target));
+                    cursor = at;
+                    break;
+                }
+                Ok(SubmitOutcome::Full) => {
+                    let (token, completion) = queue
+                        .poll()
+                        .expect("a full queue has in-flight IOs to poll");
+                    book(&mut inflight, &mut rts, token, completion);
+                    last_completion = last_completion.max(completion);
+                    at = at.max(completion);
+                }
+                Ok(SubmitOutcome::Degraded(waited)) => {
+                    // The IO never reached the device; its response
+                    // time is the backoff spent on it.
+                    rts[i] = waited;
+                    cursor = at;
+                    last_completion = last_completion.max(at + waited);
+                    break;
+                }
+                Err(e) => bail!(queue, e),
+            }
+        }
+    }
+    while let Some((token, completion)) = queue.poll() {
+        book(&mut inflight, &mut rts, token, completion);
+        last_completion = last_completion.max(completion);
+    }
+    if io_policy.timeout.is_some() {
+        for &rt in &rts {
+            policy::observe_timeout(io_policy, rt, sink, enabled);
+        }
+    }
+    if queue.queue_depth() != device_depth {
+        queue.set_queue_depth(device_depth)?;
+    }
+    Ok(RunResult::new(label, rts, 0, last_completion - base))
+}
+
+/// The policy-aware serial fallback, both modes.
+fn replay_serial_with_policy(
+    dev: &mut dyn BlockDevice,
+    trace: &Trace,
+    label: String,
+    mode: ReplayMode,
+    io_policy: &IoPolicy,
+    sink: &uflip_obs::SinkHandle,
+    enabled: bool,
+) -> Result<RunResult> {
+    let mut rng = io_policy.jitter_seed;
+    let base = dev.now();
+    let t0 = trace.records[0].submit_ns;
+    let faithful = mode == ReplayMode::TimingFaithful;
+    let mut rts = Vec::with_capacity(trace.len());
+    for (i, rec) in trace.records.iter().enumerate() {
+        let io = rec.io_request(i as u64);
+        if faithful {
+            let target = base + Duration::from_nanos(rec.submit_ns - t0);
+            let now = dev.now();
+            if now < target {
+                dev.idle(target - now);
+            }
+            policy::issue_with_policy(dev, &io, io_policy, &mut rng, sink, enabled)?;
+            rts.push(dev.now() - target);
+        } else {
+            rts.push(policy::issue_with_policy(
+                dev, &io, io_policy, &mut rng, sink, enabled,
+            )?);
+        }
+    }
+    Ok(RunResult::new(label, rts, 0, dev.now() - base))
 }
 
 /// Queued replay: one event loop serves both modes. In faithful mode

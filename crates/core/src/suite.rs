@@ -67,6 +67,12 @@ pub struct SuiteOptions {
     /// [`execute_plan_sharded`]: restored resets make the plan's
     /// reset-delimited segments independent.
     pub snapshot_resets: bool,
+    /// IO policy applied to every workload run: transient device
+    /// faults (e.g. injected by [`uflip_device::FaultyDevice`]) are
+    /// retried with backoff instead of aborting the plan. `None`
+    /// (the default) keeps the plain executors — bit-identical to the
+    /// pre-policy behaviour.
+    pub io_policy: Option<crate::policy::IoPolicy>,
 }
 
 impl Default for SuiteOptions {
@@ -77,6 +83,7 @@ impl Default for SuiteOptions {
             state_coverage: 2.0,
             seed: 0xF11B,
             snapshot_resets: true,
+            io_policy: None,
         }
     }
 }
@@ -179,7 +186,10 @@ fn execute_steps(
                 let workload = p.workload.relocated(*offset);
                 let before =
                     (observed && per_run_deltas).then(|| crate::observe::counters_now(sink));
-                let run: RunResult = workload.execute(dev)?;
+                let run: RunResult = match &opts.io_policy {
+                    Some(policy) => workload.execute_with_policy(dev, policy, sink)?,
+                    None => workload.execute(dev)?,
+                };
                 if observed {
                     crate::observe::record_run_latencies(sink, workload.latency_class(), &run);
                     if let Some(before) = &before {

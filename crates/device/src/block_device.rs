@@ -126,6 +126,17 @@ pub trait BlockDevice {
         None
     }
 
+    /// Recover the device after a power loss: drop whatever was in
+    /// flight, discard volatile state and rebuild durable mappings from
+    /// ground truth (simulated devices remount their FTL — see
+    /// [`uflip_ftl::Ftl::recover`]). Recovery is untimed: it models the
+    /// mount-time work a controller does before serving IOs again, not
+    /// an IO being measured. Devices with no volatile state (the
+    /// default) recover trivially.
+    fn recover(&mut self) -> Result<uflip_ftl::RecoveryReport> {
+        Ok(uflip_ftl::RecoveryReport::default())
+    }
+
     /// Validate alignment and bounds (shared helper).
     fn check(&self, offset: u64, len: u64) -> Result<()> {
         if len == 0 {
@@ -142,6 +153,73 @@ pub trait BlockDevice {
             });
         }
         Ok(())
+    }
+}
+
+/// Boxed devices are devices: every method forwards to the boxed
+/// implementation (defaults would silently disable queues, snapshots
+/// and recovery on `Box<dyn BlockDevice>`). This is what lets
+/// decorators like [`crate::faults::FaultyDevice`] wrap the boxed
+/// trait objects harnesses pass around.
+impl<T: BlockDevice + ?Sized> BlockDevice for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        (**self).capacity_bytes()
+    }
+
+    fn read(&mut self, offset: u64, len: u64) -> Result<Duration> {
+        (**self).read(offset, len)
+    }
+
+    fn write(&mut self, offset: u64, len: u64) -> Result<Duration> {
+        (**self).write(offset, len)
+    }
+
+    fn idle(&mut self, d: Duration) {
+        (**self).idle(d)
+    }
+
+    fn now(&self) -> Duration {
+        (**self).now()
+    }
+
+    fn io_queue(&mut self) -> Option<&mut dyn crate::queue::IoQueue> {
+        (**self).io_queue()
+    }
+
+    fn io_queue_ref(&self) -> Option<&dyn crate::queue::IoQueue> {
+        (**self).io_queue_ref()
+    }
+
+    fn set_sink(&mut self, sink: uflip_obs::SinkHandle) {
+        (**self).set_sink(sink)
+    }
+
+    fn take_async_error(&mut self) -> Option<std::io::Error> {
+        (**self).take_async_error()
+    }
+
+    fn snapshot_capable(&self) -> bool {
+        (**self).snapshot_capable()
+    }
+
+    fn snapshot_state(&self) -> Option<Box<dyn crate::snapshot::DeviceState>> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &dyn crate::snapshot::DeviceState) -> Result<()> {
+        (**self).restore_state(state)
+    }
+
+    fn fork(&self) -> Option<Box<dyn BlockDevice + Send>> {
+        (**self).fork()
+    }
+
+    fn recover(&mut self) -> Result<uflip_ftl::RecoveryReport> {
+        (**self).recover()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use uflip_ftl::FtlError;
+use uflip_nand::FailureKind;
 
 /// Errors raised by block devices.
 #[derive(Debug)]
@@ -50,6 +51,20 @@ pub enum DeviceError {
     Ftl(FtlError),
     /// IO error from a real backend.
     Io(std::io::Error),
+    /// A fault injected by an armed
+    /// [`FaultPlan`](crate::faults::FaultPlan).
+    Injected {
+        /// Classification of the injected fault.
+        kind: FailureKind,
+        /// Arrival-order index of the IO the fault hit.
+        index: u64,
+    },
+    /// The device lost power (injected crash). Every IO fails with
+    /// this until [`crate::BlockDevice::recover`] is called.
+    PowerLoss {
+        /// Arrival-order index of the IO at which power was lost.
+        index: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -86,7 +101,40 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Ftl(e) => write!(f, "FTL error: {e}"),
             DeviceError::Io(e) => write!(f, "backend IO error: {e}"),
+            DeviceError::Injected { kind, index } => {
+                write!(f, "injected {kind} fault on IO #{index}")
+            }
+            DeviceError::PowerLoss { index } => {
+                write!(f, "power lost at IO #{index}; device needs recovery")
+            }
         }
+    }
+}
+
+impl DeviceError {
+    /// Classify the error (see [`FailureKind`]). Queue back-pressure
+    /// ([`DeviceError::QueueFull`]) classifies as transient — the IO
+    /// itself did not fail; real backend IO errors classify as
+    /// transient too, so retry policies treat them like injected
+    /// faults.
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            DeviceError::Unaligned { .. }
+            | DeviceError::OutOfRange { .. }
+            | DeviceError::ZeroLength => FailureKind::Capacity,
+            DeviceError::QueueFull { .. } | DeviceError::Io(_) => FailureKind::Transient,
+            DeviceError::DepthChangeInFlight { .. }
+            | DeviceError::SnapshotUnsupported
+            | DeviceError::SnapshotMismatch { .. } => FailureKind::Protocol,
+            DeviceError::Ftl(e) => e.kind(),
+            DeviceError::Injected { kind, .. } => *kind,
+            DeviceError::PowerLoss { .. } => FailureKind::PowerLoss,
+        }
+    }
+
+    /// Whether a retry policy should consider the error retryable.
+    pub fn is_transient(&self) -> bool {
+        self.kind().is_transient()
     }
 }
 
@@ -122,5 +170,33 @@ mod tests {
         assert!(e.to_string().contains("FTL error"));
         let e: DeviceError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("backend IO error"));
+    }
+
+    #[test]
+    fn kinds_classify_structurally() {
+        assert_eq!(
+            DeviceError::Ftl(FtlError::OutOfPhysicalBlocks).kind(),
+            FailureKind::WornOut
+        );
+        assert_eq!(
+            DeviceError::Injected {
+                kind: FailureKind::Transient,
+                index: 7
+            }
+            .kind(),
+            FailureKind::Transient
+        );
+        assert_eq!(
+            DeviceError::PowerLoss { index: 3 }.kind(),
+            FailureKind::PowerLoss
+        );
+        assert!(DeviceError::Io(std::io::Error::other("x")).is_transient());
+        assert!(!DeviceError::ZeroLength.is_transient());
+        let s = DeviceError::Injected {
+            kind: FailureKind::Timeout,
+            index: 12,
+        }
+        .to_string();
+        assert!(s.contains("timeout") && s.contains("#12"), "{s}");
     }
 }

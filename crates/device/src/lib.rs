@@ -28,6 +28,9 @@
 //!   OS/device parallelism instead of serial interleaving;
 //! * [`MemDevice`] — a RAM-backed constant-latency device for executor
 //!   tests;
+//! * [`FaultyDevice`] — a fault-injection decorator applying a seeded
+//!   [`FaultPlan`] (transient errors, latency spikes, stuck channels,
+//!   queue-full storms, power loss) to any backend, on both IO paths;
 //! * [`profiles`] — the **eleven devices of Table 2**, calibrated so the
 //!   simulation reproduces the response-time shapes of Figures 3–8 and
 //!   the summary behaviour of Table 3.
@@ -38,6 +41,7 @@
 pub mod block_device;
 pub mod direct_io;
 pub mod error;
+pub mod faults;
 pub mod mem_device;
 pub mod profiles;
 pub mod queue;
@@ -49,12 +53,13 @@ pub mod tracing_device;
 pub use block_device::BlockDevice;
 pub use direct_io::DirectIoFile;
 pub use error::DeviceError;
+pub use faults::{FaultPlan, FaultyDevice, IoWindow, LbaRange, StuckChannel};
 pub use mem_device::MemDevice;
 pub use profiles::{DeviceKind, DeviceProfile, FtlSpec};
 pub use queue::{IoQueue, Token};
 pub use sim_device::{ControllerConfig, SimDevice, SimSnapshot, StrideQuirk};
 pub use snapshot::DeviceState;
-pub use threaded_queue::ThreadedIoQueue;
+pub use threaded_queue::{RetrySpec, ThreadedIoQueue};
 pub use tracing_device::TracingDevice;
 
 /// Crate-local result alias.

@@ -521,6 +521,17 @@ impl BlockDevice for SimDevice {
     fn fork(&self) -> Option<Box<dyn BlockDevice + Send>> {
         Some(Box::new(self.clone()))
     }
+
+    fn recover(&mut self) -> Result<uflip_ftl::RecoveryReport> {
+        // Power loss tears the command queue: in-flight IOs never
+        // complete and their service reservations vanish with them.
+        self.state.inflight.clear();
+        self.state.slots.clear();
+        self.state.queue_busy_end_ns = self.state.queue_busy_end_ns.min(self.state.clock_ns);
+        // Remount the FTL: volatile state is gone, durable mappings are
+        // rebuilt from NAND ground truth.
+        Ok(self.ftl.recover()?)
+    }
 }
 
 impl SimDevice {

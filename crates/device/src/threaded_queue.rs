@@ -35,14 +35,24 @@
 //!
 //! `poll` has no error channel (a completion is a token and a time), so
 //! a failed IO records its wall-clock completion like any other and
-//! parks its [`std::io::Error`]; the next `submit` — or a direct call
-//! to [`ThreadedIoQueue::take_error`] — surfaces it. Benchmarks abort
-//! on the first error either way.
+//! parks its [`std::io::Error`] in a FIFO; the next `submit` — or
+//! direct calls to [`ThreadedIoQueue::take_error`] — surfaces them in
+//! arrival order, one per call. *Every* concurrent failure is queued:
+//! when two in-flight IOs fail, both errors report, not just the
+//! first-observed one.
+//!
+//! ## Retries
+//!
+//! A [`RetrySpec`] (see [`ThreadedIoQueue::set_retry`]) makes workers
+//! retry failed IOs in place with bounded exponential backoff — the
+//! firmware-style retry loop real devices run below the host's view.
+//! Each retry increments [`CounterId::IoRetries`] on the attached
+//! sink; an IO that exhausts its budget parks its last error as usual.
 
 use crate::queue::{IoQueue, Token};
 use crate::Result;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fs::File;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -62,6 +72,42 @@ use crate::direct_io::AlignedBuf;
 /// narrower than its command queue.
 pub const MAX_WORKERS: usize = 64;
 
+/// In-place retry budget for failed IOs, applied by the worker that
+/// owns the IO: up to `max_retries` re-attempts with exponential
+/// backoff (`backoff_base`, doubling, capped at `backoff_cap`) between
+/// them. The default budget is zero retries — errors surface
+/// immediately, the historical behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Maximum number of re-attempts after the initial failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        RetrySpec {
+            max_retries: 0,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetrySpec {
+    /// Backoff before retry number `attempt` (1-based): base doubled
+    /// per prior attempt, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
+    }
+}
+
 /// One unit of work handed to a worker thread.
 struct Job {
     token: u64,
@@ -73,6 +119,8 @@ struct Job {
     /// Write payload byte (varied per IO so content-aware firmware
     /// cannot dedup, mirroring the synchronous path).
     fill: u8,
+    /// In-place retry budget for this IO.
+    retry: RetrySpec,
 }
 
 /// A worker's report back to the submitter.
@@ -81,6 +129,8 @@ struct Completion {
     /// Wall-clock completion, relative to the device epoch.
     done: Duration,
     result: std::io::Result<()>,
+    /// Retries the worker spent before this outcome.
+    retries: u32,
 }
 
 /// Completion-side state shared with `&self` accessors
@@ -90,8 +140,11 @@ struct CompletionLane {
     done_rx: Receiver<Completion>,
     /// Completed but not yet polled, ordered by completion time.
     ready: BinaryHeap<Reverse<(u64, u64)>>,
-    /// First IO error observed, parked until the next `submit`.
-    failed: Option<std::io::Error>,
+    /// IO errors observed, in arrival order, parked until the next
+    /// `submit` or `take_error` — every concurrent failure is kept.
+    failed: VecDeque<std::io::Error>,
+    /// Worker retries observed but not yet flushed to the sink.
+    retries: u64,
 }
 
 impl CompletionLane {
@@ -105,9 +158,9 @@ impl CompletionLane {
 
     fn admit(&mut self, c: Completion) {
         if let Err(e) = c.result {
-            // Keep the first error; later ones are usually echoes.
-            self.failed.get_or_insert(e);
+            self.failed.push_back(e);
         }
+        self.retries += u64::from(c.retries);
         self.ready
             .push(Reverse((c.done.as_nanos() as u64, c.token)));
     }
@@ -130,6 +183,8 @@ pub struct ThreadedIoQueue {
     done_tx: Sender<Completion>,
     lane: Mutex<CompletionLane>,
     workers: Vec<JoinHandle<()>>,
+    /// Retry budget stamped onto every submitted job.
+    retry: RetrySpec,
     /// Observability sink; never affects timing. No FTL behind a real
     /// device, so host-IO counters are emitted here at submission.
     sink: SinkHandle,
@@ -169,9 +224,11 @@ impl ThreadedIoQueue {
             lane: Mutex::new(CompletionLane {
                 done_rx,
                 ready: BinaryHeap::new(),
-                failed: None,
+                failed: VecDeque::new(),
+                retries: 0,
             }),
             workers: Vec::new(),
+            retry: RetrySpec::default(),
             sink: SinkHandle::null(),
             sink_enabled: false,
         }
@@ -183,12 +240,30 @@ impl ThreadedIoQueue {
         self.sink = sink;
     }
 
-    /// Take the parked asynchronous IO error, if any (see the module
-    /// docs — failed IOs complete normally and park their error here).
+    /// Configure the in-place retry budget workers apply to every IO
+    /// submitted from now on (see [`RetrySpec`]; the default budget is
+    /// zero retries).
+    pub fn set_retry(&mut self, retry: RetrySpec) {
+        self.retry = retry;
+    }
+
+    /// Take the oldest parked asynchronous IO error, if any (see the
+    /// module docs — failed IOs complete normally and park their
+    /// errors here in arrival order; call repeatedly to drain them
+    /// all).
     pub fn take_error(&mut self) -> Option<std::io::Error> {
         let mut lane = self.lane.lock().expect("completion lane poisoned");
         lane.drain();
-        lane.failed.take()
+        self.flush_retries(&mut lane);
+        lane.failed.pop_front()
+    }
+
+    /// Flush worker-observed retries into the sink counter.
+    fn flush_retries(&self, lane: &mut CompletionLane) {
+        let n = std::mem::take(&mut lane.retries);
+        if n > 0 && self.sink_enabled {
+            self.sink.add(CounterId::IoRetries, n);
+        }
     }
 
     /// Grow the worker pool to serve the current depth (capped at
@@ -251,11 +326,23 @@ fn worker_loop(
         if job.not_before > now {
             std::thread::sleep(job.not_before - now);
         }
-        let result = perform_io(file, &mut buf, &job);
+        let mut retries = 0u32;
+        let result = loop {
+            match perform_io(file, &mut buf, &job) {
+                Ok(()) => break Ok(()),
+                Err(e) if retries < job.retry.max_retries => {
+                    retries += 1;
+                    std::thread::sleep(job.retry.backoff(retries));
+                    let _ = e;
+                }
+                Err(e) => break Err(e),
+            }
+        };
         let completion = Completion {
             token: job.token,
             done: epoch.elapsed(),
             result,
+            retries,
         };
         if done.send(completion).is_err() {
             return;
@@ -314,7 +401,8 @@ impl IoQueue for ThreadedIoQueue {
         {
             let mut lane = self.lane.lock().expect("completion lane poisoned");
             lane.drain();
-            if let Some(e) = lane.failed.take() {
+            self.flush_retries(&mut lane);
+            if let Some(e) = lane.failed.pop_front() {
                 return Err(crate::DeviceError::Io(e));
             }
         }
@@ -328,6 +416,7 @@ impl IoQueue for ThreadedIoQueue {
             len: io.size,
             not_before: at,
             fill: self.fill,
+            retry: self.retry,
         };
         self.job_tx
             .as_ref()
@@ -365,6 +454,7 @@ impl IoQueue for ThreadedIoQueue {
     fn poll(&mut self) -> Option<(Token, Duration)> {
         let mut lane = self.lane.lock().expect("completion lane poisoned");
         lane.drain();
+        self.flush_retries(&mut lane);
         if lane.ready.is_empty() {
             if self.in_flight == 0 {
                 return None;
@@ -379,6 +469,7 @@ impl IoQueue for ThreadedIoQueue {
                 }
                 Err(_) => return None,
             }
+            self.flush_retries(&mut lane);
         }
         let Reverse((ns, tok)) = lane.ready.pop().expect("ready checked non-empty");
         self.in_flight -= 1;
@@ -503,6 +594,86 @@ mod tests {
         let (_, done) = q.poll().expect("one IO in flight");
         assert!(done >= hold, "IO started before its earliest-start time");
         let _ = std::fs::remove_file(path);
+    }
+
+    /// A queue whose declared capacity exceeds the backing file, so
+    /// reads past EOF fail inside the workers.
+    fn short_file_queue(
+        name: &str,
+        file_len: u64,
+        declared: u64,
+    ) -> (ThreadedIoQueue, std::path::PathBuf) {
+        let path = scratch(name);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(file_len).unwrap();
+        let q = ThreadedIoQueue::new(Arc::new(file), declared, Instant::now());
+        (q, path)
+    }
+
+    #[test]
+    fn concurrent_failures_all_surface() {
+        let (mut q, path) = short_file_queue("twofail", 4096, 1 << 20);
+        q.set_queue_depth(2).unwrap();
+        q.submit(&io(Mode::Read, 512 * 1024, 4096), Duration::ZERO)
+            .unwrap();
+        q.submit(&io(Mode::Read, 768 * 1024, 4096), Duration::ZERO)
+            .unwrap();
+        // Both IOs complete (poll has no error channel)...
+        assert!(q.poll().is_some());
+        assert!(q.poll().is_some());
+        assert!(q.poll().is_none());
+        // ...and BOTH failures report, not just the first-observed one.
+        assert!(q.take_error().is_some(), "first failure must surface");
+        assert!(q.take_error().is_some(), "second failure must surface too");
+        assert!(q.take_error().is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn retry_budget_is_spent_and_counted() {
+        let (mut q, path) = short_file_queue("retry", 4096, 1 << 20);
+        let (metrics, handle) = uflip_obs::Metrics::shared();
+        q.set_sink(handle);
+        q.set_retry(RetrySpec {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(200),
+        });
+        // A read past EOF fails deterministically on every attempt.
+        q.submit(&io(Mode::Read, 512 * 1024, 4096), Duration::ZERO)
+            .unwrap();
+        let (_, _) = q.poll().expect("the IO completes after its retries");
+        assert!(q.take_error().is_some(), "budget exhausted, error parks");
+        assert_eq!(
+            metrics.counter(CounterId::IoRetries),
+            2,
+            "both retries counted"
+        );
+        // A successful IO spends no retries.
+        q.submit(&io(Mode::Write, 0, 4096), Duration::ZERO).unwrap();
+        q.poll().unwrap();
+        assert!(q.take_error().is_none());
+        assert_eq!(metrics.counter(CounterId::IoRetries), 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let spec = RetrySpec {
+            max_retries: 10,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(350),
+        };
+        assert_eq!(spec.backoff(1), Duration::from_micros(100));
+        assert_eq!(spec.backoff(2), Duration::from_micros(200));
+        assert_eq!(spec.backoff(3), Duration::from_micros(350), "capped");
+        assert_eq!(spec.backoff(9), Duration::from_micros(350));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::addr::{LogicalLayout, SECTOR_BYTES};
 use crate::error::FtlError;
 use crate::group::StripeGroups;
 use crate::stats::FtlStats;
-use crate::traits::Ftl;
+use crate::traits::{Ftl, ProbeState, RecoveryReport};
 use crate::Result;
 use uflip_nand::{BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
 use uflip_obs::{CounterId, SinkHandle};
@@ -716,6 +716,54 @@ impl Ftl for BlockMapFtl {
         out.clear();
         out.extend_from_slice(self.array.busy_totals());
     }
+
+    /// Power-loss recovery. The block-map FTL holds no RAM data cache,
+    /// so no acknowledged write is torn; what dies with the power is
+    /// the open-AU episode state (written flags, expected-chunk
+    /// cursors, LRU stamps). Every page programmed into a replacement
+    /// group *is* durable NAND, so discarding an episode would lose
+    /// acknowledged writes — instead each open AU is **closed** through
+    /// the normal close path, merging its durable replacement pages
+    /// with the old data group. After recovery `data_map` alone is
+    /// authoritative.
+    fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut closed_log_blocks = 0;
+        while !self.open.is_empty() {
+            self.close_au(0)?;
+            closed_log_blocks += 1;
+        }
+        let rebuilt_mappings = self.data_map.iter().filter(|&&m| m != UNMAPPED).count() as u64;
+        Ok(RecoveryReport {
+            dropped_cached_pages: 0,
+            closed_log_blocks,
+            rebuilt_mappings,
+        })
+    }
+
+    /// Durability at the device's own mapping granularity: a chunk
+    /// written during an open episode lives in its replacement group;
+    /// anything inside a mapped AU reads from the data group (the
+    /// coarse map cannot distinguish never-written chunks of a mapped
+    /// AU — reads charge flash time for them too).
+    fn probe(&self, lba: u64) -> ProbeState {
+        if lba >= self.layout.capacity_sectors() {
+            return ProbeState::Unmapped;
+        }
+        let (lpn, _) = self.layout.page_span(lba, 1);
+        let ppa = self.pages_per_au() as u64;
+        let lau = lpn / ppa;
+        let chunk = ((lpn % ppa) / self.pages_per_chunk() as u64) as usize;
+        if let Some(i) = self.find_open(lau) {
+            if self.open[i].written[chunk] {
+                return ProbeState::Durable;
+            }
+        }
+        if self.data_map[lau as usize] != UNMAPPED {
+            ProbeState::Durable
+        } else {
+            ProbeState::Unmapped
+        }
+    }
 }
 
 #[cfg(test)]
@@ -970,6 +1018,36 @@ mod tests {
             BlockMapFtl::new(c),
             Err(FtlError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn recover_closes_open_episodes_without_losing_writes() {
+        let mut f = tiny();
+        let s = spc(&f);
+        let au_sectors = f.au_bytes() / SECTOR_BYTES;
+        // Two half-open episodes: chunks 0..3 of AU 0, chunk 0 of AU 1.
+        for i in 0..3u64 {
+            f.write(i * s, s as u32).unwrap();
+        }
+        f.write(au_sectors, s as u32).unwrap();
+        assert_eq!(f.open.len(), 2);
+        assert_eq!(f.probe(0), ProbeState::Durable);
+        assert_eq!(f.probe(au_sectors), ProbeState::Durable);
+        let report = f.recover().unwrap();
+        assert_eq!(report.closed_log_blocks, 2);
+        assert_eq!(report.dropped_cached_pages, 0, "no RAM cache to tear");
+        assert!(f.open.is_empty());
+        // Acknowledged writes survive: both AUs are now mapped.
+        assert_ne!(f.data_map[0], UNMAPPED);
+        assert_ne!(f.data_map[1], UNMAPPED);
+        assert_eq!(f.probe(0), ProbeState::Durable);
+        assert_eq!(f.probe(2 * s), ProbeState::Durable);
+        assert_eq!(f.probe(au_sectors), ProbeState::Durable);
+        assert!(f.read(0, s as u32).unwrap() > 0);
+        // Group accounting still conserves, and the device keeps going.
+        let mapped = f.data_map.iter().filter(|&&m| m != UNMAPPED).count();
+        assert!(f.free.len() + mapped <= f.groups.group_count() as usize);
+        f.write(3 * s, s as u32).unwrap();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! FTL error type.
 
 use std::fmt;
-use uflip_nand::NandError;
+use uflip_nand::{FailureKind, NandError};
 
 /// Errors raised by FTL implementations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +26,19 @@ pub enum FtlError {
     /// workload it indicates an FTL implementation bug, which is exactly
     /// why the NAND layer checks the protocol.
     Nand(NandError),
+}
+
+impl FtlError {
+    /// Classify the error (see [`FailureKind`]). End-of-life surfaces
+    /// as [`FailureKind::WornOut`]; NAND errors keep their own kind.
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            FtlError::OutOfPhysicalBlocks => FailureKind::WornOut,
+            FtlError::OutOfCapacity { .. } | FtlError::ZeroLength => FailureKind::Capacity,
+            FtlError::InvalidConfig(_) => FailureKind::Protocol,
+            FtlError::Nand(e) => e.kind(),
+        }
+    }
 }
 
 impl fmt::Display for FtlError {
@@ -74,6 +87,18 @@ mod tests {
         let e: FtlError = NandError::EmptyBatch.into();
         assert!(matches!(e, FtlError::Nand(NandError::EmptyBatch)));
         assert!(e.to_string().contains("NAND protocol error"));
+    }
+
+    #[test]
+    fn kinds_classify_structurally() {
+        assert_eq!(FtlError::OutOfPhysicalBlocks.kind(), FailureKind::WornOut);
+        assert_eq!(FtlError::ZeroLength.kind(), FailureKind::Capacity);
+        assert_eq!(
+            FtlError::InvalidConfig("x".into()).kind(),
+            FailureKind::Protocol
+        );
+        let e: FtlError = NandError::BadBlock(uflip_nand::BlockAddr { chip: 0, block: 1 }).into();
+        assert_eq!(e.kind(), FailureKind::BadBlock);
     }
 
     #[test]

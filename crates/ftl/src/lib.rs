@@ -64,7 +64,7 @@ pub use free_pool::FreePool;
 pub use log_block::{HybridLogConfig, HybridLogFtl};
 pub use page_map::{PageMapConfig, PageMapFtl};
 pub use stats::FtlStats;
-pub use traits::Ftl;
+pub use traits::{Ftl, ProbeState, RecoveryReport};
 pub use write_cache::{WriteCache, WriteCacheConfig};
 
 /// Crate-local result alias.

@@ -32,7 +32,7 @@ use crate::addr::{LogicalLayout, SECTOR_BYTES};
 use crate::error::FtlError;
 use crate::group::StripeGroups;
 use crate::stats::FtlStats;
-use crate::traits::Ftl;
+use crate::traits::{Ftl, ProbeState, RecoveryReport};
 use crate::write_cache::{Admit, WriteCache, WriteCacheConfig};
 use crate::Result;
 use uflip_nand::{BlockAddr, NandArray, NandArrayConfig, NandOp, NandStats};
@@ -1147,6 +1147,82 @@ impl Ftl for HybridLogFtl {
         out.clear();
         out.extend_from_slice(self.array.busy_totals());
     }
+
+    /// Power-loss recovery. What dies with the power:
+    ///
+    /// * the controller RAM **write cache** — its dirty pages are the
+    ///   torn writes: acknowledged to the host but never programmed to
+    ///   NAND; they are discarded and counted;
+    /// * the open log **cursors** (sequential stream slots, the open
+    ///   random log, BAST per-group logs). The pages those logs hold
+    ///   are durable NAND, so the logs are *closed*, not discarded:
+    ///   stream and per-group logs merge back into their data groups
+    ///   through the normal merge path, and the open random log is
+    ///   sealed so GC reclaims it like any full log;
+    /// * the banked background-work credit.
+    ///
+    /// `data_map`/`log_map` model the mapping metadata a real firmware
+    /// re-derives from per-page OOB tags at mount; they survive as the
+    /// rebuilt mapping and are counted as such.
+    fn recover(&mut self) -> Result<RecoveryReport> {
+        let dropped_cached_pages = self.cache.dirty_pages() as u64;
+        let mut closed_log_blocks = 0;
+        self.cache = WriteCache::new(self.cfg.write_cache);
+        self.bg_credit_ns = 0;
+        // Close open sequential streams through the merge path (their
+        // appended pages are durable; only the cursor is lost).
+        for slot in 0..self.seq.len() {
+            let Some(stream) = self.seq[slot] else {
+                continue;
+            };
+            self.merge_logical(stream.lgroup)?;
+            let phys = stream.phys;
+            if self.log_valid[phys as usize] == 0 {
+                self.log_members[phys as usize].clear();
+                self.array.stream_begin();
+                self.stream_erase_group(phys)?;
+                self.array.stream_finish();
+                self.free.push_back(phys);
+            }
+            self.seq[slot] = None;
+            closed_log_blocks += 1;
+        }
+        // Close BAST per-group logs likewise.
+        while let Some(&(lg, ..)) = self.assoc_logs.first() {
+            self.merge_logical(lg)?;
+            self.retire_assoc_log(lg)?;
+            closed_log_blocks += 1;
+        }
+        // Seal the open random log; GC reclaims it like any full one.
+        if let Some((g, _)) = self.rand_open.take() {
+            self.rand_full.push(g);
+            closed_log_blocks += 1;
+        }
+        let rebuilt_mappings = self.data_map.iter().filter(|&&g| g != UNMAPPED).count() as u64
+            + self.log_map.iter().filter(|&&p| p != NO_LOG).count() as u64;
+        Ok(RecoveryReport {
+            dropped_cached_pages,
+            closed_log_blocks,
+            rebuilt_mappings,
+        })
+    }
+
+    fn probe(&self, lba: u64) -> ProbeState {
+        if lba >= self.layout.capacity_sectors() {
+            return ProbeState::Unmapped;
+        }
+        let (lpn, _) = self.layout.page_span(lba, 1);
+        if self.cache.is_dirty(lpn) {
+            return ProbeState::Volatile;
+        }
+        // `filled` is set exactly when a page reaches flash; log
+        // entries are a subset of filled pages.
+        if self.filled_get(lpn) {
+            ProbeState::Durable
+        } else {
+            ProbeState::Unmapped
+        }
+    }
 }
 
 impl HybridLogFtl {
@@ -1472,6 +1548,86 @@ mod tests {
             appended >= pg - 1,
             "descending writes must hit flash through the random log"
         );
+    }
+
+    #[test]
+    fn recover_drops_cached_pages_and_closes_open_logs() {
+        let mut c = cfg();
+        c.write_cache = WriteCacheConfig {
+            capacity_pages: 8,
+            dedup: true,
+            destage_batch_pages: 8,
+        };
+        let mut f = HybridLogFtl::new(c).unwrap();
+        let s = spp(&f);
+        // A couple of flash-resident pages (destaged by cache pressure).
+        for lpn in 0..12u64 {
+            f.write(lpn * s, s as u32).unwrap();
+        }
+        while f.cache.needs_destage() {
+            let batch = f.cache.destage();
+            f.flash_write_pages(&batch).unwrap();
+        }
+        // Fresh dirty pages that stay in RAM: these writes are
+        // acknowledged but volatile — the torn writes.
+        f.write(20 * s, s as u32).unwrap();
+        f.write(21 * s, s as u32).unwrap();
+        let dirty = f.cache.dirty_pages() as u64;
+        assert!(dirty >= 2);
+        assert_eq!(f.probe(20 * s), ProbeState::Volatile);
+        let report = f.recover().unwrap();
+        assert_eq!(report.dropped_cached_pages, dirty);
+        // Invariants: nothing volatile after recovery; durable pages
+        // stay durable; the dropped never-destaged page is gone.
+        for lpn in 0..f.layout.capacity_pages() {
+            assert_ne!(f.probe(lpn * s), ProbeState::Volatile, "lpn {lpn}");
+        }
+        assert_eq!(f.probe(0), ProbeState::Durable);
+        assert_eq!(f.probe(20 * s), ProbeState::Unmapped, "torn write dropped");
+        // Device keeps working after the remount.
+        f.write(20 * s, s as u32).unwrap();
+    }
+
+    #[test]
+    fn recover_closes_open_streams_and_random_log() {
+        let mut f = tiny();
+        let s = spp(&f);
+        let pg = ppg(&f);
+        // Half-open ascending stream in group 0.
+        for p in 0..pg / 2 {
+            f.write(p * s, s as u32).unwrap();
+        }
+        // A random-path write opens the random log.
+        f.write((2 * pg + 3) * s, s as u32).unwrap();
+        assert!(f.seq.iter().any(|x| x.is_some()));
+        assert!(f.rand_open.is_some());
+        let report = f.recover().unwrap();
+        assert!(report.closed_log_blocks >= 2, "stream + random log closed");
+        assert!(f.seq.iter().all(|x| x.is_none()));
+        assert!(f.rand_open.is_none());
+        // All previously-written pages survive as durable.
+        for p in 0..pg / 2 {
+            assert_eq!(f.probe(p * s), ProbeState::Durable);
+        }
+        assert_eq!(f.probe((2 * pg + 3) * s), ProbeState::Durable);
+        // And the device still accepts the full write paths.
+        write_group_seq(&mut f, 1);
+        f.write((3 * pg + 1) * s, s as u32).unwrap();
+    }
+
+    #[test]
+    fn recover_closes_bast_logs() {
+        let mut c = cfg();
+        c.associative = false;
+        let mut f = HybridLogFtl::new(c).unwrap();
+        let s = spp(&f);
+        let pg = ppg(&f);
+        f.write((pg + 1) * s, s as u32).unwrap(); // opens a BAST log
+        assert!(!f.assoc_logs.is_empty());
+        let report = f.recover().unwrap();
+        assert!(report.closed_log_blocks >= 1);
+        assert!(f.assoc_logs.is_empty());
+        assert_eq!(f.probe((pg + 1) * s), ProbeState::Durable);
     }
 
     #[test]

@@ -6,6 +6,37 @@ use crate::Result;
 use uflip_nand::NandStats;
 use uflip_obs::SinkHandle;
 
+/// Durability of one logical sector's current contents, as reported by
+/// [`Ftl::probe`]. The crash-recovery tests use this to check the
+/// power-loss invariant: everything `Durable` before a crash must stay
+/// durable across [`Ftl::recover`], and nothing may stay `Volatile`
+/// after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeState {
+    /// The sector's latest write is programmed to NAND: it survives a
+    /// power loss.
+    Durable,
+    /// The sector's latest write lives only in volatile FTL state (a
+    /// RAM write cache): a power loss tears it.
+    Volatile,
+    /// The sector has never been written (or its data was discarded).
+    Unmapped,
+}
+
+/// What [`Ftl::recover`] did, for reporting and test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Acknowledged-but-volatile pages discarded (torn writes: they
+    /// were absorbed by a RAM write cache and never reached NAND).
+    pub dropped_cached_pages: u64,
+    /// Open log blocks / allocation-unit episodes closed by merging
+    /// their durable pages back into the mapped state.
+    pub closed_log_blocks: u64,
+    /// Logical-to-physical mappings rebuilt or revalidated against the
+    /// NAND array's page states.
+    pub rebuilt_mappings: u64,
+}
+
 /// A flash translation layer: a timed block manager over a NAND array.
 ///
 /// All methods express time in **nanoseconds of simulated device time**.
@@ -83,6 +114,29 @@ pub trait Ftl {
 
     /// Aggregated NAND statistics of the backing array (white-box view).
     fn nand_stats(&self) -> NandStats;
+
+    /// Recover from a power loss: discard volatile state (RAM write
+    /// caches, open log/append cursors), complete or discard
+    /// half-open episodes using only what is durable on NAND, and
+    /// rebuild/revalidate the logical-to-physical mapping against the
+    /// array's page states. After `recover` returns, every sector
+    /// previously probing [`ProbeState::Durable`] must still read
+    /// back, and no sector may probe [`ProbeState::Volatile`].
+    ///
+    /// Recovery work is untimed: the device is off the host's clock
+    /// while it remounts. The default (for behavioral FTLs with no
+    /// mapping state) does nothing.
+    fn recover(&mut self) -> Result<RecoveryReport> {
+        Ok(RecoveryReport::default())
+    }
+
+    /// Report where sector `lba`'s current contents live (see
+    /// [`ProbeState`]). Behavioral FTLs with no mapping state default
+    /// to [`ProbeState::Unmapped`].
+    fn probe(&self, lba: u64) -> ProbeState {
+        let _ = lba;
+        ProbeState::Unmapped
+    }
 
     /// Check a request against the exported capacity. Shared validation
     /// used by all implementations.

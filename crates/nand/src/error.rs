@@ -3,6 +3,59 @@
 use crate::geometry::{BlockAddr, PageAddr};
 use std::fmt;
 
+/// Coarse classification of a failure, shared by every error type in
+/// the stack (NAND, FTL, device). Matching on a kind replaces matching
+/// on `Display` text: `e.kind() == FailureKind::WornOut` instead of
+/// `e.to_string().contains("worn out")`.
+///
+/// The split that matters operationally is [`FailureKind::is_transient`]:
+/// transient kinds are worth retrying under an IO policy; every other
+/// kind is permanent (retrying a protocol violation or a worn-out
+/// device can only fail again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The device ran out of usable physical blocks (end of life).
+    WornOut,
+    /// Operation addressed a block marked bad.
+    BadBlock,
+    /// A transient fault (injected or real) — retry may succeed.
+    Transient,
+    /// An IO exceeded its deadline — retry may succeed.
+    Timeout,
+    /// The device lost power; all state until recovery is suspect.
+    PowerLoss,
+    /// A protocol violation by the caller (bad ordering, bad sizes).
+    Protocol,
+    /// A request outside the device's address space or limits.
+    Capacity,
+}
+
+impl FailureKind {
+    /// Whether a retry policy should consider the failure retryable.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FailureKind::Transient | FailureKind::Timeout)
+    }
+
+    /// Stable lowercase name for logs and snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::WornOut => "worn_out",
+            FailureKind::BadBlock => "bad_block",
+            FailureKind::Transient => "transient",
+            FailureKind::Timeout => "timeout",
+            FailureKind::PowerLoss => "power_loss",
+            FailureKind::Protocol => "protocol",
+            FailureKind::Capacity => "capacity",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors raised by the NAND chip simulator.
 ///
 /// Most variants are *protocol violations*: the caller (an FTL) issued an
@@ -77,6 +130,25 @@ pub enum NandError {
     /// The batch submitted to [`NandArray`](crate::array::NandArray) was
     /// empty — a batch must contain at least one operation.
     EmptyBatch,
+}
+
+impl NandError {
+    /// Classify the error (see [`FailureKind`]).
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            NandError::BadBlock(_) => FailureKind::BadBlock,
+            NandError::ChipOutOfRange { .. }
+            | NandError::BlockOutOfRange { .. }
+            | NandError::PageOutOfRange { .. } => FailureKind::Capacity,
+            NandError::ProgramWithoutErase(_)
+            | NandError::ProgramOrderViolation { .. }
+            | NandError::ReadUnwritten(_)
+            | NandError::PlaneConflict { .. }
+            | NandError::CrossChipPair { .. }
+            | NandError::DataSizeMismatch { .. }
+            | NandError::EmptyBatch => FailureKind::Protocol,
+        }
+    }
 }
 
 impl fmt::Display for NandError {
@@ -154,6 +226,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("out-of-order"));
         assert!(s.contains("expected next page 2"));
+    }
+
+    #[test]
+    fn kinds_classify_structurally() {
+        use crate::geometry::BlockAddr;
+        assert_eq!(
+            NandError::BadBlock(BlockAddr { chip: 0, block: 3 }).kind(),
+            FailureKind::BadBlock
+        );
+        assert_eq!(
+            NandError::ChipOutOfRange { chip: 9, chips: 4 }.kind(),
+            FailureKind::Capacity
+        );
+        assert_eq!(NandError::EmptyBatch.kind(), FailureKind::Protocol);
+        assert!(FailureKind::Transient.is_transient());
+        assert!(FailureKind::Timeout.is_transient());
+        assert!(!FailureKind::WornOut.is_transient());
+        assert!(!FailureKind::PowerLoss.is_transient());
+        assert_eq!(FailureKind::WornOut.name(), "worn_out");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod wear;
 
 pub use array::{Batch, NandArray, NandArrayConfig};
 pub use chip::{Chip, ChipConfig, PageState, ProgramOrder};
-pub use error::NandError;
+pub use error::{FailureKind, NandError};
 pub use geometry::{BlockAddr, NandGeometry, PageAddr};
 pub use ops::NandOp;
 pub use stats::NandStats;

@@ -60,11 +60,25 @@ pub enum CounterId {
     LogicalBytesRead,
     /// Logical bytes written by the host.
     LogicalBytesWritten,
+    /// Transient read faults injected by an armed fault plan.
+    InjectedReadFaults,
+    /// Transient write faults injected by an armed fault plan.
+    InjectedWriteFaults,
+    /// Latency spikes (and stuck-channel stalls) injected by a plan.
+    InjectedLatencySpikes,
+    /// IO retries performed by an IO policy (injected or real errors).
+    IoRetries,
+    /// IOs that exceeded the policy's per-IO timeout.
+    IoTimeouts,
+    /// IOs abandoned after exhausting the policy's retry budget.
+    RetryExhaustions,
+    /// Power-loss (crash) events injected by a fault plan.
+    PowerLossEvents,
 }
 
 impl CounterId {
     /// Number of counters (length of the dense index space).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in discriminant order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -90,6 +104,13 @@ impl CounterId {
         CounterId::HostWrites,
         CounterId::LogicalBytesRead,
         CounterId::LogicalBytesWritten,
+        CounterId::InjectedReadFaults,
+        CounterId::InjectedWriteFaults,
+        CounterId::InjectedLatencySpikes,
+        CounterId::IoRetries,
+        CounterId::IoTimeouts,
+        CounterId::RetryExhaustions,
+        CounterId::PowerLossEvents,
     ];
 
     /// Stable snake_case name used in JSON snapshots and reports.
@@ -117,6 +138,13 @@ impl CounterId {
             CounterId::HostWrites => "host_writes",
             CounterId::LogicalBytesRead => "logical_bytes_read",
             CounterId::LogicalBytesWritten => "logical_bytes_written",
+            CounterId::InjectedReadFaults => "injected_read_faults",
+            CounterId::InjectedWriteFaults => "injected_write_faults",
+            CounterId::InjectedLatencySpikes => "injected_latency_spikes",
+            CounterId::IoRetries => "io_retries",
+            CounterId::IoTimeouts => "io_timeouts",
+            CounterId::RetryExhaustions => "retry_exhaustions",
+            CounterId::PowerLossEvents => "power_loss_events",
         }
     }
 

@@ -23,15 +23,22 @@ pub enum LatencyClass {
     Write,
     /// IOs from mixed read/write workloads (not split by op).
     Mixed,
+    /// Extra response time paid to retries under an IO policy (the
+    /// backoff + re-service tail beyond the first attempt).
+    Retry,
 }
 
 impl LatencyClass {
     /// Number of classes (dense index space).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every class, in discriminant order.
-    pub const ALL: [LatencyClass; LatencyClass::COUNT] =
-        [LatencyClass::Read, LatencyClass::Write, LatencyClass::Mixed];
+    pub const ALL: [LatencyClass; LatencyClass::COUNT] = [
+        LatencyClass::Read,
+        LatencyClass::Write,
+        LatencyClass::Mixed,
+        LatencyClass::Retry,
+    ];
 
     /// Stable lowercase name used in snapshots and reports.
     pub fn name(self) -> &'static str {
@@ -39,6 +46,7 @@ impl LatencyClass {
             LatencyClass::Read => "read",
             LatencyClass::Write => "write",
             LatencyClass::Mixed => "mixed",
+            LatencyClass::Retry => "retry",
         }
     }
 }

@@ -7,7 +7,7 @@ use std::time::Duration;
 use uflip::core::executor::execute_run;
 use uflip::device::BlockDevice;
 use uflip::ftl::{Ftl, HybridLogConfig, HybridLogFtl, PageMapConfig, PageMapFtl};
-use uflip::nand::{ChipConfig, ProgramOrder};
+use uflip::nand::{ChipConfig, FailureKind, ProgramOrder};
 use uflip::patterns::PatternSpec;
 
 /// A hybrid FTL on chips with a tiny erase endurance: sustained random
@@ -29,11 +29,12 @@ fn worn_out_device_fails_cleanly() {
         match ftl.write(lpn * spp * 512 / 512, 1) {
             Ok(_) => {}
             Err(e) => {
-                // End-of-life must surface as a structured error.
-                let msg = e.to_string();
+                // End-of-life must surface as a *classified* error,
+                // not a panic or an unrelated failure mode.
                 assert!(
-                    msg.contains("worn out") || msg.contains("bad block"),
-                    "unexpected failure mode: {msg}"
+                    matches!(e.kind(), FailureKind::WornOut | FailureKind::BadBlock),
+                    "unexpected failure mode: {e} (kind {:?})",
+                    e.kind()
                 );
                 failed = true;
                 break;
@@ -59,7 +60,12 @@ fn page_map_wears_out_cleanly() {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
         match ftl.write(x % pages, 1) {
             Ok(_) => {}
-            Err(_) => {
+            Err(e) => {
+                assert!(
+                    matches!(e.kind(), FailureKind::WornOut | FailureKind::BadBlock),
+                    "unexpected failure mode: {e} (kind {:?})",
+                    e.kind()
+                );
                 failed = true;
                 break;
             }
@@ -129,8 +135,11 @@ fn bad_blocks_are_refused_with_address() {
             None,
         )
         .unwrap_err();
-    assert!(
-        err.to_string().contains("b3"),
-        "error must name the bad block: {err}"
-    );
+    // Typed, not string-matched: the classification and the address
+    // are both part of the error's contract.
+    assert_eq!(err.kind(), FailureKind::BadBlock);
+    match err {
+        uflip::nand::NandError::BadBlock(addr) => assert_eq!(addr.block, 3),
+        other => panic!("expected BadBlock, got {other}"),
+    }
 }

@@ -251,6 +251,7 @@ fn suite_opts() -> SuiteOptions {
         state_coverage: 0.5,
         seed: 11,
         snapshot_resets: true,
+        ..SuiteOptions::default()
     }
 }
 

@@ -123,6 +123,20 @@ pub fn de_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T,
     }
 }
 
+/// Like [`de_field`] but a missing key yields `Default::default()` —
+/// the `#[serde(default)]` field attribute (derive-macro helper).
+pub fn de_field_or_default<T: Deserialize + Default>(
+    map: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::new(format!("field `{key}`: {}", e.msg)))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Serialize impls for std types.
 // ---------------------------------------------------------------------

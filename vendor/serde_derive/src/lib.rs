@@ -7,9 +7,11 @@
 //! available offline). Generics are not supported and produce a
 //! compile-time panic with a clear message.
 //!
-//! Recognized helper attribute: `#[serde(skip)]` on struct fields —
-//! the field is omitted when serializing and filled from
-//! `Default::default()` when deserializing (matching real serde).
+//! Recognized helper attributes on struct fields (matching real
+//! serde): `#[serde(skip)]` — the field is omitted when serializing
+//! and filled from `Default::default()` when deserializing — and
+//! `#[serde(default)]` — the field serializes normally but a missing
+//! key deserializes to `Default::default()` instead of erroring.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -102,6 +104,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 if f.skip {
                     inits.push_str(&format!(
                         "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::de_field_or_default(m, \"{n}\")?,\n",
                         n = f.name
                     ));
                 } else {
@@ -210,6 +217,7 @@ enum Data {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -279,11 +287,15 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut default = false;
         // Attributes.
         while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                if attr_is_serde_skip(g.stream()) {
+                if attr_has_serde_word(g.stream(), "skip") {
                     skip = true;
+                }
+                if attr_has_serde_word(g.stream(), "default") {
+                    default = true;
                 }
             }
             i += 2;
@@ -320,7 +332,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -379,14 +395,14 @@ fn count_tuple_fields(body: TokenStream) -> usize {
     }
 }
 
-/// True for `#[serde(... skip ...)]` attribute bodies.
-fn attr_is_serde_skip(attr: TokenStream) -> bool {
+/// True for `#[serde(... word ...)]` attribute bodies.
+fn attr_has_serde_word(attr: TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = attr.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
             args.stream()
                 .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == word))
         }
         _ => false,
     }
