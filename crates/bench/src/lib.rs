@@ -64,10 +64,16 @@ impl MetricsOut {
         let snap = self.metrics.snapshot();
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("mkdir metrics dir");
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create metrics dir {}: {e}", parent.display());
+                    return;
+                }
             }
         }
-        snap.save(&self.path).expect("write metrics snapshot");
+        if let Err(e) = snap.save(&self.path) {
+            eprintln!("cannot write metrics snapshot {}: {e}", self.path.display());
+            return;
+        }
         if render {
             println!("\n{}", uflip_report::obs::render_metrics(&snap));
         }
@@ -373,6 +379,7 @@ pub fn prepared_device(profile: &DeviceProfile, quick: bool) -> Box<dyn BlockDev
     // reach its GC watermark (see CharacterizeConfig::paper()).
     let coverage = if quick { 1.5 } else { 2.0 };
     enforce_random_state(dev.as_mut(), 128 * 1024, coverage, 0xF11B)
+        // uflip-lint: allow(UF002, reason = "fresh sim device with seeded state; failure means the profile itself is broken and the harness must stop")
         .expect("state enforcement cannot fail on a healthy simulated device");
     dev.idle(Duration::from_secs(5));
     dev

@@ -244,7 +244,9 @@ pub fn execute_run_observed(
             Mode::Write => uflip_obs::LatencyClass::Write,
         };
         observe::record_run_latencies(sink, class, &run);
-        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+        if let Some(before) = &before {
+            observe::emit_workload_delta(sink, &run.label, before);
+        }
     }
     Ok(run)
 }
@@ -263,7 +265,9 @@ pub fn execute_mixed_observed(
     let (run, procs) = execute_mixed(dev, mix)?;
     if observed {
         observe::record_run_latencies(sink, uflip_obs::LatencyClass::Mixed, &run);
-        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+        if let Some(before) = &before {
+            observe::emit_workload_delta(sink, &run.label, before);
+        }
     }
     Ok((run, procs))
 }
@@ -286,7 +290,9 @@ pub fn execute_parallel_observed(
             Mode::Write => uflip_obs::LatencyClass::Write,
         };
         observe::record_run_latencies(sink, class, &run);
-        observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+        if let Some(before) = &before {
+            observe::emit_workload_delta(sink, &run.label, before);
+        }
     }
     Ok(run)
 }
@@ -328,7 +334,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
     let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
     let queue = dev
         .io_queue()
-        .expect("caller verified the device is queue-capable");
+        .ok_or(DeviceError::Internal("device lost its queue mid-run"))?;
     // A spec-level queue depth is a per-run request: remember the
     // device's own depth and restore it once the run drains, so one
     // sweep point cannot silently reconfigure later runs.
@@ -374,7 +380,9 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
         // unblock a process with an even earlier arrival.
         if let Some(next_done) = queue.next_completion() {
             if next_done <= submit {
-                let (token, completion) = queue.poll().expect("peeked completion exists");
+                let (token, completion) = queue
+                    .poll()
+                    .ok_or(DeviceError::Internal("peeked completion vanished"))?;
                 retire(
                     &mut inflight,
                     &mut calendar,
@@ -389,7 +397,9 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
             }
         }
         calendar.pop();
-        let io = pending[p].take().expect("calendar entries have an IO");
+        let io = pending[p]
+            .take()
+            .ok_or(DeviceError::Internal("calendar entry without an IO"))?;
         match queue.submit(&io, submit) {
             Ok(token) => {
                 inflight.insert(token, (p, submit, seq));
@@ -404,7 +414,7 @@ fn execute_parallel_queued(dev: &mut dyn BlockDevice, par: &ParallelSpec) -> Res
                 calendar.push(Reverse((submit, p)));
                 let (token, completion) = queue
                     .poll()
-                    .expect("a full queue has in-flight IOs to poll");
+                    .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                 retire(
                     &mut inflight,
                     &mut calendar,
@@ -467,7 +477,7 @@ fn execute_parallel_queued_with_policy(
     let mut pending: Vec<Option<IoRequest>> = streams.iter_mut().map(|s| s.next()).collect();
     let queue = dev
         .io_queue()
-        .expect("caller verified the device is queue-capable");
+        .ok_or(DeviceError::Internal("device lost its queue mid-run"))?;
     let device_depth = queue.queue_depth();
     if let Some(depth) = par.queue_depth {
         queue.set_queue_depth(depth)?;
@@ -503,7 +513,9 @@ fn execute_parallel_queued_with_policy(
         };
         if let Some(next_done) = queue.next_completion() {
             if next_done <= submit {
-                let (token, completion) = queue.poll().expect("peeked completion exists");
+                let (token, completion) = queue
+                    .poll()
+                    .ok_or(DeviceError::Internal("peeked completion vanished"))?;
                 retire(
                     &mut inflight,
                     &mut calendar,
@@ -518,7 +530,9 @@ fn execute_parallel_queued_with_policy(
             }
         }
         calendar.pop();
-        let io = pending[p].take().expect("calendar entries have an IO");
+        let io = pending[p]
+            .take()
+            .ok_or(DeviceError::Internal("calendar entry without an IO"))?;
         match policy::submit_with_policy(queue, &io, submit, policy, &mut rng, sink, enabled)? {
             SubmitOutcome::Submitted(token) => {
                 inflight.insert(token, (p, submit, seq));
@@ -531,7 +545,7 @@ fn execute_parallel_queued_with_policy(
                 calendar.push(Reverse((submit, p)));
                 let (token, completion) = queue
                     .poll()
-                    .expect("a full queue has in-flight IOs to poll");
+                    .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                 retire(
                     &mut inflight,
                     &mut calendar,
@@ -587,9 +601,13 @@ fn execute_parallel_serial_with_policy(
     let mut rts = Vec::new();
     while let Some(p) = (0..streams.len())
         .filter(|&p| pending[p].is_some())
-        .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay)
+        .min_by_key(|&p| {
+            pending[p]
+                .as_ref()
+                .map_or(Duration::MAX, |io| ready[p] + io.submit_delay)
+        })
     {
-        let io = pending[p].take().expect("selected process has an IO");
+        let Some(io) = pending[p].take() else { break };
         let submit = ready[p] + io.submit_delay;
         if submit > device_free {
             dev.idle(submit - device_free);
@@ -623,7 +641,7 @@ pub fn execute_parallel_queued_reference(
     let mut blocked = vec![false; n];
     let queue = dev
         .io_queue()
-        .expect("caller verified the device is queue-capable");
+        .ok_or(DeviceError::Internal("device lost its queue mid-run"))?;
     let device_depth = queue.queue_depth();
     if let Some(depth) = par.queue_depth {
         queue.set_queue_depth(depth)?;
@@ -647,7 +665,11 @@ pub fn execute_parallel_queued_reference(
         // Earliest-submitting runnable process, if any.
         let candidate = (0..n)
             .filter(|&p| !blocked[p] && pending[p].is_some())
-            .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay);
+            .min_by_key(|&p| {
+                pending[p]
+                    .as_ref()
+                    .map_or(Duration::MAX, |io| ready[p] + io.submit_delay)
+            });
         let Some(p) = candidate else {
             match queue.poll() {
                 Some((token, completion)) => {
@@ -665,14 +687,14 @@ pub fn execute_parallel_queued_reference(
                 None => break,
             }
         };
-        let submit = ready[p]
-            + pending[p]
-                .as_ref()
-                .expect("candidate has an IO")
-                .submit_delay;
+        let submit = pending[p]
+            .as_ref()
+            .map_or(Duration::MAX, |io| ready[p] + io.submit_delay);
         if let Some(next_done) = queue.next_completion() {
             if next_done <= submit {
-                let (token, completion) = queue.poll().expect("peeked completion exists");
+                let (token, completion) = queue
+                    .poll()
+                    .ok_or(DeviceError::Internal("peeked completion vanished"))?;
                 retire_one(
                     &mut inflight,
                     &mut blocked,
@@ -685,7 +707,9 @@ pub fn execute_parallel_queued_reference(
                 continue;
             }
         }
-        let io = pending[p].take().expect("candidate has an IO");
+        let io = pending[p]
+            .take()
+            .ok_or(DeviceError::Internal("candidate without an IO"))?;
         match queue.submit(&io, submit) {
             Ok(token) => {
                 inflight.insert(token, (p, submit, seq));
@@ -698,7 +722,7 @@ pub fn execute_parallel_queued_reference(
                 pending[p] = Some(io);
                 let (token, completion) = queue
                     .poll()
-                    .expect("a full queue has in-flight IOs to poll");
+                    .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                 retire_one(
                     &mut inflight,
                     &mut blocked,
@@ -734,9 +758,13 @@ pub fn execute_parallel_serial(dev: &mut dyn BlockDevice, par: &ParallelSpec) ->
     // uses, so the two paths stay equivalent at depth 1).
     while let Some(p) = (0..streams.len())
         .filter(|&p| pending[p].is_some())
-        .min_by_key(|&p| ready[p] + pending[p].as_ref().expect("filtered").submit_delay)
+        .min_by_key(|&p| {
+            pending[p]
+                .as_ref()
+                .map_or(Duration::MAX, |io| ready[p] + io.submit_delay)
+        })
     {
-        let io = pending[p].take().expect("selected process has an IO");
+        let Some(io) = pending[p].take() else { break };
         let submit = ready[p] + io.submit_delay;
         // If the device sat idle between IOs, let background work run.
         if submit > device_free {
@@ -786,6 +814,7 @@ where
             .collect();
         handles
             .into_iter()
+            // uflip-lint: allow(UF002, reason = "join propagates a worker thread's panic; swallowing it would fake results")
             .map(|h| h.join().expect("benchmark threads do not panic"))
             .collect()
     });

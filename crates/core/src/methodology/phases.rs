@@ -102,9 +102,8 @@ pub fn detect_phases(rts: &[Duration]) -> Phases {
         .collect();
     let start_up = expensive.first().copied().unwrap_or(rts.len());
     let spikes = expensive.len();
-    let period = if expensive.len() >= 2 {
-        let span = expensive.last().expect("len>=2") - expensive[0];
-        (span as f64 / (expensive.len() - 1) as f64).round() as usize
+    let period = if let [first, .., last] = expensive[..] {
+        ((last - first) as f64 / (expensive.len() - 1) as f64).round() as usize
     } else {
         0
     };

@@ -149,10 +149,15 @@ impl IoPolicy {
             let n: u64 = value
                 .parse()
                 .map_err(|_| format!("bad io-policy value in `{part}`"))?;
+            // `n` comes straight from the command line: reject values
+            // that would silently truncate instead of wrapping them.
+            let narrow = |n: u64| -> std::result::Result<u32, String> {
+                u32::try_from(n).map_err(|_| format!("io-policy value out of range in `{part}`"))
+            };
             match key {
-                "retries" => policy.max_retries = n as u32,
+                "retries" => policy.max_retries = narrow(n)?,
                 "base-us" => policy.backoff_base = Duration::from_micros(n),
-                "factor" => policy.backoff_factor = n as u32,
+                "factor" => policy.backoff_factor = narrow(n)?,
                 "cap-ms" => policy.backoff_cap = Duration::from_millis(n),
                 "timeout-ms" => policy.timeout = Some(Duration::from_millis(n)),
                 "seed" => policy.jitter_seed = n,

@@ -183,7 +183,9 @@ pub fn replay_trace_with_policy(
             };
             sink.latency(class, rt.as_nanos() as u64);
         }
-        crate::observe::emit_workload_delta(sink, &run.label, &before.expect("observed"));
+        if let Some(before) = &before {
+            crate::observe::emit_workload_delta(sink, &run.label, before);
+        }
     }
     Ok(run)
 }
@@ -205,7 +207,9 @@ fn replay_queued_with_policy(
 ) -> Result<RunResult> {
     let mut rng = io_policy.jitter_seed;
     let base = dev.now();
-    let queue = dev.io_queue().expect("caller verified the queue exists");
+    let queue = dev
+        .io_queue()
+        .ok_or(DeviceError::Internal("device lost its queue mid-replay"))?;
     let device_depth = queue.queue_depth();
     queue.set_queue_depth(depth)?;
     let t0 = trace.records[0].submit_ns;
@@ -250,7 +254,7 @@ fn replay_queued_with_policy(
                 Ok(SubmitOutcome::Full) => {
                     let (token, completion) = queue
                         .poll()
-                        .expect("a full queue has in-flight IOs to poll");
+                        .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                     book(&mut inflight, &mut rts, token, completion);
                     last_completion = last_completion.max(completion);
                     at = at.max(completion);
@@ -337,7 +341,9 @@ fn replay_queued(
     faithful: bool,
 ) -> Result<RunResult> {
     let base = dev.now();
-    let queue = dev.io_queue().expect("caller verified the queue exists");
+    let queue = dev
+        .io_queue()
+        .ok_or(DeviceError::Internal("device lost its queue mid-replay"))?;
     let device_depth = queue.queue_depth();
     queue.set_queue_depth(depth)?;
     let t0 = trace.records[0].submit_ns;
@@ -386,7 +392,7 @@ fn replay_queued(
                     Err(DeviceError::QueueFull { .. }) => {
                         let (token, completion) = queue
                             .poll()
-                            .expect("a full queue has in-flight IOs to poll");
+                            .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                         book(&mut inflight, &mut rts, token, completion);
                         last_completion = last_completion.max(completion);
                         at = at.max(completion);
@@ -437,7 +443,7 @@ fn replay_queued(
                     // may not precede it.
                     let (token, completion) = queue
                         .poll()
-                        .expect("a full queue has in-flight IOs to poll");
+                        .ok_or(DeviceError::Internal("full queue with nothing to poll"))?;
                     book(&mut inflight, &mut rts, token, completion);
                     last_completion = last_completion.max(completion);
                     cursor = cursor.max(completion);

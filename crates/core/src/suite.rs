@@ -19,7 +19,7 @@ use crate::run::RunResult;
 use crate::stats::RunStats;
 use crate::Result;
 use std::time::Duration;
-use uflip_device::BlockDevice;
+use uflip_device::{BlockDevice, DeviceError};
 
 /// All nine micro-benchmarks under one configuration, in the paper's
 /// presentation order (location parameters, then parallel/mixed, then
@@ -174,7 +174,9 @@ fn execute_steps(
         match step {
             PlanStep::Pause => dev.idle(opts.inter_run_pause),
             PlanStep::ResetState => {
-                unreachable!("segments are split at ResetState boundaries")
+                return Err(DeviceError::Internal(
+                    "ResetState inside a segment; segments are split at reset boundaries",
+                ));
             }
             PlanStep::Run {
                 experiment,
@@ -378,9 +380,9 @@ pub fn execute_plan_sharded_observed(
     let t0 = dev.now();
     enforce_and_settle(dev, opts)?;
     let base = dev.now();
-    let snapshot = dev
-        .snapshot_state()
-        .expect("snapshot_capable devices return a snapshot");
+    let snapshot = dev.snapshot_state().ok_or(DeviceError::Internal(
+        "snapshot-capable device returned no snapshot",
+    ))?;
     let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -393,6 +395,7 @@ pub fn execute_plan_sharded_observed(
     let per_worker: Vec<Result<Vec<SegmentOutcome>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
+                // uflip-lint: allow(UF002, reason = "fork precondition checked by the snapshot_state gate above; no Result plumbing inside thread::scope closures")
                 let mut fork = dev.fork().expect("snapshot_capable devices support fork");
                 fork.set_sink(sink.clone());
                 let state = snapshot.clone();
@@ -420,6 +423,7 @@ pub fn execute_plan_sharded_observed(
             .collect();
         handles
             .into_iter()
+            // uflip-lint: allow(UF002, reason = "join propagates a worker thread's panic; swallowing it would fake results")
             .map(|h| h.join().expect("plan segment threads do not panic"))
             .collect()
     });
@@ -433,7 +437,9 @@ pub fn execute_plan_sharded_observed(
     let mut points = Vec::new();
     let mut device_time = base - t0;
     for seg in by_segment {
-        let (p, elapsed) = seg.expect("every segment was assigned to a worker");
+        let (p, elapsed) = seg.ok_or(DeviceError::Internal(
+            "segment missing from every worker's results",
+        ))?;
         points.extend(p);
         device_time += elapsed;
     }

@@ -152,6 +152,7 @@ impl DirectIoFile {
         };
         #[cfg(all(unix, not(any(target_os = "linux", target_os = "macos"))))]
         let prefix = {
+            // uflip-lint: allow(UF004, reason = "one-time non-Linux fallback warning at open; obs has no warning channel")
             eprintln!(
                 "warning: no O_DIRECT on this platform; {} opens buffered \
                  (results include OS caching)",

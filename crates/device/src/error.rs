@@ -65,6 +65,11 @@ pub enum DeviceError {
         /// Arrival-order index of the IO at which power was lost.
         index: u64,
     },
+    /// An internal device-layer invariant did not hold (a queue the
+    /// caller verified exists is missing, a checked-non-empty slot set
+    /// is empty, …). Always an implementation bug; surfaced as a typed
+    /// error instead of a panic so a run fails cleanly.
+    Internal(&'static str),
 }
 
 impl fmt::Display for DeviceError {
@@ -107,6 +112,9 @@ impl fmt::Display for DeviceError {
             DeviceError::PowerLoss { index } => {
                 write!(f, "power lost at IO #{index}; device needs recovery")
             }
+            DeviceError::Internal(what) => {
+                write!(f, "internal device invariant violated: {what}")
+            }
         }
     }
 }
@@ -125,7 +133,8 @@ impl DeviceError {
             DeviceError::QueueFull { .. } | DeviceError::Io(_) => FailureKind::Transient,
             DeviceError::DepthChangeInFlight { .. }
             | DeviceError::SnapshotUnsupported
-            | DeviceError::SnapshotMismatch { .. } => FailureKind::Protocol,
+            | DeviceError::SnapshotMismatch { .. }
+            | DeviceError::Internal(_) => FailureKind::Protocol,
             DeviceError::Ftl(e) => e.kind(),
             DeviceError::Injected { kind, .. } => *kind,
             DeviceError::PowerLoss { .. } => FailureKind::PowerLoss,

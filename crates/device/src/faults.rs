@@ -216,6 +216,7 @@ impl FaultPlan {
 
     /// Serialize the plan as pretty JSON.
     pub fn to_json(&self) -> String {
+        // uflip-lint: allow(UF002, reason = "serialization of a plain plan struct cannot fail")
         serde_json::to_string_pretty(self).expect("FaultPlan serializes")
     }
 }
@@ -513,7 +514,7 @@ impl<D: BlockDevice> IoQueue for FaultyDevice<D> {
             return self
                 .inner
                 .io_queue()
-                .expect("submit on a backend without a queue")
+                .ok_or(DeviceError::Internal("submit on a backend without a queue"))?
                 .submit(io, at);
         }
         if let Some(index) = self.crashed {
@@ -528,7 +529,7 @@ impl<D: BlockDevice> IoQueue for FaultyDevice<D> {
                 let q = self
                     .inner
                     .io_queue()
-                    .expect("submit on a backend without a queue");
+                    .ok_or(DeviceError::Internal("submit on a backend without a queue"))?;
                 if q.in_flight() > 0 {
                     let depth = q.queue_depth();
                     if self.sink_enabled {
@@ -547,7 +548,7 @@ impl<D: BlockDevice> IoQueue for FaultyDevice<D> {
         let at = at + Duration::from_nanos(extra);
         self.inner
             .io_queue()
-            .expect("submit on a backend without a queue")
+            .ok_or(DeviceError::Internal("submit on a backend without a queue"))?
             .submit(io, at)
     }
 

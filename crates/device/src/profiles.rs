@@ -113,17 +113,25 @@ impl DeviceProfile {
     /// (see [`SimDevice::with_seed`]), so equal seeds give bit-identical
     /// traces and different seeds give diverging ones.
     pub fn build_sim(&self, seed: u64) -> Box<SimDevice> {
+        // JSON-loaded profiles were validated at parse time and the
+        // built-in catalog is construction-tested, so these cannot fire
+        // there; `build_sim`'s 83 call sites keep their infallible
+        // signature. (uflip-lint: the allows below each cover one arm.)
         let ftl: Box<dyn uflip_ftl::Ftl + Send> = match &self.ftl {
             FtlSpec::PageMap(c) => {
+                // uflip-lint: allow(UF002, reason = "config validated by from_json/catalog tests")
                 Box::new(PageMapFtl::new(*c).expect("profile PageMap config must be valid"))
             }
             FtlSpec::HybridLog(c) => {
+                // uflip-lint: allow(UF002, reason = "config validated by from_json/catalog tests")
                 Box::new(HybridLogFtl::new(*c).expect("profile HybridLog config must be valid"))
             }
             FtlSpec::BlockMap(c) => {
+                // uflip-lint: allow(UF002, reason = "config validated by from_json/catalog tests")
                 Box::new(BlockMapFtl::new(*c).expect("profile BlockMap config must be valid"))
             }
             FtlSpec::Fitted(c) => {
+                // uflip-lint: allow(UF002, reason = "config validated by from_json/catalog tests")
                 Box::new(FittedFtl::new(c.clone()).expect("profile Fitted config must be valid"))
             }
         };
@@ -164,12 +172,32 @@ impl DeviceProfile {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
+        // uflip-lint: allow(UF002, reason = "serialization of a plain data struct with no maps or non-UTF8 keys cannot fail")
         serde_json::to_string_pretty(self).expect("profiles are always serializable")
     }
 
-    /// Parse a profile from JSON.
+    /// Check that the profile's FTL configuration can actually be
+    /// constructed, so `build_sim` on a loaded profile cannot panic on
+    /// untrusted JSON input.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let check = |r: std::result::Result<(), uflip_ftl::FtlError>| {
+            r.map_err(|e| format!("invalid profile `{}`: {e}", self.id))
+        };
+        match &self.ftl {
+            FtlSpec::PageMap(c) => check(PageMapFtl::new(*c).map(drop)),
+            FtlSpec::HybridLog(c) => check(HybridLogFtl::new(*c).map(drop)),
+            FtlSpec::BlockMap(c) => check(BlockMapFtl::new(*c).map(drop)),
+            FtlSpec::Fitted(c) => check(FittedFtl::new(c.clone()).map(drop)),
+        }
+    }
+
+    /// Parse a profile from JSON, rejecting configurations the FTL
+    /// constructors would refuse.
     pub fn from_json(json: &str) -> std::result::Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| format!("invalid device profile JSON: {e}"))
+        let profile: Self =
+            serde_json::from_str(json).map_err(|e| format!("invalid device profile JSON: {e}"))?;
+        profile.validate()?;
+        Ok(profile)
     }
 
     /// Write the profile as JSON, creating parent directories.

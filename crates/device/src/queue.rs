@@ -167,7 +167,12 @@ pub trait IoQueue {
             if done > upto {
                 break;
             }
-            let (token, completion) = self.poll().expect("peeked completion exists");
+            // `next_completion` peeked a landed completion, so `poll`
+            // returns it; if an implementation disagrees, stop rather
+            // than panic.
+            let Some((token, completion)) = self.poll() else {
+                break;
+            };
             out.push((token, completion));
             n += 1;
         }

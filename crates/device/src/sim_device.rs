@@ -570,11 +570,13 @@ impl SimDevice {
         }
         self.busy_before = before;
         self.busy_after = after;
+        // uflip-lint: allow(UF006, reason = "1.0 is the exact jitter-disabled sentinel; multiplying would perturb fingerprints")
         let flash = if factor == 1.0 {
             flash
         } else {
             (flash as f64 * factor) as u64
         };
+        // uflip-lint: allow(UF006, reason = "1.0 is the exact jitter-disabled sentinel; multiplying would perturb fingerprints")
         if factor != 1.0 {
             for b in self.busy_delta.iter_mut() {
                 *b = (*b as f64 * factor) as u64;
@@ -623,7 +625,9 @@ impl IoQueue for SimDevice {
         // NCQ admission: service begins once a queue slot is free.
         let mut admit = t_sub;
         while self.state.slots.len() >= self.state.queue_depth as usize {
-            let Reverse(freed) = self.state.slots.pop().expect("len checked");
+            let Some(Reverse(freed)) = self.state.slots.pop() else {
+                break;
+            };
             admit = admit.max(freed);
         }
         let busy = std::mem::take(&mut self.busy_delta);

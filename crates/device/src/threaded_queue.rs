@@ -252,7 +252,13 @@ impl ThreadedIoQueue {
     /// errors here in arrival order; call repeatedly to drain them
     /// all).
     pub fn take_error(&mut self) -> Option<std::io::Error> {
-        let mut lane = self.lane.lock().expect("completion lane poisoned");
+        // A poisoned lane means a worker panicked mid-update; surface
+        // that as the parked error instead of cascading the panic.
+        let Ok(mut lane) = self.lane.lock() else {
+            return Some(std::io::Error::other(
+                "IO worker panicked; completion lane poisoned",
+            ));
+        };
         lane.drain();
         self.flush_retries(&mut lane);
         lane.failed.pop_front()
@@ -399,7 +405,9 @@ impl IoQueue for ThreadedIoQueue {
         }
         self.validate(io)?;
         {
-            let mut lane = self.lane.lock().expect("completion lane poisoned");
+            let mut lane = self.lane.lock().map_err(|_| {
+                crate::DeviceError::Internal("completion lane poisoned by a worker panic")
+            })?;
             lane.drain();
             self.flush_retries(&mut lane);
             if let Some(e) = lane.failed.pop_front() {
@@ -420,7 +428,9 @@ impl IoQueue for ThreadedIoQueue {
         };
         self.job_tx
             .as_ref()
-            .expect("job channel open while the queue lives")
+            .ok_or(crate::DeviceError::Internal(
+                "job channel closed while the queue lives",
+            ))?
             .send(job)
             .map_err(|_| {
                 crate::DeviceError::Io(std::io::Error::other("IO worker pool shut down"))
@@ -444,7 +454,11 @@ impl IoQueue for ThreadedIoQueue {
     }
 
     fn next_completion(&self) -> Option<Duration> {
-        let mut lane = self.lane.lock().expect("completion lane poisoned");
+        // Poisoned lane: no completion is knowable; the error surfaces
+        // on the next submit/take_error.
+        let Ok(mut lane) = self.lane.lock() else {
+            return None;
+        };
         lane.drain();
         lane.ready
             .peek()
@@ -452,7 +466,11 @@ impl IoQueue for ThreadedIoQueue {
     }
 
     fn poll(&mut self) -> Option<(Token, Duration)> {
-        let mut lane = self.lane.lock().expect("completion lane poisoned");
+        // Poisoned lane: the pool is dead, nothing left to wait for
+        // (same contract as the channel closing below).
+        let Ok(mut lane) = self.lane.lock() else {
+            return None;
+        };
         lane.drain();
         self.flush_retries(&mut lane);
         if lane.ready.is_empty() {
@@ -471,7 +489,7 @@ impl IoQueue for ThreadedIoQueue {
             }
             self.flush_retries(&mut lane);
         }
-        let Reverse((ns, tok)) = lane.ready.pop().expect("ready checked non-empty");
+        let Reverse((ns, tok)) = lane.ready.pop()?;
         self.in_flight -= 1;
         if self.sink_enabled {
             self.sink.add(CounterId::QueueCompletions, 1);

@@ -188,10 +188,9 @@ impl<D: BlockDevice> IoQueue for TracingDevice<D> {
     }
 
     fn submit(&mut self, io: &IoRequest, at: Duration) -> Result<Token> {
-        let queue = self
-            .inner
-            .io_queue()
-            .expect("submit on a backend without a queue");
+        let queue = self.inner.io_queue().ok_or(crate::DeviceError::Internal(
+            "submit on a backend without a queue",
+        ))?;
         let token = queue.submit(io, at)?;
         let depth_now = queue.in_flight() as u32;
         let submit_ns = at.as_nanos() as u64;

@@ -380,7 +380,7 @@ impl BlockMapFtl {
                 .enumerate()
                 .min_by_key(|(_, a)| a.lru)
                 .map(|(i, _)| i)
-                .expect("table non-empty");
+                .ok_or(FtlError::Internal("no open AU to close"))?;
             ns += self.close_au(lru_idx)?;
         }
         let repl = self.alloc_group()?;

@@ -26,6 +26,12 @@ pub enum FtlError {
     /// workload it indicates an FTL implementation bug, which is exactly
     /// why the NAND layer checks the protocol.
     Nand(NandError),
+    /// An internal FTL bookkeeping invariant did not hold (a slot the
+    /// FTL just ensured was occupied is empty, a table it just filled
+    /// is missing an entry, …). Always an implementation bug; surfaced
+    /// as a typed error instead of a panic so a workload run fails
+    /// cleanly rather than tearing the harness down.
+    Internal(&'static str),
 }
 
 impl FtlError {
@@ -35,7 +41,7 @@ impl FtlError {
         match self {
             FtlError::OutOfPhysicalBlocks => FailureKind::WornOut,
             FtlError::OutOfCapacity { .. } | FtlError::ZeroLength => FailureKind::Capacity,
-            FtlError::InvalidConfig(_) => FailureKind::Protocol,
+            FtlError::InvalidConfig(_) | FtlError::Internal(_) => FailureKind::Protocol,
             FtlError::Nand(e) => e.kind(),
         }
     }
@@ -59,6 +65,9 @@ impl fmt::Display for FtlError {
             }
             FtlError::InvalidConfig(msg) => write!(f, "invalid FTL configuration: {msg}"),
             FtlError::Nand(e) => write!(f, "NAND protocol error: {e}"),
+            FtlError::Internal(what) => {
+                write!(f, "internal FTL invariant violated: {what}")
+            }
         }
     }
 }

@@ -364,14 +364,18 @@ impl HybridLogFtl {
 
     fn seq_append(&mut self, slot: usize, lpn: u64, len: u32) -> Result<u64> {
         let (phys, start) = {
-            let s = self.seq[slot].as_ref().expect("slot occupied");
+            let s = self.seq[slot]
+                .as_ref()
+                .ok_or(FtlError::Internal("seq_append on an empty stream slot"))?;
             (s.phys, s.appended)
         };
         self.array.stream_begin();
         self.stream_log_append(phys, start, lpn, len)?;
         let mut ns = self.array.stream_finish();
         let (lgroup, complete, pristine) = {
-            let s = self.seq[slot].as_mut().expect("slot occupied");
+            let s = self.seq[slot]
+                .as_mut()
+                .ok_or(FtlError::Internal("seq_append stream slot vanished"))?;
             s.appended += len;
             match s.dir {
                 StreamDir::Up => s.expected += len,
@@ -384,8 +388,9 @@ impl HybridLogFtl {
             )
         };
         if complete {
-            let full_valid = self.log_valid[self.seq[slot].unwrap().phys as usize]
-                == self.groups.pages_per_group();
+            let stream =
+                self.seq[slot].ok_or(FtlError::Internal("complete stream slot vanished"))?;
+            let full_valid = self.log_valid[stream.phys as usize] == self.groups.pages_per_group();
             if pristine && full_valid {
                 ns += self.switch_merge(slot)?;
             } else {
@@ -398,7 +403,9 @@ impl HybridLogFtl {
 
     /// Promote a complete, pristine sequential log to be the data group.
     fn switch_merge(&mut self, slot: usize) -> Result<u64> {
-        let s = self.seq[slot].take().expect("slot occupied");
+        let s = self.seq[slot]
+            .take()
+            .ok_or(FtlError::Internal("switch_merge on an empty stream slot"))?;
         let old = self.data_map[s.lgroup as usize];
         let mut ns = 0;
         if old != UNMAPPED {
@@ -587,7 +594,7 @@ impl HybridLogFtl {
                         .iter()
                         .min_by_key(|&&(_, _, _, lru)| lru)
                         .map(|&(k, _, _, _)| k)
-                        .expect("pool non-empty");
+                        .ok_or(FtlError::Internal("assoc-log pool empty at eviction"))?;
                     ns += self.merge_logical(victim_lg)?;
                     ns += self.retire_assoc_log(victim_lg)?;
                 }
@@ -601,7 +608,7 @@ impl HybridLogFtl {
                 .assoc_logs
                 .iter()
                 .position(|e| e.0 == lg)
-                .expect("just ensured");
+                .ok_or(FtlError::Internal("assoc log missing after ensure"))?;
             let (_, phys, next, _) = self.assoc_logs[pos];
             let take = (ppg - next).min(len - i);
             self.array.stream_begin();
@@ -626,7 +633,9 @@ impl HybridLogFtl {
         let mut i = 0u32;
         while i < len {
             ns += self.ensure_rand_open()?;
-            let (phys, next) = self.rand_open.expect("just ensured");
+            let (phys, next) = self
+                .rand_open
+                .ok_or(FtlError::Internal("random log missing after ensure"))?;
             let take = (ppg - next).min(len - i);
             self.array.stream_begin();
             self.stream_log_append(phys, next, start_lpn + i as u64, take)?;
@@ -752,7 +761,7 @@ impl HybridLogFtl {
             let Some(slot) = self.seq.iter().position(|s| s.is_some()) else {
                 break;
             };
-            let stream = self.seq[slot].expect("checked");
+            let Some(stream) = self.seq[slot] else { break };
             let before = self.bg_credit_ns;
             match self.merge_logical(stream.lgroup) {
                 Ok(ns) => {
@@ -842,7 +851,7 @@ impl HybridLogFtl {
                     .enumerate()
                     .filter_map(|(i, s)| s.map(|s| (i, s)))
                     .min_by_key(|(_, s)| s.lru)
-                    .expect("all slots occupied");
+                    .ok_or(FtlError::Internal("no stream slot to evict"))?;
                 ns += self.merge_logical(victim.lgroup)?;
                 // merge_logical dropped the log's entries; its group can
                 // now be erased and freed.

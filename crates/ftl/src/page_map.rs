@@ -275,7 +275,7 @@ impl PageMapFtl {
         }
         let a = self.active[chip]
             .as_mut()
-            .expect("active block just ensured");
+            .ok_or(FtlError::Internal("active block missing after ensure"))?;
         let ppn = a.block * self.pages_per_block + a.next_page;
         a.next_page += 1;
         Ok((ppn, gc_ns))
@@ -299,7 +299,7 @@ impl PageMapFtl {
         }
         let a = self.gc_active[chip]
             .as_mut()
-            .expect("gc block just ensured");
+            .ok_or(FtlError::Internal("gc block missing after ensure"))?;
         let ppn = a.block * self.pages_per_block + a.next_page;
         a.next_page += 1;
         Ok(ppn)
@@ -322,10 +322,13 @@ impl PageMapFtl {
             // the chip's free-page count: free pool blocks are fully
             // erased AND tracked in pools — cheaper: skip blocks whose
             // valid count is 0 and which are sitting in the pool.
-            let chip_ref = self.array.chip(chip as u32).expect("chip in range");
-            let programmed =
-                chip_ref.free_pages_in_block(local).expect("block in range") < self.pages_per_block;
-            if !programmed {
+            let Ok(chip_ref) = self.array.chip(chip as u32) else {
+                continue;
+            };
+            let Ok(free) = chip_ref.free_pages_in_block(local) else {
+                continue;
+            };
+            if free >= self.pages_per_block {
                 continue;
             }
             let v = self.valid[g as usize];
@@ -574,12 +577,7 @@ impl Ftl for PageMapFtl {
         for g in 0..total_blocks as u32 {
             let chip = self.chip_of_block(g);
             let local = self.local_block(g);
-            let free = self
-                .array
-                .chip(chip)
-                .expect("chip in range")
-                .free_pages_in_block(local)
-                .expect("block in range");
+            let free = self.array.chip(chip)?.free_pages_in_block(local)?;
             programmed[g as usize] = self.pages_per_block - free;
         }
 

@@ -1,0 +1,140 @@
+//! The `// uflip-lint: allow(…)` suppression grammar.
+//!
+//! ```text
+//! // uflip-lint: allow(UF002, reason = "mutex poisoning is fatal by design")
+//! // uflip-lint: allow(UF001, UF003, reason = "bench-only wall probe")
+//! ```
+//!
+//! A marker suppresses matching diagnostics on its own line and on the
+//! immediately following line — covering both the trailing style
+//! (`stmt; // uflip-lint: allow(…)`) and the preceding-line style. Every
+//! marker must name at least one `UFxxx` code and carry a non-empty
+//! `reason = "…"`; anything else is reported as `UF000`, as is a marker
+//! that ends up suppressing nothing (dead allows rot).
+
+use crate::lexer::Comment;
+use crate::{Code, Diagnostic};
+
+/// A parsed suppression marker.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// Codes this marker suppresses.
+    pub codes: Vec<Code>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the marker comment starts on.
+    pub line: usize,
+    /// Set during matching; an unused marker is a `UF000` finding.
+    pub used: bool,
+}
+
+impl AllowMarker {
+    /// Whether this marker covers `code` at `line`.
+    pub fn covers(&self, code: Code, line: usize) -> bool {
+        (line == self.line || line == self.line + 1) && self.codes.contains(&code)
+    }
+}
+
+/// Extract markers from a file's line comments. Malformed markers become
+/// `UF000` diagnostics (path left empty; the scanner fills it in).
+pub fn parse_markers(comments: &[Comment]) -> (Vec<AllowMarker>, Vec<Diagnostic>) {
+    let mut markers = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("uflip-lint:") else {
+            continue;
+        };
+        match parse_body(rest.trim()) {
+            Ok((codes, reason)) => markers.push(AllowMarker {
+                codes,
+                reason,
+                line: c.line,
+                used: false,
+            }),
+            Err(why) => bad.push(Diagnostic {
+                code: Code::UF000,
+                path: String::new(),
+                line: c.line,
+                col: 1,
+                message: format!("malformed uflip-lint marker: {why}"),
+                suppressed: None,
+            }),
+        }
+    }
+    (markers, bad)
+}
+
+/// Parse `allow(UFxxx[, UFyyy…], reason = "…")`.
+fn parse_body(s: &str) -> Result<(Vec<Code>, String), String> {
+    let Some(args) = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .and_then(|t| t.trim_end().strip_suffix(')'))
+    else {
+        return Err("expected `allow(UFxxx, …, reason = \"…\")`".to_string());
+    };
+    let mut codes = Vec::new();
+    let mut reason = None;
+    for part in split_args(args) {
+        let part = part.trim();
+        if let Some(r) = part.strip_prefix("reason") {
+            let r = r.trim_start();
+            let Some(r) = r.strip_prefix('=') else {
+                return Err("expected `reason = \"…\"`".to_string());
+            };
+            let r = r.trim();
+            let Some(r) = r.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                return Err("reason must be a double-quoted string".to_string());
+            };
+            if r.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            reason = Some(r.to_string());
+        } else if let Some(code) = Code::parse(part) {
+            if code == Code::UF000 {
+                return Err("UF000 (marker hygiene) cannot be allowed".to_string());
+            }
+            codes.push(code);
+        } else if part.is_empty() {
+            return Err("empty argument".to_string());
+        } else {
+            return Err(format!("unknown code or argument `{part}`"));
+        }
+    }
+    if codes.is_empty() {
+        return Err("no UFxxx code named".to_string());
+    }
+    let Some(reason) = reason else {
+        return Err("missing mandatory `reason = \"…\"`".to_string());
+    };
+    Ok((codes, reason))
+}
+
+/// Split on commas that are outside the quoted reason string.
+fn split_args(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b',' if !in_str => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.push(&s[start..]);
+    out
+}

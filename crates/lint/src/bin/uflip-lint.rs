@@ -1,0 +1,121 @@
+//! `uflip-lint` — scan the workspace and report invariant violations.
+//!
+//! ```text
+//! uflip-lint [--deny] [--json PATH] [--quiet] [ROOT]
+//! ```
+//!
+//! With no `ROOT`, the workspace root is found by walking up from the
+//! current directory. `--deny` exits non-zero when any unsuppressed
+//! diagnostic remains (the CI gate); without it the run is report-only.
+//! `--json PATH` additionally writes the machine-readable report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uflip_lint::{scan::find_workspace_root, scan_workspace, Code};
+
+struct Options {
+    deny: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: None,
+        quiet: false,
+        root: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--quiet" => opts.quiet = true,
+            "--json" => {
+                let path = args.next().ok_or("--json needs a path")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("usage: uflip-lint [--deny] [--json PATH] [--quiet] [ROOT]");
+                println!();
+                println!("rules:");
+                for code in Code::RULES {
+                    println!("  {code}  {}", code.summary());
+                }
+                std::process::exit(0);
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown flag `{a}`")),
+            _ => {
+                if opts.root.replace(PathBuf::from(&a)).is_some() {
+                    return Err("at most one ROOT argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("uflip-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "uflip-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let result = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("uflip-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("uflip-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let unsuppressed = result.unsuppressed_count();
+    let suppressed = result.diagnostics.len() - unsuppressed;
+    if !opts.quiet {
+        for d in result.unsuppressed() {
+            println!("{d}");
+        }
+        println!(
+            "uflip-lint: {} files, {} unsuppressed diagnostic{}, {} allowed",
+            result.files_scanned,
+            unsuppressed,
+            if unsuppressed == 1 { "" } else { "s" },
+            suppressed,
+        );
+    }
+
+    if opts.deny && unsuppressed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,556 @@
+//! A hand-rolled Rust lexer: just enough fidelity for lint rules.
+//!
+//! Produces a flat token stream (identifiers, literals, lifetimes and
+//! punctuation, with multi-character operators joined) plus the line
+//! comments, each carrying a 1-based line:column position. String and
+//! character literals, raw strings (any hash depth), byte strings and
+//! nested block comments are skipped correctly so rule patterns never
+//! fire on text inside them. This is *not* a full lexer — it does not
+//! distinguish keywords from identifiers and does not parse numeric
+//! literals beyond int/float classification — but every construct that
+//! appears in this workspace round-trips through it.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Lifetime such as `'a` (label or lifetime — indistinguishable here).
+    Lifetime,
+    /// String, raw-string, byte-string or C-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Integer literal (any radix).
+    Int,
+    /// Float literal (has a fractional part, exponent or `f32`/`f64` suffix).
+    Float,
+    /// Punctuation; multi-character operators (`::`, `==`, `!=`, …) are
+    /// joined into one token.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token's source text (for `Str`, without unescaping).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+    /// Set by the test-range pass when the token lies inside
+    /// `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A line comment (`// …`, `/// …`, `//! …`), kept for allow markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the leading slashes.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments, in source order (block comments are discarded).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Advance one byte, tracking line/col. Multi-byte UTF-8 continuation
+    /// bytes do not advance the column so positions stay character-based.
+    fn bump(&mut self) {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Three- and two-character operators joined into single punct tokens.
+const PUNCT3: &[&str] = &["<<=", ">>=", "..=", "..."];
+const PUNCT2: &[&str] = &[
+    "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "<<", ">>", "..", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes
+/// are emitted as single-character punctuation, and an unterminated
+/// literal simply runs to end of file — good enough for a linter that
+/// only ever sees code `rustc` already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while !cur.done() {
+        let b = cur.peek(0);
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if b == b'/' && cur.peek(1) == b'/' {
+            let start = cur.pos;
+            while !cur.done() && cur.peek(0) != b'\n' {
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+        if b == b'/' && cur.peek(1) == b'*' {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while !cur.done() && depth > 0 {
+                if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+                    depth -= 1;
+                    cur.bump_n(2);
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+
+        // String-ish literals, including prefixed ones (r, b, br, rb, c, cr)
+        // and raw identifiers (r#ident).
+        if is_ident_start(b) {
+            if let Some(tok) = try_string_prefix(&mut cur, line, col) {
+                out.tokens.push(tok);
+                continue;
+            }
+            let start = cur.pos;
+            while !cur.done() && is_ident_continue(cur.peek(0)) {
+                cur.bump();
+            }
+            let mut text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            if let Some(stripped) = text.strip_prefix("r#") {
+                // Raw identifier: store without the prefix so rules match.
+                text = stripped.to_string();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if b == b'"' {
+            let start = cur.pos;
+            cur.bump();
+            scan_quoted(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            let start = cur.pos;
+            cur.bump();
+            if cur.peek(0) == b'\\' {
+                // Escaped char literal: '\n', '\u{..}', …
+                cur.bump();
+                while !cur.done() && cur.peek(0) != b'\'' {
+                    cur.bump();
+                }
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                    in_test: false,
+                });
+            } else if is_ident_start(cur.peek(0)) && cur.peek(1) != b'\''
+                || cur.peek(0) == b'_' && cur.peek(1) != b'\''
+            {
+                // Lifetime: 'a, 'static, '_
+                while !cur.done() && is_ident_continue(cur.peek(0)) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                    in_test: false,
+                });
+            } else {
+                // Simple char literal: 'a', '0', '''… scan to closing quote.
+                while !cur.done() && cur.peek(0) != b'\'' {
+                    cur.bump();
+                }
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                    in_test: false,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal.
+        if b.is_ascii_digit() {
+            let start = cur.pos;
+            let hex = b == b'0' && (cur.peek(1) | 0x20) == b'x';
+            let mut float = false;
+            cur.bump();
+            loop {
+                let c = cur.peek(0);
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    // Decimal exponent may carry a sign: 1e-3, 2.5E+7.
+                    if !hex && (c | 0x20) == b'e' && matches!(cur.peek(1), b'+' | b'-') {
+                        float = true;
+                        cur.bump_n(2);
+                        continue;
+                    }
+                    cur.bump();
+                    continue;
+                }
+                if c == b'.' {
+                    // `1.0` is a float; `1..2` is a range; `1.max(2)` is a
+                    // method call on an integer.
+                    if cur.peek(1) == b'.' || is_ident_start(cur.peek(1)) {
+                        break;
+                    }
+                    float = true;
+                    cur.bump();
+                    continue;
+                }
+                break;
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            let kind = if float
+                || (!hex && (text.contains('e') || text.contains('E')))
+                || text.ends_with("f32")
+                || text.ends_with("f64")
+            {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            };
+            out.tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // Punctuation: join multi-character operators.
+        let rest = &cur.src[cur.pos..];
+        let mut emitted = false;
+        for p in PUNCT3 {
+            if rest.starts_with(p.as_bytes()) {
+                cur.bump_n(3);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                    col,
+                    in_test: false,
+                });
+                emitted = true;
+                break;
+            }
+        }
+        if emitted {
+            continue;
+        }
+        for p in PUNCT2 {
+            if rest.starts_with(p.as_bytes()) {
+                cur.bump_n(2);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                    col,
+                    in_test: false,
+                });
+                emitted = true;
+                break;
+            }
+        }
+        if emitted {
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: (b as char).to_string(),
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    mark_test_ranges(&mut out.tokens);
+    out
+}
+
+/// If the cursor sits on a string prefix (`r"`, `r#"`, `b"`, `br#"`, `c"`,
+/// …), consume the whole literal and return its token.
+fn try_string_prefix(cur: &mut Cursor<'_>, line: usize, col: usize) -> Option<Token> {
+    let mut n = 0;
+    while n < 2 && matches!(cur.peek(n), b'r' | b'b' | b'c') {
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    let raw = (0..n).any(|i| cur.peek(i) == b'r');
+    let start = cur.pos;
+    if raw {
+        // Count hashes after the prefix; require `"` next.
+        let mut hashes = 0;
+        while cur.peek(n + hashes) == b'#' {
+            hashes += 1;
+        }
+        // `r#ident` is a raw identifier, not a string — the byte after
+        // the hashes decides.
+        if cur.peek(n + hashes) != b'"' {
+            return None;
+        }
+        cur.bump_n(n + hashes + 1);
+        // Scan to `"` followed by `hashes` hashes.
+        'outer: while !cur.done() {
+            if cur.peek(0) == b'"' {
+                for i in 0..hashes {
+                    if cur.peek(1 + i) != b'#' {
+                        cur.bump();
+                        continue 'outer;
+                    }
+                }
+                cur.bump_n(1 + hashes);
+                break;
+            }
+            cur.bump();
+        }
+    } else {
+        if cur.peek(n) != b'"' && cur.peek(n) != b'\'' {
+            return None;
+        }
+        if cur.peek(n) == b'\'' {
+            // Byte literal b'x'.
+            cur.bump_n(n + 1);
+            if cur.peek(0) == b'\\' {
+                cur.bump();
+            }
+            while !cur.done() && cur.peek(0) != b'\'' {
+                cur.bump();
+            }
+            cur.bump();
+            return Some(Token {
+                kind: TokenKind::Char,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                col,
+                in_test: false,
+            });
+        }
+        cur.bump_n(n + 1);
+        scan_quoted(cur);
+    }
+    Some(Token {
+        kind: TokenKind::Str,
+        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        line,
+        col,
+        in_test: false,
+    })
+}
+
+/// Consume a double-quoted body (opening quote already consumed),
+/// honoring backslash escapes, through the closing quote.
+fn scan_quoted(cur: &mut Cursor<'_>) {
+    while !cur.done() {
+        match cur.peek(0) {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Mark tokens that belong to `#[cfg(test)]` items or `#[test]` functions
+/// so rules can exempt test code. An attribute is a test attribute when
+/// its bracketed tokens contain `test` (covers `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`). The marked range runs from the attribute to
+/// the end of the following item: either the matching `}` of the item's
+/// first depth-0 `{`, or a `;` seen before any brace.
+fn mark_test_ranges(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![…]` or outer `#[…]`.
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "!";
+        if inner {
+            j += 1;
+        }
+        if !(j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect attribute tokens to the matching `]`.
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        let mut end = j;
+        for (k, t) in tokens.iter().enumerate().skip(j) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && t.text == "test" {
+                is_test_attr = true;
+            }
+        }
+        if !is_test_attr {
+            i = end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole rest of the file is test code.
+            for t in tokens.iter_mut().skip(i) {
+                t.in_test = true;
+            }
+            return;
+        }
+        // Skip any further attributes, then find the item's extent.
+        let mut k = end + 1;
+        while k < tokens.len() && tokens[k].kind == TokenKind::Punct && tokens[k].text == "#" {
+            let mut d = 0usize;
+            k += 1;
+            while k < tokens.len() {
+                if tokens[k].kind == TokenKind::Punct {
+                    match tokens[k].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        let mut brace = 0usize;
+        let mut item_end = tokens.len().saturating_sub(1);
+        for (m, t) in tokens.iter().enumerate().skip(k) {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace = brace.saturating_sub(1);
+                    if brace == 0 {
+                        item_end = m;
+                        break;
+                    }
+                }
+                ";" if brace == 0 => {
+                    item_end = m;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for t in tokens.iter_mut().take(item_end + 1).skip(i) {
+            t.in_test = true;
+        }
+        i = item_end + 1;
+    }
+}

@@ -1,0 +1,142 @@
+//! `uflip_lint` — the workspace's in-repo static-analysis pass.
+//!
+//! The simulator's core guarantees are *global* properties: bit-identical
+//! replay (no wall-clock reads inside sim paths), panic-free library code
+//! (typed `FtlError`/`DeviceError`/`NandError` returns), and overflow-safe
+//! nanosecond/LBA arithmetic. Tests catch regressions after the fact; this
+//! pass pins the invariants down structurally, before any test runs.
+//!
+//! The analyzer is a hand-rolled lexer plus token-stream pattern rules —
+//! deliberately dependency-free (no syn, no crates.io) so it builds in
+//! well under a second and can gate CI ahead of the build proper.
+//!
+//! # Rules
+//!
+//! | Code  | Forbids | Invariant |
+//! |-------|---------|-----------|
+//! | UF001 | `Instant::now` / `SystemTime` outside real-device/bench code | determinism: sim paths advance the virtual clock only |
+//! | UF002 | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code | panic-safety: fallible paths return typed errors |
+//! | UF003 | lossy `as` narrowing of ns/LBA/sector-named expressions | cast-safety: the PR 5 `pow2_sweep` overflow class |
+//! | UF004 | `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library code | output routes through `uflip_obs` / `uflip_report` |
+//! | UF005 | `.to_string().contains(…)` on error values | match `FailureKind`, not rendered messages |
+//! | UF006 | `==` / `!=` against float literals | exact float equality is never the measured contract |
+//!
+//! Suppression: `// uflip-lint: allow(UF003, reason = "…")` on the same
+//! line as the finding or the line before it. A marker without a reason,
+//! or one that suppresses nothing, is itself reported as `UF000`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use allow::AllowMarker;
+pub use scan::{scan_source, scan_workspace, FileClass, ScanResult};
+
+use std::fmt;
+
+/// Diagnostic codes. `UF000` is the meta-code for malformed or unused
+/// allow markers; `UF001`–`UF006` are the rules proper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Code {
+    UF000,
+    UF001,
+    UF002,
+    UF003,
+    UF004,
+    UF005,
+    UF006,
+}
+
+impl Code {
+    /// All rule codes, in order (excluding the meta-code `UF000`).
+    pub const RULES: [Code; 6] = [
+        Code::UF001,
+        Code::UF002,
+        Code::UF003,
+        Code::UF004,
+        Code::UF005,
+        Code::UF006,
+    ];
+
+    /// The code's canonical `UFxxx` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UF000 => "UF000",
+            Code::UF001 => "UF001",
+            Code::UF002 => "UF002",
+            Code::UF003 => "UF003",
+            Code::UF004 => "UF004",
+            Code::UF005 => "UF005",
+            Code::UF006 => "UF006",
+        }
+    }
+
+    /// Parse a `UFxxx` spelling (as written in an allow marker).
+    pub fn parse(s: &str) -> Option<Code> {
+        match s {
+            "UF000" => Some(Code::UF000),
+            "UF001" => Some(Code::UF001),
+            "UF002" => Some(Code::UF002),
+            "UF003" => Some(Code::UF003),
+            "UF004" => Some(Code::UF004),
+            "UF005" => Some(Code::UF005),
+            "UF006" => Some(Code::UF006),
+            _ => None,
+        }
+    }
+
+    /// One-line description used in human output.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::UF000 => "malformed or unused uflip-lint allow marker",
+            Code::UF001 => "wall-clock read in a deterministic sim path",
+            Code::UF002 => "panicking call in non-test library code",
+            Code::UF003 => "lossy `as` narrowing of a ns/LBA/sector value",
+            Code::UF004 => "direct stdout/stderr print in library code",
+            Code::UF005 => "string-matching on a rendered error message",
+            Code::UF006 => "exact float comparison",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, positioned at a file:line:col.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule (or `UF000` meta) code.
+    pub code: Code,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// `Some(reason)` when an allow marker suppressed this finding.
+    pub suppressed: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}]",
+            self.path, self.line, self.col, self.message, self.code
+        )?;
+        if let Some(reason) = &self.suppressed {
+            write!(f, " (allowed: {reason})")?;
+        }
+        Ok(())
+    }
+}

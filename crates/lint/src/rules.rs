@@ -1,0 +1,248 @@
+//! The six token-stream rules.
+//!
+//! Each rule is a pattern over the lexed token stream, scoped by the
+//! file's [`FileClass`] (which crate it belongs to, whether it is a
+//! binary) and by the per-token `in_test` flag. Rules fire on code the
+//! compiler accepted, so they can assume well-formed token sequences.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::scan::FileClass;
+use crate::{Code, Diagnostic};
+
+/// Panicking calls forbidden in library code (UF002).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Printing macros forbidden in library code (UF004).
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Narrow integer target types for UF003. `usize`/`u64` are not listed:
+/// every supported sim target is 64-bit, so widening to them is lossless.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier segments that mark a value as time/address-typed for UF003:
+/// nanosecond clocks, logical block addresses, sector counts, latencies.
+const SENSITIVE_SEGMENTS: &[&str] = &[
+    "ns",
+    "nanos",
+    "nsec",
+    "lba",
+    "lbas",
+    "sector",
+    "sectors",
+    "lat",
+    "latency",
+    "latencies",
+    "elapsed",
+    "busy",
+    "deadline",
+];
+
+/// String methods that, chained onto `.to_string()`, indicate matching on
+/// a rendered error message (UF005).
+const STRING_MATCHERS: &[&str] = &["contains", "starts_with", "ends_with", "find"];
+
+/// Run every rule over one lexed file. Paths on the returned diagnostics
+/// are empty; the scanner fills them in.
+pub fn run_rules(lexed: &Lexed, class: &FileClass) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+
+        // UF001 — wall-clock reads in deterministic paths. Virtual time
+        // (`SimDevice`'s clock) is the only clock sim code may consult.
+        if !class.wall_clock_allowed && t.kind == TokenKind::Ident {
+            if t.text == "Instant" && punct(toks, i + 1, "::") && ident(toks, i + 2, "now") {
+                out.push(diag(Code::UF001, t, "wall-clock read `Instant::now()` in a sim path — use the device's virtual clock"));
+            }
+            if t.text == "SystemTime" {
+                out.push(diag(
+                    Code::UF001,
+                    t,
+                    "`SystemTime` in a sim path — sim code must be independent of wall time",
+                ));
+            }
+        }
+
+        // UF002 — panicking calls in library code.
+        if !class.is_bin && t.kind == TokenKind::Ident {
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && punct(toks, i - 1, ".")
+                && punct(toks, i + 1, "(")
+            {
+                out.push(diag(
+                    Code::UF002,
+                    t,
+                    &format!(
+                        "`.{}()` in library code — return a typed error instead",
+                        t.text
+                    ),
+                ));
+            }
+            if PANIC_MACROS.contains(&t.text.as_str()) && punct(toks, i + 1, "!") {
+                out.push(diag(
+                    Code::UF002,
+                    t,
+                    &format!(
+                        "`{}!` in library code — return a typed error instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
+        // UF003 — lossy `as` narrowing of time/address values.
+        if t.kind == TokenKind::Ident && t.text == "as" {
+            if let Some(target) = toks.get(i + 1) {
+                if target.kind == TokenKind::Ident && NARROW_INTS.contains(&target.text.as_str()) {
+                    if let Some(name) = sensitive_cast_source(toks, i) {
+                        out.push(diag(
+                            Code::UF003,
+                            t,
+                            &format!(
+                                "lossy cast of `{name}` to `{}` — use try_into (PR 5 overflow class)",
+                                target.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // UF004 — printing from library code. Crate `bench` is the
+        // shared CLI layer for its own binaries (flag parsing, user
+        // diagnostics); stdout/stderr *is* its output channel, so it is
+        // exempt like the bins themselves.
+        if !class.is_bin
+            && class.crate_name != "bench"
+            && t.kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && punct(toks, i + 1, "!")
+        {
+            out.push(diag(
+                Code::UF004,
+                t,
+                &format!(
+                    "`{}!` in library code — route output through uflip_obs/uflip_report",
+                    t.text
+                ),
+            ));
+        }
+
+        // UF005 — string-matching on rendered error messages.
+        if t.kind == TokenKind::Ident
+            && t.text == "to_string"
+            && i > 0
+            && punct(toks, i - 1, ".")
+            && punct(toks, i + 1, "(")
+            && punct(toks, i + 2, ")")
+            && punct(toks, i + 3, ".")
+            && toks.get(i + 4).is_some_and(|m| {
+                m.kind == TokenKind::Ident && STRING_MATCHERS.contains(&m.text.as_str())
+            })
+            && punct(toks, i + 5, "(")
+        {
+            out.push(diag(
+                Code::UF005,
+                t,
+                "matching on a rendered error message — match FailureKind / the error variant instead",
+            ));
+        }
+
+        // UF006 — exact float comparison.
+        if t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_side = |j: usize| toks.get(j).is_some_and(|n| n.kind == TokenKind::Float);
+            if (i > 0 && float_side(i - 1)) || float_side(i + 1) {
+                out.push(diag(
+                    Code::UF006,
+                    t,
+                    &format!(
+                        "float literal compared with `{}` — compare with a tolerance",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn diag(code: Code, at: &Token, message: &str) -> Diagnostic {
+    Diagnostic {
+        code,
+        path: String::new(),
+        line: at.line,
+        col: at.col,
+        message: message.to_string(),
+        suppressed: None,
+    }
+}
+
+fn punct(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn ident(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+/// Walk backward from an `as` token over the cast's source expression and
+/// return the first time/address-named identifier found, if any.
+///
+/// The walk respects `as`-cast precedence: it continues through member
+/// accesses, paths, calls and parenthesized groups, and stops at any
+/// depth-0 operator, separator or keyword that would bind looser than
+/// `as` — so in `a.x - b.submit_ns as u32` only `b.submit_ns` is
+/// considered. Bounded lookback keeps it O(1) per cast.
+fn sensitive_cast_source(toks: &[Token], as_idx: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut budget = 24usize;
+    let mut i = as_idx;
+    while i > 0 && budget > 0 {
+        i -= 1;
+        budget -= 1;
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Ident => {
+                if depth == 0
+                    && matches!(
+                        t.text.as_str(),
+                        "return" | "if" | "else" | "match" | "let" | "in" | "while" | "for"
+                    )
+                {
+                    return None;
+                }
+                if is_sensitive(&t.text) {
+                    return Some(t.text.clone());
+                }
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        return None;
+                    }
+                    depth -= 1;
+                }
+                "." | "::" | "?" => {}
+                _ if depth > 0 => {}
+                _ => return None,
+            },
+            // Literals, strings, lifetimes: part of the expression, keep going.
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `submit_ns`, `lba`, `total_busy_ns`, `sectors` … — any snake_case
+/// segment naming a nanosecond, LBA, sector or latency quantity.
+fn is_sensitive(name: &str) -> bool {
+    name.split('_').any(|seg| SENSITIVE_SEGMENTS.contains(&seg))
+}

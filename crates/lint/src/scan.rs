@@ -1,0 +1,232 @@
+//! File classification, workspace walking and the scan driver.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allow::parse_markers;
+use crate::lexer::lex;
+use crate::rules::run_rules;
+use crate::{Code, Diagnostic};
+
+/// Real-device backends that legitimately read the wall clock: they time
+/// actual hardware, not the simulation.
+const WALL_CLOCK_FILES: &[&str] = &[
+    "crates/device/src/direct_io.rs",
+    "crates/device/src/threaded_queue.rs",
+];
+
+/// How a file is scoped for rule purposes, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Crate directory name (`nand`, `core`, …; `uflip` for the facade).
+    pub crate_name: String,
+    /// Binary target (`src/bin/*` or `src/main.rs`): CLI entry points may
+    /// print and may panic on startup errors.
+    pub is_bin: bool,
+    /// Wall-clock reads permitted: harness/bench code, binaries and the
+    /// real-device backends. Everything else is a deterministic sim path.
+    pub wall_clock_allowed: bool,
+}
+
+impl FileClass {
+    /// Classify a workspace-relative path (always `/`-separated).
+    pub fn from_rel_path(rel: &str) -> FileClass {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("uflip")
+            .to_string();
+        let is_bin = rel.contains("/src/bin/") || rel.ends_with("src/main.rs");
+        let wall_clock_allowed = crate_name == "bench" || is_bin || WALL_CLOCK_FILES.contains(&rel);
+        FileClass {
+            crate_name,
+            is_bin,
+            wall_clock_allowed,
+        }
+    }
+}
+
+/// Outcome of scanning a file set.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Every finding, suppressed ones included, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanResult {
+    /// Findings an allow marker did not cover.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// Count of unsuppressed findings (the `--deny` gate).
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Render the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"files_scanned\": ");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\n  \"unsuppressed\": ");
+        s.push_str(&self.unsuppressed_count().to_string());
+        s.push_str(",\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"code\": \"");
+            s.push_str(d.code.as_str());
+            s.push_str("\", \"path\": ");
+            json_string(&mut s, &d.path);
+            s.push_str(", \"line\": ");
+            s.push_str(&d.line.to_string());
+            s.push_str(", \"col\": ");
+            s.push_str(&d.col.to_string());
+            s.push_str(", \"message\": ");
+            json_string(&mut s, &d.message);
+            s.push_str(", \"suppressed\": ");
+            match &d.suppressed {
+                Some(reason) => json_string(&mut s, reason),
+                None => s.push_str("null"),
+            }
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let d = (b >> shift) & 0xF;
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Scan one file's source text. `rel` is the workspace-relative path used
+/// for classification and reporting.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let class = FileClass::from_rel_path(rel);
+    let lexed = lex(src);
+    let (mut markers, mut bad) = parse_markers(&lexed.comments);
+    let mut diags = run_rules(&lexed, &class);
+
+    // Match suppressions.
+    for d in &mut diags {
+        for m in &mut markers {
+            if m.covers(d.code, d.line) {
+                m.used = true;
+                d.suppressed = Some(m.reason.clone());
+                break;
+            }
+        }
+    }
+
+    // A marker that suppressed nothing is itself a finding: dead allows
+    // hide drift. (Malformed markers were already collected.)
+    for m in &markers {
+        if !m.used {
+            bad.push(Diagnostic {
+                code: Code::UF000,
+                path: String::new(),
+                line: m.line,
+                col: 1,
+                message: "allow marker suppresses nothing — remove it".to_string(),
+                suppressed: None,
+            });
+        }
+    }
+
+    diags.extend(bad);
+    for d in &mut diags {
+        d.path = rel.to_string();
+    }
+    diags.sort_by_key(|d| (d.line, d.col, d.code));
+    diags
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Scan the whole workspace: every `.rs` file under `crates/*/src` and
+/// the facade's `src/`. Vendored shims, tests, benches and examples are
+/// out of scope — the pass guards first-party library and binary sources.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        crates.sort();
+        for c in crates {
+            collect_rs(&c.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut result = ScanResult::default();
+    for f in &files {
+        let src = fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        result.diagnostics.extend(scan_source(&rel, &src));
+        result.files_scanned += 1;
+    }
+    result
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    Ok(result)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

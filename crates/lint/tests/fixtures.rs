@@ -1,0 +1,117 @@
+//! Golden tests: one bad-code fixture per rule, asserting the exact
+//! UF code and line, plus the suppression and marker-hygiene fixtures.
+//!
+//! Fixtures live under `tests/fixtures/` (not compiled by cargo) and
+//! are scanned as if they sat in a library crate's `src/`, which makes
+//! every rule applicable.
+
+use uflip_lint::{scan_source, Code, Diagnostic};
+
+fn scan_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    // Pretend the fixture is library code in a simulation crate so no
+    // exemption (bin, bench, wall-clock allowlist) applies.
+    scan_source(&format!("crates/ftl/src/{name}"), &src)
+}
+
+/// (code, line) pairs of unsuppressed findings, sorted.
+fn findings(name: &str) -> Vec<(Code, usize)> {
+    let mut v: Vec<(Code, usize)> = scan_fixture(name)
+        .iter()
+        .filter(|d| d.suppressed.is_none())
+        .map(|d| (d.code, d.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn uf001_flags_wall_clock_reads() {
+    assert_eq!(
+        findings("uf001_wall_clock.rs"),
+        vec![(Code::UF001, 4), (Code::UF001, 5)]
+    );
+}
+
+#[test]
+fn uf002_flags_panics_outside_tests() {
+    assert_eq!(
+        findings("uf002_panic.rs"),
+        vec![
+            (Code::UF002, 4),
+            (Code::UF002, 5),
+            (Code::UF002, 7),
+            (Code::UF002, 11),
+        ],
+        "the unwrap inside #[cfg(test)] must not be flagged"
+    );
+}
+
+#[test]
+fn uf003_flags_lossy_narrowing_only() {
+    assert_eq!(
+        findings("uf003_narrowing.rs"),
+        vec![(Code::UF003, 4), (Code::UF003, 5)],
+        "widening casts and non-sensitive expressions must pass"
+    );
+}
+
+#[test]
+fn uf004_flags_library_printing() {
+    assert_eq!(
+        findings("uf004_println.rs"),
+        vec![(Code::UF004, 4), (Code::UF004, 5)]
+    );
+}
+
+#[test]
+fn uf004_exempts_binaries() {
+    let src = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/uf004_println.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture");
+    let diags = scan_source("crates/ftl/src/bin/tool.rs", &src);
+    assert!(
+        diags.iter().all(|d| d.code != Code::UF004),
+        "bins own stdout/stderr: {diags:?}"
+    );
+}
+
+#[test]
+fn uf005_flags_error_message_matching() {
+    assert_eq!(findings("uf005_error_string.rs"), vec![(Code::UF005, 4)]);
+}
+
+#[test]
+fn uf006_flags_exact_float_comparison() {
+    assert_eq!(
+        findings("uf006_float_eq.rs"),
+        vec![(Code::UF006, 6), (Code::UF006, 10)]
+    );
+}
+
+#[test]
+fn allow_markers_suppress_same_and_next_line() {
+    let diags = scan_fixture("allowed.rs");
+    let unsuppressed: Vec<_> = diags.iter().filter(|d| d.suppressed.is_none()).collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "both unwraps are covered: {unsuppressed:?}"
+    );
+    let suppressed: Vec<_> = diags.iter().filter(|d| d.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 2, "{diags:?}");
+    assert!(suppressed
+        .iter()
+        .all(|d| d.code == Code::UF002 && d.suppressed.as_deref().is_some_and(|r| !r.is_empty())));
+}
+
+#[test]
+fn uf000_reports_malformed_and_unused_markers() {
+    assert_eq!(
+        findings("bad_marker.rs"),
+        vec![(Code::UF000, 6), (Code::UF000, 8)],
+        "a reason-less marker and a dead marker are both hygiene findings"
+    );
+}

@@ -1,0 +1,7 @@
+//! UF001 fixture: wall-clock reads in simulation library code.
+
+pub fn measure() -> u64 {
+    let t0 = std::time::Instant::now(); // line 4: UF001
+    let _wall = std::time::SystemTime::now(); // line 5: UF001
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,9 @@
+//! UF003 fixture: lossy `as` narrowing on time/address expressions.
+
+pub fn truncate(latency_ns: u64, lba: u64) -> (u32, u32) {
+    let l = latency_ns as u32; // line 4: UF003
+    let b = (lba * 8) as u32; // line 5: UF003
+    let _widen = latency_ns as u128; // widening: no diagnostic
+    let _plain = (1u64 + 2) as u32; // not a sensitive expression: no diagnostic
+    (l, b)
+}

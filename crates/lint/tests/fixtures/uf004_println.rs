@@ -1,0 +1,6 @@
+//! UF004 fixture: printing from library code.
+
+pub fn report(n: u64) {
+    println!("count = {n}"); // line 4: UF004
+    eprintln!("count = {n}"); // line 5: UF004
+}

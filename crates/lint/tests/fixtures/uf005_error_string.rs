@@ -1,0 +1,5 @@
+//! UF005 fixture: string-matching on rendered error messages.
+
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    e.to_string().contains("timed out") // line 4: UF005
+}

@@ -1,0 +1,11 @@
+//! UF006 fixture: exact comparison against a float literal. (The rule
+//! is lexical — it flags `==`/`!=` with a float-literal operand, the
+//! pattern every sentinel-value bug in the sim has taken.)
+
+pub fn check(x: f64, y: f64) -> bool {
+    if x == 1.5 {
+        // line 6: UF006
+        return true;
+    }
+    y != 0.0 // line 10: UF006
+}

@@ -6,7 +6,14 @@ use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::sink::{LatencyClass, ObsSink, SinkHandle, WorkloadMetrics};
 use crate::SNAPSHOT_VERSION;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a metrics mutex, recovering the data if a recording thread
+/// panicked while holding it. Observability must never take the
+/// simulation down; a poisoned timeline is still worth reporting.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The standard recording sink: sharded counters, one latency
 /// histogram per [`LatencyClass`], a channel-utilization timeline and
@@ -67,13 +74,10 @@ impl Metrics {
                 })
                 .collect(),
             utilization: {
-                let util = self.utilization.lock().expect("utilization lock");
+                let util = lock_or_recover(&self.utilization);
                 (util.channels() > 0).then(|| util.snapshot())
             },
-            workloads: self
-                .workloads
-                .lock()
-                .expect("workloads lock")
+            workloads: lock_or_recover(&self.workloads)
                 .iter()
                 .map(|(label, metrics)| WorkloadSnapshot {
                     label: label.clone(),
@@ -98,10 +102,7 @@ impl ObsSink for Metrics {
     }
 
     fn channel_busy(&self, channel: usize, start_ns: u64, busy_ns: u64) {
-        self.utilization
-            .lock()
-            .expect("utilization lock")
-            .record(channel, start_ns, busy_ns);
+        lock_or_recover(&self.utilization).record(channel, start_ns, busy_ns);
     }
 
     fn counters(&self, out: &mut CounterSnapshot) {
@@ -109,10 +110,7 @@ impl ObsSink for Metrics {
     }
 
     fn workload(&self, label: &str, metrics: WorkloadMetrics) {
-        self.workloads
-            .lock()
-            .expect("workloads lock")
-            .push((label.to_string(), metrics));
+        lock_or_recover(&self.workloads).push((label.to_string(), metrics));
     }
 }
 
@@ -175,6 +173,7 @@ impl MetricsSnapshot {
 
     /// Pretty JSON text of the snapshot.
     pub fn to_json_pretty(&self) -> String {
+        // uflip-lint: allow(UF002, reason = "serialization of a plain snapshot struct cannot fail")
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
 

@@ -36,24 +36,25 @@ pub fn evaluate_hints(
     // with IO size (larger IOs amortize the overhead).
     let h1 = {
         let per_kb = |&(sz, ms): &(f64, f64)| ms / (sz / 1024.0);
-        let supported = sr_granularity.len() >= 2
-            && per_kb(sr_granularity.first().expect("len>=2"))
-                > 1.5 * per_kb(sr_granularity.last().expect("len>=2"));
+        let (supported, evidence) = if let [first, .., last] = sr_granularity {
+            (
+                per_kb(first) > 1.5 * per_kb(last),
+                format!(
+                    "cost/KB falls from {:.3} ms at {:.1} KB to {:.3} ms at {:.1} KB",
+                    per_kb(first),
+                    first.0 / 1024.0,
+                    per_kb(last),
+                    last.0 / 1024.0
+                ),
+            )
+        } else {
+            (false, "insufficient granularity data".to_string())
+        };
         HintReport {
             id: 1,
             title: "Flash devices do incur latency; larger IOs are generally beneficial",
             supported,
-            evidence: if sr_granularity.len() >= 2 {
-                format!(
-                    "cost/KB falls from {:.3} ms at {:.1} KB to {:.3} ms at {:.1} KB",
-                    per_kb(sr_granularity.first().expect("len>=2")),
-                    sr_granularity[0].0 / 1024.0,
-                    per_kb(sr_granularity.last().expect("len>=2")),
-                    sr_granularity.last().expect("len>=2").0 / 1024.0
-                )
-            } else {
-                "insufficient granularity data".to_string()
-            },
+            evidence,
         }
     };
     out.push(h1);

@@ -6,6 +6,7 @@ use uflip_core::RunResult;
 
 /// Serialize any result to pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> String {
+    // uflip-lint: allow(UF002, reason = "serialization of plain result structs with string keys cannot fail")
     serde_json::to_string_pretty(value).expect("benchmark results are always serializable")
 }
 

@@ -184,6 +184,7 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
             dev.idle(pause);
             let m = mean_ms(&run.rts, phases.start_up.min(run.rts.len() / 4));
             if std::env::var_os("UFLIP_DEBUG").is_some() {
+                // uflip-lint: allow(UF004, reason = "UFLIP_DEBUG-gated diagnostic trace; stderr is the debug channel")
                 eprintln!(
                     "  [pause sweep] pause={:.2}ms mean={m:.2}ms sw={sw_ms:.2}",
                     p.as_secs_f64() * 1e3
@@ -210,9 +211,11 @@ pub fn characterize(dev: &mut dyn BlockDevice, cfg: &CharacterizeConfig) -> Resu
         let run = execute_run(dev, &spec_l)?;
         dev.idle(pause);
         series.push((t, mean_ms(&run.rts, phases.start_up.min(run.rts.len() / 4))));
-        if std::env::var_os("UFLIP_DEBUG").is_some() {
-            let (tt, m) = series.last().expect("just pushed");
-            eprintln!("  [locality] {} MB -> {m:.2} ms", tt / (1024 * 1024));
+        if let Some((tt, m)) = series.last() {
+            if std::env::var_os("UFLIP_DEBUG").is_some() {
+                // uflip-lint: allow(UF004, reason = "UFLIP_DEBUG-gated diagnostic trace; stderr is the debug channel")
+                eprintln!("  [locality] {} MB -> {m:.2} ms", tt / (1024 * 1024));
+            }
         }
         t *= 2;
     }

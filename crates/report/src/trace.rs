@@ -131,10 +131,11 @@ fn inter_arrival_histogram(trace: &Trace) -> Vec<InterArrivalBucket> {
         return Vec::new();
     };
     let mut bounds = vec![1_000u64];
-    while *bounds.last().expect("non-empty") < max_gap {
-        let next = bounds.last().expect("non-empty").saturating_mul(2);
-        bounds.push(next);
-        if next == u64::MAX {
+    let mut top = 1_000u64;
+    while top < max_gap {
+        top = top.saturating_mul(2);
+        bounds.push(top);
+        if top == u64::MAX {
             break;
         }
     }
@@ -143,11 +144,11 @@ fn inter_arrival_histogram(trace: &Trace) -> Vec<InterArrivalBucket> {
         .map(|upper_ns| InterArrivalBucket { upper_ns, count: 0 })
         .collect();
     for g in gaps {
-        let slot = buckets
-            .iter_mut()
-            .find(|b| g <= b.upper_ns)
-            .expect("last bound covers the max gap");
-        slot.count += 1;
+        // The last bound is >= max_gap by construction, so a slot
+        // always exists.
+        if let Some(slot) = buckets.iter_mut().find(|b| g <= b.upper_ns) {
+            slot.count += 1;
+        }
     }
     buckets
 }

@@ -151,6 +151,7 @@ impl Trace {
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
+    // uflip-lint: allow(UF002, reason = "metadata strings are device names and labels far below 64 KiB; a longer one is a construction-time programmer error")
     let len = u16::try_from(s.len()).expect("trace metadata strings are short");
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
@@ -179,16 +180,25 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Take exactly `N` bytes as a fixed array. `take` already
+    /// guarantees the length, so the conversion only fails on a
+    /// truncated trace.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| TraceError::format("truncated trace field"))
+    }
+
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn string(&mut self) -> Result<String> {

@@ -30,9 +30,11 @@ impl Trace {
             ("label".to_string(), Value::Str(self.label.clone())),
         ]);
         let mut out =
-            serde_json::to_string(&header).expect("trace headers are always serializable");
+            // uflip-lint: allow(UF002, reason = "serialization of a plain header struct cannot fail")
+        serde_json::to_string(&header).expect("trace headers are always serializable");
         out.push('\n');
         for r in &self.records {
+            // uflip-lint: allow(UF002, reason = "serialization of a plain record struct cannot fail")
             out.push_str(&serde_json::to_string(r).expect("trace records are always serializable"));
             out.push('\n');
         }

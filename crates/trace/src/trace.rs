@@ -75,7 +75,7 @@ impl Trace {
             .iter()
             .map(|r| r.complete_ns.max(r.submit_ns))
             .max()
-            .expect("non-empty");
+            .unwrap_or(first.submit_ns);
         end - first.submit_ns
     }
 

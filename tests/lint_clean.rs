@@ -1,0 +1,44 @@
+//! The workspace must stay lint-clean: `uflip-lint` over every
+//! first-party crate reports zero unsuppressed diagnostics, and every
+//! suppression carries a non-empty reason. This is the same gate CI
+//! runs via `uflip-lint --deny`; keeping it in the test suite means
+//! `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let result = uflip_lint::scan_workspace(root).expect("scan the workspace");
+    let unsuppressed: Vec<String> = result
+        .diagnostics
+        .iter()
+        .filter(|d| d.suppressed.is_none())
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "uflip-lint found {} unsuppressed diagnostics:\n{}",
+        unsuppressed.len(),
+        unsuppressed.join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let result = uflip_lint::scan_workspace(root).expect("scan the workspace");
+    let mut allowed = 0;
+    for d in &result.diagnostics {
+        if let Some(reason) = &d.suppressed {
+            allowed += 1;
+            assert!(
+                !reason.trim().is_empty(),
+                "suppression without a reason at {}:{}",
+                d.path,
+                d.line
+            );
+        }
+    }
+    assert!(allowed > 0, "expected at least one documented allow");
+}
