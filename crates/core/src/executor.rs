@@ -814,7 +814,7 @@ where
             .collect();
         handles
             .into_iter()
-            // uflip-lint: allow(UF002, reason = "join propagates a worker thread's panic; swallowing it would fake results")
+            // uflip-lint: allow(UF002, UF031, reason = "join propagates a worker thread's panic; swallowing it would fake results")
             .map(|h| h.join().expect("benchmark threads do not panic"))
             .collect()
     });

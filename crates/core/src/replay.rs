@@ -223,6 +223,7 @@ fn replay_queued_with_policy(
         ($queue:ident, $e:expr) => {{
             while $queue.poll().is_some() {}
             if $queue.queue_depth() != device_depth {
+                // uflip-lint: allow(UF030, reason = "error path: the primary error outranks a failed depth restore")
                 let _ = $queue.set_queue_depth(device_depth);
             }
             return Err($e);
@@ -364,6 +365,7 @@ fn replay_queued(
         ($queue:ident, $e:expr) => {{
             while $queue.poll().is_some() {}
             if $queue.queue_depth() != device_depth {
+                // uflip-lint: allow(UF030, reason = "error path: the primary error outranks a failed depth restore")
                 let _ = $queue.set_queue_depth(device_depth);
             }
             return Err($e);

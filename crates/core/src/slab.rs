@@ -39,9 +39,9 @@ impl<T> TokenSlab<T> {
 
     #[inline]
     fn index(&self, token: Token) -> usize {
-        // uflip-lint: allow(UF002, reason = "token-protocol invariant on the O(1) hot path: insert fixes the base before any lookup")
+        // uflip-lint: allow(UF002, UF031, reason = "token-protocol invariant on the O(1) hot path: insert fixes the base before any lookup")
         let base = self.base.expect("insert fixes the base first");
-        // uflip-lint: allow(UF002, reason = "token offsets are bounded by queue depth; a failure here is a corrupted token, best caught loudly")
+        // uflip-lint: allow(UF002, UF031, reason = "token offsets are bounded by queue depth; a failure here is a corrupted token, best caught loudly")
         usize::try_from(token.raw() - base).expect("token offsets fit a slab index")
     }
 
@@ -65,7 +65,7 @@ impl<T> TokenSlab<T> {
         let idx = self.index(token);
         self.slots[idx]
             .take()
-            // uflip-lint: allow(UF002, reason = "queues complete only submitted tokens; silently skipping an unknown token would hide executor bugs")
+            // uflip-lint: allow(UF002, UF031, reason = "queues complete only submitted tokens; silently skipping an unknown token would hide executor bugs")
             .expect("completed token was submitted")
     }
 }

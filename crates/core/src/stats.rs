@@ -73,8 +73,7 @@ impl RunStats {
         Some(RunStats {
             count: n,
             min: Duration::from_nanos(sorted[0]),
-            // uflip-lint: allow(UF002, reason = "guarded by the n == 0 early return above")
-            max: Duration::from_nanos(*sorted.last().expect("non-empty")),
+            max: Duration::from_nanos(sorted.last().copied().unwrap_or(0)),
             mean: Duration::from_nanos(mean),
             stddev: Duration::from_nanos(stddev),
             median: Duration::from_nanos(pct(0.5)),

@@ -395,7 +395,7 @@ pub fn execute_plan_sharded_observed(
     let per_worker: Vec<Result<Vec<SegmentOutcome>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                // uflip-lint: allow(UF002, reason = "fork precondition checked by the snapshot_state gate above; no Result plumbing inside thread::scope closures")
+                // uflip-lint: allow(UF002, UF031, reason = "fork precondition checked by the snapshot_state gate above; no Result plumbing inside thread::scope closures")
                 let mut fork = dev.fork().expect("snapshot_capable devices support fork");
                 fork.set_sink(sink.clone());
                 let state = snapshot.clone();
@@ -423,7 +423,7 @@ pub fn execute_plan_sharded_observed(
             .collect();
         handles
             .into_iter()
-            // uflip-lint: allow(UF002, reason = "join propagates a worker thread's panic; swallowing it would fake results")
+            // uflip-lint: allow(UF002, UF031, reason = "join propagates a worker thread's panic; swallowing it would fake results")
             .map(|h| h.join().expect("plan segment threads do not panic"))
             .collect()
     });

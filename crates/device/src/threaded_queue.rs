@@ -311,6 +311,7 @@ impl ThreadedIoQueue {
 /// One worker: take a job, wait out its earliest-start time, do the
 /// IO on a private aligned scratch buffer, report the wall-clock
 /// completion. Exits when the queue is dropped (job channel closed).
+// uflip-lint: allow-fn(UF021, reason = "deliberate: blocking on recv under the lock hands jobs out one at a time; the guard drops before the IO itself")
 fn worker_loop(
     file: &File,
     epoch: Instant,
@@ -465,6 +466,7 @@ impl IoQueue for ThreadedIoQueue {
             .map(|Reverse((ns, _))| Duration::from_nanos(*ns))
     }
 
+    // uflip-lint: allow-fn(UF021, reason = "single consumer: poll is the only reader of done_rx, which lives inside the lane it locks; workers send without taking the lane")
     fn poll(&mut self) -> Option<(Token, Duration)> {
         // Poisoned lane: the pool is dead, nothing left to wait for
         // (same contract as the channel closing below).
@@ -504,6 +506,7 @@ impl Drop for ThreadedIoQueue {
         // exit; join so no thread outlives the file handle's owner.
         drop(self.job_tx.take());
         for w in self.workers.drain(..) {
+            // uflip-lint: allow(UF030, reason = "a worker that panicked already reported its error via take_error; Drop must not panic again")
             let _ = w.join();
         }
     }

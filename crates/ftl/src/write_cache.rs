@@ -164,10 +164,20 @@ impl WriteCache {
     }
 
     /// Drain the whole cache (shutdown / explicit flush), sorted.
+    ///
+    /// Drains through the LRU queue rather than iterating the map:
+    /// every dirty page has exactly one live (generation-matching) LRU
+    /// entry, and queue order is insertion order — deterministic by
+    /// structure, with no dependence on hash iteration order.
     pub fn flush_all(&mut self) -> Vec<u64> {
-        let mut out: Vec<u64> = self.dirty.keys().copied().collect();
+        let mut out: Vec<u64> = Vec::with_capacity(self.dirty.len());
+        while let Some((lpn, gen)) = self.lru.pop_front() {
+            if self.dirty.get(&lpn) == Some(&gen) {
+                self.dirty.remove(&lpn);
+                out.push(lpn);
+            }
+        }
         self.dirty.clear();
-        self.lru.clear();
         out.sort_unstable();
         out
     }

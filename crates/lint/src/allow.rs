@@ -3,17 +3,31 @@
 //! ```text
 //! // uflip-lint: allow(UF002, reason = "mutex poisoning is fatal by design")
 //! // uflip-lint: allow(UF001, UF003, reason = "bench-only wall probe")
+//! // uflip-lint: allow-fn(UF021, reason = "single consumer; blocking by design")
 //! ```
 //!
-//! A marker suppresses matching diagnostics on its own line and on the
-//! immediately following line — covering both the trailing style
-//! (`stmt; // uflip-lint: allow(…)`) and the preceding-line style. Every
-//! marker must name at least one `UFxxx` code and carry a non-empty
-//! `reason = "…"`; anything else is reported as `UF000`, as is a marker
-//! that ends up suppressing nothing (dead allows rot).
+//! A plain `allow` marker suppresses matching diagnostics on its own
+//! line and on the immediately following line — covering both the
+//! trailing style (`stmt; // uflip-lint: allow(…)`) and the
+//! preceding-line style. The item-scoped `allow-fn` form covers the
+//! whole function that follows the marker (the scanner resolves the
+//! line range once items are parsed). Every marker must name at least
+//! one `UFxxx` code and carry a non-empty `reason = "…"`; anything else
+//! is reported as `UF000`, as is a marker that ends up suppressing
+//! nothing (dead allows rot).
 
 use crate::lexer::Comment;
 use crate::{Code, Diagnostic};
+
+/// What source range a marker suppresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The marker's own line and the next line.
+    Line,
+    /// The next function item after the marker (`allow-fn`). The line
+    /// range is attached by the scanner once items are parsed.
+    NextFn,
+}
 
 /// A parsed suppression marker.
 #[derive(Debug, Clone)]
@@ -24,6 +38,12 @@ pub struct AllowMarker {
     pub reason: String,
     /// Line the marker comment starts on.
     pub line: usize,
+    /// Line vs item scope.
+    pub scope: Scope,
+    /// For `allow-fn`: the covered function's `[first, last]` lines,
+    /// resolved by the scanner. `None` means no function follows the
+    /// marker — a `UF000` hygiene finding.
+    pub fn_range: Option<(usize, usize)>,
     /// Set during matching; an unused marker is a `UF000` finding.
     pub used: bool,
 }
@@ -31,7 +51,15 @@ pub struct AllowMarker {
 impl AllowMarker {
     /// Whether this marker covers `code` at `line`.
     pub fn covers(&self, code: Code, line: usize) -> bool {
-        (line == self.line || line == self.line + 1) && self.codes.contains(&code)
+        if !self.codes.contains(&code) {
+            return false;
+        }
+        match self.scope {
+            Scope::Line => line == self.line || line == self.line + 1,
+            Scope::NextFn => self
+                .fn_range
+                .is_some_and(|(first, last)| line >= first && line <= last),
+        }
     }
 }
 
@@ -50,10 +78,12 @@ pub fn parse_markers(comments: &[Comment]) -> (Vec<AllowMarker>, Vec<Diagnostic>
             continue;
         };
         match parse_body(rest.trim()) {
-            Ok((codes, reason)) => markers.push(AllowMarker {
+            Ok((codes, reason, scope)) => markers.push(AllowMarker {
                 codes,
                 reason,
                 line: c.line,
+                scope,
+                fn_range: None,
                 used: false,
             }),
             Err(why) => bad.push(Diagnostic {
@@ -69,15 +99,25 @@ pub fn parse_markers(comments: &[Comment]) -> (Vec<AllowMarker>, Vec<Diagnostic>
     (markers, bad)
 }
 
-/// Parse `allow(UFxxx[, UFyyy…], reason = "…")`.
-fn parse_body(s: &str) -> Result<(Vec<Code>, String), String> {
-    let Some(args) = s
-        .strip_prefix("allow")
-        .map(str::trim_start)
-        .and_then(|t| t.strip_prefix('('))
+/// Parse `allow(UFxxx[, UFyyy…], reason = "…")` or the `allow-fn` form.
+fn parse_body(s: &str) -> Result<(Vec<Code>, String, Scope), String> {
+    let (rest, scope) = match s.strip_prefix("allow-fn") {
+        Some(r) => (r, Scope::NextFn),
+        None => match s.strip_prefix("allow") {
+            Some(r) => (r, Scope::Line),
+            None => {
+                return Err(
+                    "expected `allow(UFxxx, …, reason = \"…\")` or `allow-fn(…)`".to_string(),
+                )
+            }
+        },
+    };
+    let Some(args) = rest
+        .trim_start()
+        .strip_prefix('(')
         .and_then(|t| t.trim_end().strip_suffix(')'))
     else {
-        return Err("expected `allow(UFxxx, …, reason = \"…\")`".to_string());
+        return Err("expected `(UFxxx, …, reason = \"…\")` after allow".to_string());
     };
     let mut codes = Vec::new();
     let mut reason = None;
@@ -113,7 +153,7 @@ fn parse_body(s: &str) -> Result<(Vec<Code>, String), String> {
     let Some(reason) = reason else {
         return Err("missing mandatory `reason = \"…\"`".to_string());
     };
-    Ok((codes, reason))
+    Ok((codes, reason, scope))
 }
 
 /// Split on commas that are outside the quoted reason string.

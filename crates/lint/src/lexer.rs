@@ -217,8 +217,13 @@ pub fn lex(src: &str) -> Lexed {
             let start = cur.pos;
             cur.bump();
             if cur.peek(0) == b'\\' {
-                // Escaped char literal: '\n', '\u{..}', …
+                // Escaped char literal: '\n', '\u{..}', '\'', … — consume
+                // the escaped character itself before scanning for the
+                // closing quote, so '\'' terminates on the right quote.
                 cur.bump();
+                if !cur.done() {
+                    cur.bump();
+                }
                 while !cur.done() && cur.peek(0) != b'\'' {
                     cur.bump();
                 }
@@ -405,10 +410,14 @@ fn try_string_prefix(cur: &mut Cursor<'_>, line: usize, col: usize) -> Option<To
             return None;
         }
         if cur.peek(n) == b'\'' {
-            // Byte literal b'x'.
+            // Byte literal b'x'. As with char literals, an escape
+            // consumes the escaped byte too, so b'\'' closes correctly.
             cur.bump_n(n + 1);
             if cur.peek(0) == b'\\' {
                 cur.bump();
+                if !cur.done() {
+                    cur.bump();
+                }
             }
             while !cur.done() && cur.peek(0) != b'\'' {
                 cur.bump();

@@ -6,40 +6,66 @@
 //! nanosecond/LBA arithmetic. Tests catch regressions after the fact; this
 //! pass pins the invariants down structurally, before any test runs.
 //!
-//! The analyzer is a hand-rolled lexer plus token-stream pattern rules —
-//! deliberately dependency-free (no syn, no crates.io) so it builds in
-//! well under a second and can gate CI ahead of the build proper.
+//! The analyzer is two layers, both dependency-free (no syn, no
+//! crates.io) so the whole pass builds in well under a second and can
+//! gate CI ahead of the build proper:
+//!
+//! 1. **Token rules** (UF001–UF006) — per-file patterns over the
+//!    hand-rolled lexer's token stream.
+//! 2. **Graph rules** (UF010–UF031) — a lightweight item parser builds
+//!    a workspace symbol table and a conservative call graph; rules run
+//!    over reachability from declared sim roots, the lock-order graph
+//!    and error-flow facts.
 //!
 //! # Rules
 //!
-//! | Code  | Forbids | Invariant |
-//! |-------|---------|-----------|
-//! | UF001 | `Instant::now` / `SystemTime` outside real-device/bench code | determinism: sim paths advance the virtual clock only |
-//! | UF002 | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code | panic-safety: fallible paths return typed errors |
-//! | UF003 | lossy `as` narrowing of ns/LBA/sector-named expressions | cast-safety: the PR 5 `pow2_sweep` overflow class |
-//! | UF004 | `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library code | output routes through `uflip_obs` / `uflip_report` |
-//! | UF005 | `.to_string().contains(…)` on error values | match `FailureKind`, not rendered messages |
-//! | UF006 | `==` / `!=` against float literals | exact float equality is never the measured contract |
+//! | Code  | Layer | Forbids | Invariant |
+//! |-------|-------|---------|-----------|
+//! | UF001 | token | `Instant::now` / `SystemTime` outside real-device/bench code | determinism: sim paths advance the virtual clock only |
+//! | UF002 | token | `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code | panic-safety: fallible paths return typed errors |
+//! | UF003 | token | lossy `as` narrowing of ns/LBA/sector-named expressions | cast-safety: the PR 5 `pow2_sweep` overflow class |
+//! | UF004 | token | `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library code | output routes through `uflip_obs` / `uflip_report` |
+//! | UF005 | token | `.to_string().contains(…)` on error values | match `FailureKind`, not rendered messages |
+//! | UF006 | token | `==` / `!=` against float literals | exact float equality is never the measured contract |
+//! | UF010 | graph | wall-clock reads reachable from a sim root | reachability closes the gap UF001's file-local view leaves |
+//! | UF011 | graph | unseeded RNG (`thread_rng`, `OsRng`, …) reachable from a sim root | every random stream is seeded by the plan |
+//! | UF012 | graph | std `HashMap`/`HashSet` iteration reachable from a sim root | SipHash iteration order is per-process random — fingerprint poison |
+//! | UF020 | graph | cycles in the lock-order graph | striped-lock FTLs (ROADMAP item 3) need one global lock order |
+//! | UF021 | graph | a guard held across a call that may block | no lock convoy / deadlock-by-blocking |
+//! | UF030 | graph | `let _ =` / statement `.ok();` discarding a `Result` in library code | errors are handled or explicitly documented |
+//! | UF031 | graph | a surviving UF002 panic site reachable from a sim root | sim paths stay panic-free even where a file-local allow exists |
 //!
 //! Suppression: `// uflip-lint: allow(UF003, reason = "…")` on the same
-//! line as the finding or the line before it. A marker without a reason,
-//! or one that suppresses nothing, is itself reported as `UF000`.
+//! line as the finding or the line before it; the item-scoped form
+//! `// uflip-lint: allow-fn(UF021, reason = "…")` covers the whole next
+//! function. A marker without a reason, or one that suppresses nothing,
+//! is itself reported as `UF000`.
+//!
+//! Sim roots default to `execute_plan*` / `execute_parallel*` /
+//! `replay_trace*` plus all impls of the `Ftl` trait, and can be
+//! overridden by a `[roots]` block in `lint.toml` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 
 pub use allow::AllowMarker;
-pub use scan::{scan_source, scan_workspace, FileClass, ScanResult};
+pub use config::LintConfig;
+pub use scan::{scan_source, scan_sources, scan_workspace, FileClass, ScanResult};
 
 use std::fmt;
 
 /// Diagnostic codes. `UF000` is the meta-code for malformed or unused
-/// allow markers; `UF001`–`UF006` are the rules proper.
+/// allow markers; `UF001`–`UF006` are the token rules, `UF010`–`UF031`
+/// the graph rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Code {
@@ -50,17 +76,31 @@ pub enum Code {
     UF004,
     UF005,
     UF006,
+    UF010,
+    UF011,
+    UF012,
+    UF020,
+    UF021,
+    UF030,
+    UF031,
 }
 
 impl Code {
     /// All rule codes, in order (excluding the meta-code `UF000`).
-    pub const RULES: [Code; 6] = [
+    pub const RULES: [Code; 13] = [
         Code::UF001,
         Code::UF002,
         Code::UF003,
         Code::UF004,
         Code::UF005,
         Code::UF006,
+        Code::UF010,
+        Code::UF011,
+        Code::UF012,
+        Code::UF020,
+        Code::UF021,
+        Code::UF030,
+        Code::UF031,
     ];
 
     /// The code's canonical `UFxxx` spelling.
@@ -73,6 +113,13 @@ impl Code {
             Code::UF004 => "UF004",
             Code::UF005 => "UF005",
             Code::UF006 => "UF006",
+            Code::UF010 => "UF010",
+            Code::UF011 => "UF011",
+            Code::UF012 => "UF012",
+            Code::UF020 => "UF020",
+            Code::UF021 => "UF021",
+            Code::UF030 => "UF030",
+            Code::UF031 => "UF031",
         }
     }
 
@@ -86,6 +133,13 @@ impl Code {
             "UF004" => Some(Code::UF004),
             "UF005" => Some(Code::UF005),
             "UF006" => Some(Code::UF006),
+            "UF010" => Some(Code::UF010),
+            "UF011" => Some(Code::UF011),
+            "UF012" => Some(Code::UF012),
+            "UF020" => Some(Code::UF020),
+            "UF021" => Some(Code::UF021),
+            "UF030" => Some(Code::UF030),
+            "UF031" => Some(Code::UF031),
             _ => None,
         }
     }
@@ -100,7 +154,28 @@ impl Code {
             Code::UF004 => "direct stdout/stderr print in library code",
             Code::UF005 => "string-matching on a rendered error message",
             Code::UF006 => "exact float comparison",
+            Code::UF010 => "wall-clock read reachable from a sim root",
+            Code::UF011 => "unseeded randomness reachable from a sim root",
+            Code::UF012 => "std HashMap/HashSet iteration reachable from a sim root",
+            Code::UF020 => "cycle in the lock-order graph",
+            Code::UF021 => "lock guard held across a call that may block",
+            Code::UF030 => "Result discarded via `let _ =` or `.ok();` in library code",
+            Code::UF031 => "allowed panic site reachable from a sim root",
         }
+    }
+
+    /// Whether this code comes from the call-graph layer.
+    pub fn is_graph_rule(self) -> bool {
+        matches!(
+            self,
+            Code::UF010
+                | Code::UF011
+                | Code::UF012
+                | Code::UF020
+                | Code::UF021
+                | Code::UF030
+                | Code::UF031
+        )
     }
 }
 
@@ -125,6 +200,29 @@ pub struct Diagnostic {
     pub message: String,
     /// `Some(reason)` when an allow marker suppressed this finding.
     pub suppressed: Option<String>,
+}
+
+/// Append `s` to `out` as a JSON string literal, escaping as needed.
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let d = (b >> shift) & 0xF;
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl fmt::Display for Diagnostic {

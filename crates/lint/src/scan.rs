@@ -1,13 +1,24 @@
 //! File classification, workspace walking and the scan driver.
+//!
+//! Scanning is multi-phase: every file is lexed, item-parsed and run
+//! through the token rules first; then the workspace call graph is
+//! built over all parsed files and the graph rules run; finally allow
+//! markers (line- and fn-scoped) are matched against the combined
+//! diagnostics and marker hygiene (`UF000`) is enforced.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::allow::parse_markers;
+use crate::allow::{parse_markers, Scope};
+use crate::config::LintConfig;
+use crate::graph;
 use crate::lexer::lex;
+use crate::parse::parse_file;
+use crate::reach::run_graph_rules;
 use crate::rules::run_rules;
-use crate::{Code, Diagnostic};
+use crate::{json_string, Code, Diagnostic};
 
 /// Real-device backends that legitimately read the wall clock: they time
 /// actual hardware, not the simulation.
@@ -55,6 +66,17 @@ pub struct ScanResult {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Total well-formed allow markers seen (the `--check-allows` budget).
+    pub allow_count: usize,
+    /// The configured allow budget, if any (`[policy] max_allows`).
+    pub max_allows: Option<usize>,
+    /// Cycles found in the lock-order graph (each a sorted lock-id list;
+    /// empty is the gated invariant).
+    pub lock_cycles: Vec<Vec<String>>,
+    /// The rendered `callgraph.json` artifact.
+    pub callgraph_json: String,
+    /// The rendered `lock_order.json` artifact.
+    pub lock_order_json: String,
 }
 
 impl ScanResult {
@@ -68,12 +90,21 @@ impl ScanResult {
         self.unsuppressed().count()
     }
 
+    /// Whether the allow count exceeds the configured budget.
+    pub fn over_allow_budget(&self) -> bool {
+        self.max_allows.is_some_and(|max| self.allow_count > max)
+    }
+
     /// Render the machine-readable report.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"version\": 1,\n  \"files_scanned\": ");
+        let mut s = String::from("{\n  \"version\": 2,\n  \"files_scanned\": ");
         s.push_str(&self.files_scanned.to_string());
         s.push_str(",\n  \"unsuppressed\": ");
         s.push_str(&self.unsuppressed_count().to_string());
+        s.push_str(",\n  \"allows\": ");
+        s.push_str(&self.allow_count.to_string());
+        s.push_str(",\n  \"lock_cycles\": ");
+        s.push_str(&self.lock_cycles.len().to_string());
         s.push_str(",\n  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -101,68 +132,120 @@ impl ScanResult {
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str("\\u00");
-                let b = c as u32;
-                for shift in [4u32, 0] {
-                    let d = (b >> shift) & 0xF;
-                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+/// Scan a set of `(workspace-relative path, source text)` pairs as one
+/// workspace: token rules per file, then the call-graph rules across
+/// all of them.
+pub fn scan_sources(sources: &[(String, String)], cfg: &LintConfig) -> ScanResult {
+    let mut parsed = Vec::new();
+    let mut per_file_markers = Vec::new();
+    let mut per_file_bad = Vec::new();
+    let mut token_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    let mut allow_count = 0usize;
+
+    for (rel, src) in sources {
+        let class = FileClass::from_rel_path(rel);
+        let lexed = lex(src);
+        let (mut markers, bad) = parse_markers(&lexed.comments);
+        allow_count += markers.len();
+        let mut diags = run_rules(&lexed, &class);
+        for d in &mut diags {
+            d.path = rel.clone();
+        }
+        let pf = parse_file(rel, &lexed);
+        // Resolve `allow-fn` markers to the next function's line range.
+        for m in &mut markers {
+            if m.scope == Scope::NextFn {
+                m.fn_range = pf
+                    .items
+                    .iter()
+                    .filter(|it| it.line > m.line)
+                    .min_by_key(|it| it.line)
+                    .map(|it| (it.line, it.end_line));
+            }
+        }
+        token_diags.insert(rel.clone(), diags);
+        parsed.push(pf);
+        per_file_markers.push(markers);
+        per_file_bad.push(bad);
+    }
+
+    // Whole-workspace graph rules.
+    let g = graph::build(&parsed, cfg);
+    let graph_diags = run_graph_rules(&parsed, &g, &token_diags);
+
+    // Combine, then match suppressions per file.
+    let mut result = ScanResult {
+        files_scanned: sources.len(),
+        allow_count,
+        max_allows: cfg.max_allows,
+        lock_cycles: g.cycles.clone(),
+        callgraph_json: graph::callgraph_json(&parsed, &g),
+        lock_order_json: graph::lock_order_json(&g),
+        ..ScanResult::default()
+    };
+
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = token_diags;
+    for d in graph_diags {
+        by_file.entry(d.path.clone()).or_default().push(d);
+    }
+
+    for (idx, (rel, _)) in sources.iter().enumerate() {
+        let markers = &mut per_file_markers[idx];
+        let mut diags = by_file.remove(rel).unwrap_or_default();
+        for d in &mut diags {
+            for m in markers.iter_mut() {
+                if m.covers(d.code, d.line) {
+                    m.used = true;
+                    d.suppressed = Some(m.reason.clone());
+                    break;
                 }
             }
-            c => out.push(c),
         }
-    }
-    out.push('"');
-}
-
-/// Scan one file's source text. `rel` is the workspace-relative path used
-/// for classification and reporting.
-pub fn scan_source(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let class = FileClass::from_rel_path(rel);
-    let lexed = lex(src);
-    let (mut markers, mut bad) = parse_markers(&lexed.comments);
-    let mut diags = run_rules(&lexed, &class);
-
-    // Match suppressions.
-    for d in &mut diags {
-        for m in &mut markers {
-            if m.covers(d.code, d.line) {
-                m.used = true;
-                d.suppressed = Some(m.reason.clone());
-                break;
+        // A marker that suppressed nothing is itself a finding: dead
+        // allows hide drift. (Malformed markers were already collected.)
+        let mut bad = std::mem::take(&mut per_file_bad[idx]);
+        for m in markers.iter() {
+            if m.scope == Scope::NextFn && m.fn_range.is_none() {
+                bad.push(Diagnostic {
+                    code: Code::UF000,
+                    path: String::new(),
+                    line: m.line,
+                    col: 1,
+                    message: "allow-fn marker has no following function".to_string(),
+                    suppressed: None,
+                });
+            } else if !m.used {
+                bad.push(Diagnostic {
+                    code: Code::UF000,
+                    path: String::new(),
+                    line: m.line,
+                    col: 1,
+                    message: "allow marker suppresses nothing — remove it".to_string(),
+                    suppressed: None,
+                });
             }
         }
-    }
-
-    // A marker that suppressed nothing is itself a finding: dead allows
-    // hide drift. (Malformed markers were already collected.)
-    for m in &markers {
-        if !m.used {
-            bad.push(Diagnostic {
-                code: Code::UF000,
-                path: String::new(),
-                line: m.line,
-                col: 1,
-                message: "allow marker suppresses nothing — remove it".to_string(),
-                suppressed: None,
-            });
+        for mut d in bad {
+            d.path = rel.clone();
+            diags.push(d);
         }
+        result.diagnostics.extend(diags);
     }
 
-    diags.extend(bad);
-    for d in &mut diags {
-        d.path = rel.to_string();
-    }
-    diags.sort_by_key(|d| (d.line, d.col, d.code));
-    diags
+    result
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    result
+}
+
+/// Scan one file's source text with the default configuration. `rel` is
+/// the workspace-relative path used for classification and reporting.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    scan_sources(
+        &[(rel.to_string(), src.to_string())],
+        &LintConfig::default(),
+    )
+    .diagnostics
 }
 
 /// Locate the workspace root: walk up from `start` to the first directory
@@ -182,9 +265,16 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Scan the whole workspace: every `.rs` file under `crates/*/src` and
-/// the facade's `src/`. Vendored shims, tests, benches and examples are
-/// out of scope — the pass guards first-party library and binary sources.
+/// the facade's `src/`, with configuration from `lint.toml` when
+/// present. Vendored shims, tests, benches and examples are out of
+/// scope — the pass guards first-party library and binary sources.
 pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let cfg = LintConfig::load(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    scan_workspace_with(root, &cfg)
+}
+
+/// [`scan_workspace`] with an explicit configuration.
+pub fn scan_workspace_with(root: &Path, cfg: &LintConfig) -> io::Result<ScanResult> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -199,7 +289,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
     collect_rs(&root.join("src"), &mut files)?;
     files.sort();
 
-    let mut result = ScanResult::default();
+    let mut sources = Vec::with_capacity(files.len());
     for f in &files {
         let src = fs::read_to_string(f)?;
         let rel = f
@@ -207,13 +297,9 @@ pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
             .unwrap_or(f)
             .to_string_lossy()
             .replace('\\', "/");
-        result.diagnostics.extend(scan_source(&rel, &src));
-        result.files_scanned += 1;
+        sources.push((rel, src));
     }
-    result
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
-    Ok(result)
+    Ok(scan_sources(&sources, cfg))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -115,3 +115,115 @@ fn uf000_reports_malformed_and_unused_markers() {
         "a reason-less marker and a dead marker are both hygiene findings"
     );
 }
+
+// ---- graph rules (single-file workspace, default sim roots) ----
+
+#[test]
+fn uf010_flags_wall_clock_only_on_reachable_paths() {
+    assert_eq!(
+        findings("uf010_reach.rs"),
+        vec![(Code::UF001, 8), (Code::UF001, 12), (Code::UF010, 8)],
+        "the token rule fires on both reads; the graph rule only on the one \
+         reachable from execute_plan"
+    );
+}
+
+#[test]
+fn uf011_flags_unseeded_rng_only_on_reachable_paths() {
+    assert_eq!(
+        findings("uf011_rng_reach.rs"),
+        vec![(Code::UF011, 8)],
+        "cold_shuffle's thread_rng is unreachable and must stay silent"
+    );
+}
+
+#[test]
+fn uf012_flags_hashmap_iteration_via_field_and_local() {
+    assert_eq!(
+        findings("uf012_map_iter.rs"),
+        vec![(Code::UF012, 16), (Code::UF012, 25)],
+        "both the HashMap struct field and the HashSet local resolve"
+    );
+}
+
+#[test]
+fn uf020_flags_lock_order_cycle_with_witness() {
+    let diags = scan_fixture("uf020_lock_cycle.rs");
+    assert_eq!(findings("uf020_lock_cycle.rs"), vec![(Code::UF020, 18)]);
+    let msg = &diags
+        .iter()
+        .find(|d| d.code == Code::UF020)
+        .unwrap()
+        .message;
+    assert!(
+        msg.contains("Pair.a") && msg.contains("Pair.b") && msg.contains("a_then_b"),
+        "cycle message names both locks and a witness fn: {msg}"
+    );
+}
+
+#[test]
+fn uf021_flags_guard_held_across_blocking_recv() {
+    let diags = scan_fixture("uf021_block_under_lock.rs");
+    assert_eq!(
+        findings("uf021_block_under_lock.rs"),
+        vec![(Code::UF021, 13)]
+    );
+    let msg = &diags
+        .iter()
+        .find(|d| d.code == Code::UF021)
+        .unwrap()
+        .message;
+    assert!(
+        msg.contains("Pump.inbox") && msg.contains("recv"),
+        "message names the held lock and the blocking call: {msg}"
+    );
+}
+
+#[test]
+fn uf030_flags_let_underscore_and_statement_ok() {
+    assert_eq!(
+        findings("uf030_discard.rs"),
+        vec![(Code::UF030, 8), (Code::UF030, 9)],
+        "`?`-propagation in `handled` must stay silent"
+    );
+}
+
+#[test]
+fn uf031_lifts_panic_sites_onto_the_call_graph() {
+    assert_eq!(
+        findings("uf031_panic_reach.rs"),
+        vec![(Code::UF002, 9), (Code::UF002, 14), (Code::UF031, 9)],
+        "both unwraps are UF002, but only the reachable one is also UF031"
+    );
+}
+
+// ---- allow-fn scope ----
+
+#[test]
+fn allow_fn_covers_the_whole_following_function() {
+    let diags = scan_fixture("allow_fn.rs");
+    assert!(
+        diags.iter().all(|d| d.suppressed.is_some()),
+        "the UF021 inside drain's body is covered by the item-scope marker: {diags:?}"
+    );
+    let suppressed: Vec<_> = diags.iter().filter(|d| d.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].code, Code::UF021);
+}
+
+#[test]
+fn allow_fn_without_following_function_is_hygiene_error() {
+    assert_eq!(findings("allow_fn_dangling.rs"), vec![(Code::UF000, 5)]);
+}
+
+// ---- lexer extents ----
+
+#[test]
+fn lexer_extents_keep_strings_comments_and_chars_inert() {
+    assert_eq!(
+        findings("lexer_edges.rs"),
+        vec![(Code::UF002, 17)],
+        "raw strings, nested block comments and escaped char literals are \
+         inert, and the real unwrap after them still lints"
+    );
+}

@@ -1,0 +1,18 @@
+//! allow-fn fixture: item-scoped suppression covers the whole body of
+//! the following function, not just the next line.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pump {
+    inbox: Mutex<Receiver<u32>>,
+}
+
+impl Pump {
+    // uflip-lint: allow-fn(UF021, reason = "single consumer by design")
+    pub fn drain(&self) -> u32 {
+        let guard = self.inbox.lock();
+        let value = guard.recv();
+        value.unwrap_or(0)
+    }
+}

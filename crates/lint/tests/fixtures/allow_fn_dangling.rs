@@ -1,0 +1,5 @@
+//! An allow-fn marker with no following function is a hygiene error.
+
+pub fn fine() {}
+
+// uflip-lint: allow-fn(UF021, reason = "nothing follows")

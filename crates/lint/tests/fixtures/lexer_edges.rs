@@ -1,0 +1,18 @@
+//! Lexer-extent fixture: rule patterns and markers inside raw strings,
+//! nested block comments and tricky char literals must all be inert,
+//! and the lexer must stay in sync for the real code that follows.
+
+pub fn edges() -> usize {
+    let marker = r#"// uflip-lint: allow(UF002, reason = "not a real marker")"#;
+    let clock = r##"Instant::now() and thread_rng() live in a string"##;
+    /* outer /* nested .unwrap() panic!("still a comment") */ still outer */
+    let quote = '\'';
+    let byte = b'\'';
+    let ok = quote == '\'' && byte == b'\'';
+    marker.len() + clock.len() + usize::from(ok)
+}
+
+pub fn still_lints() {
+    let v: Vec<u32> = vec![1];
+    let _x = v.first().unwrap();
+}

@@ -1,0 +1,13 @@
+//! UF010 fixture: wall-clock reachable from a sim root.
+
+pub fn execute_plan() {
+    measure();
+}
+
+fn measure() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+fn cold_path() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

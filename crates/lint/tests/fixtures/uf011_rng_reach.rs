@@ -1,0 +1,13 @@
+//! UF011 fixture: unseeded randomness on a sim path.
+
+pub fn execute_plan() {
+    shuffle();
+}
+
+fn shuffle() {
+    let _rng = rand::thread_rng();
+}
+
+fn cold_shuffle() {
+    let _rng = rand::thread_rng();
+}

@@ -1,0 +1,26 @@
+//! UF012 fixture: HashMap/HashSet iteration on sim paths.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    rows: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn execute_plan(&self) -> u64 {
+        self.walk()
+    }
+
+    fn walk(&self) -> u64 {
+        let mut sum = 0;
+        for (_lpn, v) in self.rows.iter() {
+            sum += v;
+        }
+        sum
+    }
+}
+
+pub fn execute_plan_local() -> usize {
+    let tags: HashSet<u64> = HashSet::new();
+    tags.iter().count()
+}

@@ -1,0 +1,25 @@
+//! UF020 fixture: two locks acquired in both orders.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn execute_plan(&self) {
+        self.a_then_b();
+        self.b_then_a();
+    }
+
+    fn a_then_b(&self) {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+    }
+
+    fn b_then_a(&self) {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+    }
+}

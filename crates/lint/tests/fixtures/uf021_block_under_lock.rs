@@ -1,0 +1,19 @@
+//! UF021 fixture: a guard held across a blocking recv.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pump {
+    inbox: Mutex<Receiver<u32>>,
+}
+
+impl Pump {
+    pub fn drain(&self) -> u32 {
+        let guard = self.inbox.lock();
+        let value = guard.recv();
+        match value {
+            Ok(v) => v,
+            Err(_) => 0,
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! UF031 fixture: a panic site on a sim path.
+
+pub fn execute_plan() -> u32 {
+    hot()
+}
+
+fn hot() -> u32 {
+    let v: Vec<u32> = vec![1];
+    *v.first().unwrap()
+}
+
+fn cold() -> u32 {
+    let v: Vec<u32> = vec![1];
+    *v.first().unwrap()
+}
